@@ -1,0 +1,88 @@
+package tokendrop
+
+import (
+	"math/rand"
+
+	"tokendrop/internal/assign"
+	"tokendrop/internal/bounded"
+	"tokendrop/internal/graph"
+	"tokendrop/internal/matching"
+	"tokendrop/internal/semimatch"
+)
+
+// Assignment-side facade: stable assignments (Section 7), the k-bounded
+// relaxation, maximal matching, and semi-matching quality measurement.
+
+type (
+	// AssignOptions configure StableAssignment.
+	AssignOptions = assign.Options
+	// AssignResult carries the assignment, phase log, and round counts.
+	AssignResult = assign.Result
+	// BoundedOptions configure KBoundedAssignment (K = 0 means 2).
+	BoundedOptions = bounded.Options
+	// BoundedResult carries the k-bounded assignment and statistics.
+	BoundedResult = bounded.Result
+	// MatchingResult carries a maximal matching and its round count.
+	MatchingResult = matching.Result
+)
+
+// NewBipartite wraps g as a customer/server network: vertices
+// 0..numLeft-1 are customers, the rest servers; every edge must cross.
+func NewBipartite(g *Graph, numLeft int) (*Bipartite, error) {
+	return graph.NewBipartite(g, numLeft)
+}
+
+// RandomBipartite returns a network where each of nl customers picks c
+// distinct servers out of nr uniformly at random.
+func RandomBipartite(nl, nr, c int, rng *rand.Rand) *Graph {
+	return graph.RandomBipartite(nl, nr, c, rng)
+}
+
+// RandomBipartiteRegular returns a network with every customer of degree
+// c and every server of degree s (nl·c must equal nr·s).
+func RandomBipartiteRegular(nl, nr, c, s int, rng *rand.Rand) *Graph {
+	return graph.RandomBipartiteRegular(nl, nr, c, s, rng)
+}
+
+// StableAssignment assigns every customer of b to an adjacent server so
+// that no customer can lower its server's load by switching, using the
+// hypergraph token dropping algorithm of Theorem 7.3 (O(C·S⁴) rounds).
+func StableAssignment(b *Bipartite, opt AssignOptions) (*AssignResult, error) {
+	return assign.Solve(b, opt)
+}
+
+// KBoundedAssignment solves the k-bounded relaxation of Section 7.3
+// (loads above k are indistinguishable); with the default k = 2 this is
+// the 0–1–many problem solved in O(C·S²) rounds (Theorem 7.5).
+func KBoundedAssignment(b *Bipartite, opt BoundedOptions) (*BoundedResult, error) {
+	return bounded.Solve(b, opt)
+}
+
+// MatchingFromBounded applies the Theorem 7.4 post-processing: a 2-bounded
+// stable assignment becomes a maximal matching (every server keeps one
+// assigned customer).
+func MatchingFromBounded(a *Assignment) []int { return bounded.ReduceToMatching(a) }
+
+// MaximalMatching computes a maximal matching of b with the distributed
+// proposal algorithm (O(Δ) rounds).
+func MaximalMatching(b *Bipartite, maxRounds, workers int) (*MatchingResult, error) {
+	return matching.Solve(b, maxRounds, workers)
+}
+
+// VerifyMaximalMatching checks matchOf is a maximal matching of b.
+func VerifyMaximalMatching(b *Bipartite, matchOf []int) error {
+	return matching.VerifyMaximal(b, matchOf)
+}
+
+// OptimalSemimatching computes an exact optimal semi-matching of b
+// (minimum Σ f(load), f(x) = x(x+1)/2) via min-cost flow, returning the
+// assignment and its cost.
+func OptimalSemimatching(b *Bipartite) (*Assignment, int, error) {
+	return semimatch.Optimal(b)
+}
+
+// SemimatchingApproxRatio returns cost(a)/optimal together with the
+// optimal cost; stable assignments stay at or below 2 (Section 1.3).
+func SemimatchingApproxRatio(a *Assignment) (float64, int, error) {
+	return semimatch.ApproxRatio(a)
+}

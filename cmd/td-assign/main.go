@@ -1,0 +1,91 @@
+// Command td-assign computes stable assignments on customer/server
+// networks (Theorem 7.3), the 2-bounded relaxation (Theorem 7.5), the
+// Theorem 7.4 matching reduction, and the semi-matching approximation
+// ratio.
+//
+// Usage examples:
+//
+//	td-assign -customers 60 -servers 20 -cdeg 4
+//	td-assign -customers 40 -servers 8 -cdeg 3 -kbounded -k 2
+//	td-assign -customers 30 -servers 10 -cdeg 3 -optimal
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"tokendrop"
+)
+
+func main() {
+	var (
+		nc       = flag.Int("customers", 40, "number of customers")
+		ns       = flag.Int("servers", 12, "number of servers")
+		cdeg     = flag.Int("cdeg", 3, "servers adjacent to each customer")
+		kbounded = flag.Bool("kbounded", false, "solve the k-bounded relaxation instead")
+		k        = flag.Int("k", 2, "threshold for -kbounded")
+		optimal  = flag.Bool("optimal", false, "also compute the exact optimal semi-matching")
+		seed     = flag.Int64("seed", 1, "seed")
+		loads    = flag.Bool("loads", false, "print the server load histogram")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	g := tokendrop.RandomBipartite(*nc, *ns, *cdeg, rng)
+	b, err := tokendrop.NewBipartite(g, *nc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: customers=%d servers=%d C=%d S=%d\n",
+		b.NumCustomers(), b.NumServers(), b.MaxCustomerDegree(), b.MaxServerDegree())
+
+	var a *tokendrop.Assignment
+	if *kbounded {
+		res, err := tokendrop.KBoundedAssignment(b, tokendrop.BoundedOptions{K: *k, Seed: *seed, CheckInvariants: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		a = res.Assignment
+		fmt.Printf("%d-bounded stable assignment (Thm 7.5): phases=%d rounds=%d k-stable=%v\n",
+			res.K, res.Phases, res.Rounds, a.KStable(res.K))
+		matchOf := tokendrop.MatchingFromBounded(a)
+		err = tokendrop.VerifyMaximalMatching(b, matchOf)
+		fmt.Printf("Theorem 7.4 reduction to maximal matching: valid=%v\n", err == nil)
+	} else {
+		res, err := tokendrop.StableAssignment(b, tokendrop.AssignOptions{Seed: *seed, CheckInvariants: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		a = res.Assignment
+		fmt.Printf("stable assignment (Thm 7.3): phases=%d rounds=%d stable=%v cost=%d\n",
+			res.Phases, res.Rounds, a.Stable(), a.SemimatchingCost())
+	}
+
+	if *optimal {
+		ratio, opt, err := tokendrop.SemimatchingApproxRatio(a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("optimal semi-matching cost=%d, ratio=%.3f (paper guarantee for stable: ≤ 2)\n", opt, ratio)
+	}
+
+	if *loads {
+		hist := map[int]int{}
+		maxLoad := 0
+		for _, s := range b.Servers() {
+			l := a.Load(s)
+			hist[l]++
+			if l > maxLoad {
+				maxLoad = l
+			}
+		}
+		fmt.Println("load histogram:")
+		for l := 0; l <= maxLoad; l++ {
+			if hist[l] > 0 {
+				fmt.Printf("  load %2d: %d servers\n", l, hist[l])
+			}
+		}
+	}
+}

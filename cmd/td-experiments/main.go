@@ -1,0 +1,54 @@
+// Command td-experiments regenerates every experiment table of the
+// reproduction (DESIGN.md index E1–E14): one table per theorem/figure of
+// "Efficient Load-Balancing through Distributed Token Dropping"
+// (SPAA 2021). The output of the full profile is the basis of
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	td-experiments [-quick] [-seed N] [-only E7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tokendrop/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "small instance sizes (sub-second total)")
+	seed := flag.Int64("seed", 42, "base seed for all workloads")
+	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E4a,E7); empty = all")
+	flag.Parse()
+
+	p := bench.Profile{Quick: *quick, Seed: *seed}
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToUpper(id)] = true
+		}
+	}
+
+	fmt.Printf("token dropping reproduction — experiment tables (quick=%v seed=%d)\n\n", *quick, *seed)
+	violations := 0
+	for _, tbl := range bench.All(p) {
+		if len(want) > 0 && !want[strings.ToUpper(tbl.ID)] {
+			continue
+		}
+		tbl.Render(os.Stdout)
+		for _, row := range tbl.Rows {
+			for _, cell := range row {
+				if strings.Contains(cell, "VIOLATED") || strings.Contains(cell, "error") {
+					violations++
+				}
+			}
+		}
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "%d claim violations detected\n", violations)
+		os.Exit(1)
+	}
+}

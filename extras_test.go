@@ -1,0 +1,95 @@
+package tokendrop_test
+
+import (
+	"bytes"
+	"testing"
+
+	"tokendrop"
+)
+
+func TestLoadBalancingFacade(t *testing.T) {
+	s, err := tokendrop.DumbbellLoads(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tokendrop.BalanceLoads(s, 1, 1<<22, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Final.LocallyOptimal() {
+		t.Fatal("not locally optimal")
+	}
+	if res.Final.Total() != s.Total() {
+		t.Fatal("load not conserved")
+	}
+}
+
+func TestSerializationFacade(t *testing.T) {
+	inst := tokendrop.Figure2Game()
+	var buf bytes.Buffer
+	if err := tokendrop.SaveGame(&buf, inst); err != nil {
+		t.Fatal(err)
+	}
+	back, err := tokendrop.LoadGame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != inst.N() {
+		t.Fatal("round trip changed the instance")
+	}
+
+	sol, _, err := tokendrop.SolveGame(inst, tokendrop.GameOptions{MaxRounds: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := tokendrop.SaveSolution(&buf, sol); err != nil {
+		t.Fatal(err)
+	}
+	back2, err := tokendrop.LoadSolution(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tokendrop.VerifyGame(back2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixedScheduleFacade(t *testing.T) {
+	g := tokendrop.CycleGraph(6)
+	res, err := tokendrop.StableOrientationFixedSchedule(g, tokendrop.FixedOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Orientation.Stable() {
+		t.Fatal("not stable")
+	}
+	if res.Rounds != tokendrop.OrientWorstCaseBound(2) {
+		t.Fatalf("fixed schedule %d != analytic bound %d", res.Rounds, tokendrop.OrientWorstCaseBound(2))
+	}
+}
+
+func TestIndistinguishabilityFacade(t *testing.T) {
+	reg := tokendrop.NewGraph(0)
+	_ = reg
+	kdd := completeBipartiteForTest(8)
+	rep, err := tokendrop.RunIndistinguishability(kdd, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Contradicts() {
+		t.Fatal("expected the Theorem 6.3 contradiction")
+	}
+}
+
+// completeBipartiteForTest builds K_{d,d} through the facade graph type.
+func completeBipartiteForTest(d int) *tokendrop.Graph {
+	g := tokendrop.NewGraph(2 * d)
+	for u := 0; u < d; u++ {
+		for v := 0; v < d; v++ {
+			g.AddEdge(u, d+v)
+		}
+	}
+	g.SortAdjacency()
+	return g
+}

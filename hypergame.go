@@ -1,0 +1,68 @@
+package tokendrop
+
+import (
+	"math/rand"
+
+	"tokendrop/internal/hypergame"
+)
+
+// Hypergraph token dropping (Section 7.1): customers of arbitrary degree
+// become hyperedges over the server vertices; a token pass consumes the
+// whole hyperedge. The distributed solvers run on the customer/server
+// incidence network — customers act as relay nodes, exactly as in the
+// assignment problem the game powers.
+
+type (
+	// HyperInstance is a hypergraph token dropping game.
+	HyperInstance = hypergame.Instance
+	// HyperSolution is its move log plus final position.
+	HyperSolution = hypergame.Solution
+	// HyperMove is one token pass through a hyperedge.
+	HyperMove = hypergame.Move
+	// HyperOptions configure the distributed hypergraph solvers.
+	HyperOptions = hypergame.SolveOptions
+	// HyperStats reports rounds, messages, and the Lemma 4.4 analogue.
+	HyperStats = hypergame.DistStats
+	// HyperLayeredConfig parameterizes random layered hypergraph games.
+	HyperLayeredConfig = hypergame.LayeredConfig
+	// HyperThreeLevelConfig parameterizes random 3-level games.
+	HyperThreeLevelConfig = hypergame.ThreeLevelConfig
+)
+
+// NewHyperGame validates and builds a hypergraph game: levels per vertex,
+// initial tokens, hyperedges as endpoint sets, and a head per hyperedge
+// satisfying ℓ(head) = min over other endpoints + 1.
+func NewHyperGame(level []int, token []bool, edges [][]int, head []int) (*HyperInstance, error) {
+	return hypergame.NewInstance(level, token, edges, head)
+}
+
+// SolveHyperGame runs the distributed proposal algorithm for hypergraph
+// token dropping (Theorem 7.1, O(L·S²) rounds on the incidence network).
+func SolveHyperGame(inst *HyperInstance, opt HyperOptions) (*HyperSolution, HyperStats, error) {
+	return hypergame.SolveProposal(inst, opt)
+}
+
+// SolveHyperGame3Level runs the specialized solver for games on levels
+// {0, 1, 2} — the O(S)-per-game engine behind Theorem 7.5.
+func SolveHyperGame3Level(inst *HyperInstance, opt HyperOptions) (*HyperSolution, HyperStats, error) {
+	return hypergame.SolveThreeLevel(inst, opt)
+}
+
+// SolveHyperGameSequential plays the game with a centralized scheduler
+// (first legal move, or seeded-random when rng is non-nil).
+func SolveHyperGameSequential(inst *HyperInstance, rng *rand.Rand) *HyperSolution {
+	return hypergame.SolveSequential(inst, rng)
+}
+
+// VerifyHyperGame checks a solution against the hypergraph game rules.
+func VerifyHyperGame(sol *HyperSolution) error { return hypergame.Verify(sol) }
+
+// RandomHyperGame builds a seeded random layered hypergraph game.
+func RandomHyperGame(cfg HyperLayeredConfig, rng *rand.Rand) *HyperInstance {
+	return hypergame.RandomLayered(cfg, rng)
+}
+
+// RandomHyperGame3Level builds a seeded random game on levels {0, 1, 2}.
+func RandomHyperGame3Level(cfg HyperThreeLevelConfig, rng *rand.Rand) *HyperInstance {
+	return hypergame.RandomThreeLevel(cfg, rng)
+}

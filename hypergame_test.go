@@ -1,0 +1,62 @@
+package tokendrop_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"tokendrop"
+)
+
+func TestHyperGameFacade(t *testing.T) {
+	// Hand-built: two servers below, one above, one rank-3 hyperedge.
+	inst, err := tokendrop.NewHyperGame(
+		[]int{0, 0, 1},
+		[]bool{false, false, true},
+		[][]int{{2, 0, 1}},
+		[]int{2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, stats, err := tokendrop.SolveHyperGame(inst, tokendrop.HyperOptions{MaxRounds: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tokendrop.VerifyHyperGame(sol); err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Moves) != 1 || stats.Rounds == 0 {
+		t.Fatalf("expected one pass, got %d moves in %d rounds", len(sol.Moves), stats.Rounds)
+	}
+}
+
+func TestHyperGameRandomFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := tokendrop.HyperLayeredConfig{Levels: 3, Width: 6, Edges: 15, Rank: 3, TokenProb: 0.5}
+	inst := tokendrop.RandomHyperGame(cfg, rng)
+	sol, _, err := tokendrop.SolveHyperGame(inst, tokendrop.HyperOptions{MaxRounds: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tokendrop.VerifyHyperGame(sol); err != nil {
+		t.Fatal(err)
+	}
+
+	seq := tokendrop.SolveHyperGameSequential(inst, rng)
+	if err := tokendrop.VerifyHyperGame(seq); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHyperGame3LevelFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := tokendrop.HyperThreeLevelConfig{Width: 6, PullEdges: 8, PushEdges: 8, Rank: 3, MidProb: 0.4}
+	inst := tokendrop.RandomHyperGame3Level(cfg, rng)
+	sol, _, err := tokendrop.SolveHyperGame3Level(inst, tokendrop.HyperOptions{MaxRounds: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tokendrop.VerifyHyperGame(sol); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,227 @@
+// Package assign implements the stable assignment algorithm of Section
+// 7.2 (Theorem 7.3): every customer of a bipartite customer/server network
+// must pick one adjacent server, and the result is stable when no customer
+// can lower its server's load by switching. The algorithm generalizes the
+// stable-orientation scheme of Section 5 — customers become hyperedges,
+// token dropping runs on the hypergraph (package hypergame), and "flipping
+// an edge" becomes moving a hyperedge's head — and runs in O(C·S⁴) rounds
+// for customer degree C and server degree S.
+package assign
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tokendrop/internal/graph"
+	"tokendrop/internal/hypergame"
+)
+
+// Options configure Solve.
+type Options struct {
+	// RandomTies randomizes proposal acceptance and the game's choices.
+	RandomTies bool
+	// Seed drives all randomized tie-breaking.
+	Seed int64
+	// Workers for the LOCAL runtime (0 = GOMAXPROCS).
+	Workers int
+	// MaxPhases guards against non-termination; 0 means 4·C·S + 8
+	// (Lemma 7.2 gives C·S + 1).
+	MaxPhases int
+	// CheckInvariants verifies the per-phase game solutions and the
+	// badness/load invariants (the Section 7.2 analogues of Lemmas
+	// 5.3–5.4).
+	CheckInvariants bool
+}
+
+// PhaseRecord captures one phase for experiments.
+type PhaseRecord struct {
+	Phase       int
+	Proposals   int // unassigned customers at phase start
+	Accepted    int // customers assigned this phase
+	GameEdges   int // badness-1 customers in the game
+	GameRounds  int
+	TokensMoved int
+	MaxBadness  int // after the phase (must be ≤ 1)
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	Assignment *graph.Assignment
+	Phases     int
+	// Rounds counts communication rounds on the adaptive schedule: two
+	// per phase (load broadcast, accept notification) plus the game's
+	// rounds on the customer/server incidence network.
+	Rounds   int
+	PhaseLog []PhaseRecord
+}
+
+// Solve computes a stable assignment for b.
+func Solve(b *graph.Bipartite, opt Options) (*Result, error) {
+	for c := 0; c < b.NumLeft; c++ {
+		if b.G.Degree(c) == 0 {
+			return nil, fmt.Errorf("assign: customer %d has no adjacent server", c)
+		}
+	}
+	cs := b.MaxCustomerDegree() * b.MaxServerDegree()
+	maxPhases := opt.MaxPhases
+	if maxPhases == 0 {
+		maxPhases = 4*cs + 8
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	a := graph.NewAssignment(b)
+	res := &Result{Assignment: a}
+
+	for phase := 1; !a.Complete(); phase++ {
+		if phase > maxPhases {
+			return nil, fmt.Errorf("assign: phase %d exceeds the Lemma 7.2 budget (C·S=%d)", phase, cs)
+		}
+		rec := PhaseRecord{Phase: phase}
+
+		// Step 1 — every unassigned customer proposes to the adjacent
+		// server with the smallest load (ties to the smaller id, or
+		// seeded-random); one load-broadcast round.
+		proposalsTo := make(map[int][]int) // server -> customers
+		for c := 0; c < b.NumLeft; c++ {
+			if a.Assigned(c) {
+				continue
+			}
+			rec.Proposals++
+			best := -1
+			for _, arc := range b.G.Adj(c) {
+				if best < 0 || a.Load(arc.To) < a.Load(best) ||
+					(a.Load(arc.To) == a.Load(best) && arc.To < best) {
+					best = arc.To
+				}
+			}
+			if opt.RandomTies {
+				var mins []int
+				for _, arc := range b.G.Adj(c) {
+					if a.Load(arc.To) == a.Load(best) {
+						mins = append(mins, arc.To)
+					}
+				}
+				best = mins[rng.Intn(len(mins))]
+			}
+			proposalsTo[best] = append(proposalsTo[best], c)
+		}
+
+		// Step 2 — each server accepts exactly one proposal; one round.
+		accepted := make(map[int]int) // customer -> server
+		acceptedOrder := make([]int, 0, len(proposalsTo))
+		token := make([]bool, b.NumServers())
+		for s := b.NumLeft; s < b.G.N(); s++ {
+			props := proposalsTo[s]
+			if len(props) == 0 {
+				continue
+			}
+			pick := props[0]
+			if opt.RandomTies {
+				pick = props[rng.Intn(len(props))]
+			}
+			accepted[pick] = s
+			acceptedOrder = append(acceptedOrder, pick)
+			token[s-b.NumLeft] = true
+		}
+		rec.Accepted = len(accepted)
+		res.Rounds += 2
+
+		// Step 3 — build the hypergraph game: server vertices with levels
+		// = loads, hyperedges = assigned customers of badness exactly 1
+		// (heads = their servers), tokens at accepting servers.
+		levels := make([]int, b.NumServers())
+		for i := range levels {
+			levels[i] = a.Load(b.NumLeft + i)
+		}
+		var hedges [][]int
+		var heads []int
+		var gameCustomer []int
+		for c := 0; c < b.NumLeft; c++ {
+			if !a.Assigned(c) || b.G.Degree(c) < 2 || a.Badness(c) != 1 {
+				continue
+			}
+			e := make([]int, 0, b.G.Degree(c))
+			for _, arc := range b.G.Adj(c) {
+				e = append(e, arc.To-b.NumLeft)
+			}
+			hedges = append(hedges, e)
+			heads = append(heads, a.ServerOf[c]-b.NumLeft)
+			gameCustomer = append(gameCustomer, c)
+		}
+		inst, err := hypergame.NewInstance(levels, token, hedges, heads)
+		if err != nil {
+			return nil, fmt.Errorf("assign: phase %d produced an invalid game: %w", phase, err)
+		}
+		rec.GameEdges = len(hedges)
+
+		// Step 4 — play the game on the incidence network.
+		sol, stats, err := hypergame.SolveProposal(inst, hypergame.SolveOptions{
+			RandomTies: opt.RandomTies,
+			Seed:       opt.Seed + int64(phase)*1_000_003,
+			Workers:    opt.Workers,
+			MaxRounds:  1 << 20,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("assign: phase %d game failed: %w", phase, err)
+		}
+		if opt.CheckInvariants {
+			if err := hypergame.Verify(sol); err != nil {
+				return nil, fmt.Errorf("assign: phase %d game unverified: %w", phase, err)
+			}
+		}
+		rec.GameRounds = stats.Rounds
+		res.Rounds += stats.Rounds
+
+		var loadsBefore []int
+		if opt.CheckInvariants {
+			loadsBefore = a.Loads()
+		}
+
+		// Step 5 — apply the moves: a token passed from u to v through
+		// customer e moves e's head from u to v (reassignment).
+		for _, mv := range sol.Moves {
+			c := gameCustomer[mv.Edge]
+			a.Reassign(c, b.NumLeft+mv.To)
+			rec.TokensMoved++
+		}
+		// Step 6 — assign the accepted customers.
+		for _, c := range acceptedOrder {
+			a.Assign(c, accepted[c])
+		}
+
+		if opt.CheckInvariants {
+			if err := checkPhaseInvariants(b, a, loadsBefore, sol); err != nil {
+				return nil, fmt.Errorf("assign: phase %d: %w", phase, err)
+			}
+		}
+		rec.MaxBadness = a.MaxBadness()
+		res.PhaseLog = append(res.PhaseLog, rec)
+		res.Phases = phase
+	}
+	return res, nil
+}
+
+// checkPhaseInvariants enforces the Section 7.2 analogues of Lemmas 5.3
+// and 5.4: server loads grow by exactly one at token destinations and stay
+// put elsewhere, and no assigned customer has badness above 1 at the end
+// of a phase.
+func checkPhaseInvariants(b *graph.Bipartite, a *graph.Assignment, loadsBefore []int, sol *hypergame.Solution) error {
+	isDest := make([]bool, b.NumServers())
+	for _, tr := range sol.Traversals() {
+		isDest[tr.Destination()] = true
+	}
+	for s := b.NumLeft; s < b.G.N(); s++ {
+		want := loadsBefore[s]
+		if isDest[s-b.NumLeft] {
+			want++
+		}
+		if a.Load(s) != want {
+			return fmt.Errorf("lemma 5.3 analogue violated at server %d: load %d -> %d, destination=%v",
+				s, loadsBefore[s], a.Load(s), isDest[s-b.NumLeft])
+		}
+	}
+	if mb := a.MaxBadness(); mb > 1 {
+		return fmt.Errorf("lemma 5.4 analogue violated: max badness %d", mb)
+	}
+	return a.CheckLoads()
+}

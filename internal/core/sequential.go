@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math/rand"
+)
+
+// SequentialPolicy selects which legal move a centralized sequential
+// solver performs next. The paper's trivial algorithm ("repeatedly pick
+// any token that can be moved downwards and move it by one step") leaves
+// the choice open; policies model different adversaries/schedulers.
+type SequentialPolicy int
+
+const (
+	// PolicyFirst always performs the first legal move in deterministic
+	// (vertex, port) order.
+	PolicyFirst SequentialPolicy = iota
+	// PolicyRandom performs a uniformly random legal move.
+	PolicyRandom
+	// PolicyHighestFirst prefers tokens on the highest level, modelling a
+	// top-down cascade.
+	PolicyHighestFirst
+	// PolicyLowestFirst prefers tokens on the lowest level that can still
+	// move, which empties the bottom layers early and tends to maximize
+	// the number of moves.
+	PolicyLowestFirst
+)
+
+// SolveSequential plays the game to completion with a centralized
+// sequential solver and returns a verified-shape Solution (Rounds = 0;
+// Move.Round carries the step index). rng is only consulted by
+// PolicyRandom and may be nil otherwise.
+func SolveSequential(inst *Instance, policy SequentialPolicy, rng *rand.Rand) *Solution {
+	st := NewState(inst)
+	var log []Move
+	for step := 0; ; step++ {
+		moves := st.MovableTokens()
+		if len(moves) == 0 {
+			break
+		}
+		var m Move
+		switch policy {
+		case PolicyFirst:
+			m = moves[0]
+		case PolicyRandom:
+			m = moves[rng.Intn(len(moves))]
+		case PolicyHighestFirst:
+			m = moves[0]
+			for _, c := range moves[1:] {
+				if inst.Level(c.From) > inst.Level(m.From) {
+					m = c
+				}
+			}
+		case PolicyLowestFirst:
+			m = moves[0]
+			for _, c := range moves[1:] {
+				if inst.Level(c.From) < inst.Level(m.From) {
+					m = c
+				}
+			}
+		default:
+			panic("core: unknown sequential policy")
+		}
+		m.Round = step
+		if err := st.Apply(m.Edge, m.From, m.To); err != nil {
+			panic("core: sequential solver chose an illegal move: " + err.Error())
+		}
+		log = append(log, m)
+	}
+	return &Solution{
+		Inst:     inst,
+		Moves:    log,
+		Final:    st.TokenVector(),
+		Consumed: st.ConsumedVector(),
+		Rounds:   0,
+	}
+}
+
+// SolveGreedyParallel plays the game with a centralized but maximally
+// parallel scheduler: in every superstep it applies a maximal set of
+// compatible moves (vertex-disjoint sources and destinations, chosen
+// greedily in deterministic order, or in seeded random order when rng is
+// non-nil). It gives a machine-checkable point of comparison between the
+// paper's distributed round counts and an idealized parallel schedule.
+func SolveGreedyParallel(inst *Instance, rng *rand.Rand) *Solution {
+	st := NewState(inst)
+	var log []Move
+	for step := 1; ; step++ {
+		moves := st.MovableTokens()
+		if len(moves) == 0 {
+			break
+		}
+		if rng != nil {
+			moves = shuffledCopy(moves, rng)
+		}
+		usedSrc := make(map[int]bool)
+		usedDst := make(map[int]bool)
+		applied := 0
+		for _, m := range moves {
+			if usedSrc[m.From] || usedDst[m.To] || usedSrc[m.To] || usedDst[m.From] {
+				continue
+			}
+			if st.CanMove(m.Edge, m.From, m.To) != nil {
+				continue // invalidated by an earlier move this superstep
+			}
+			m.Round = step
+			if err := st.Apply(m.Edge, m.From, m.To); err != nil {
+				panic("core: parallel scheduler chose an illegal move: " + err.Error())
+			}
+			usedSrc[m.From] = true
+			usedDst[m.To] = true
+			log = append(log, m)
+			applied++
+		}
+		if applied == 0 {
+			panic("core: parallel scheduler made no progress with moves available")
+		}
+	}
+	return &Solution{
+		Inst:     inst,
+		Moves:    log,
+		Final:    st.TokenVector(),
+		Consumed: st.ConsumedVector(),
+		Rounds:   0,
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Move is one token movement: the token at From (a parent) drops to To
+// (a child one level below) along Edge, consuming it. Round is the
+// communication round (for distributed runs) or the step index (for
+// sequential ones) in which the move happened; it orders the replay.
+type Move struct {
+	Edge     int
+	From, To int
+	Round    int
+}
+
+// Solution is the outcome of solving a token dropping instance: the
+// chronological move log plus the final position it produces. Solutions
+// are produced by the solvers and judged exclusively by Verify, which
+// replays the log against the rules of Section 4.
+type Solution struct {
+	Inst     *Instance
+	Moves    []Move
+	Final    []bool // final token placement
+	Consumed []bool // per-edge consumption
+	Rounds   int    // communication rounds used (0 for sequential solvers)
+}
+
+// Traversal is the path ps = (v1, …, vd) a token followed from its origin
+// v1 to its destination vd (Section 4). A token that never moved has a
+// single-vertex traversal.
+type Traversal struct {
+	Path []int // vertices, strictly descending levels
+}
+
+// Origin returns the traversal's starting vertex.
+func (t Traversal) Origin() int { return t.Path[0] }
+
+// Destination returns the traversal's final vertex.
+func (t Traversal) Destination() int { return t.Path[len(t.Path)-1] }
+
+// Traversals reconstructs the per-token traversals from the move log, one
+// per initial token in order of origin vertex, in O(moves·log + n). It
+// replays the moves chronologically while tracking which token occupies
+// each vertex — the only bookkeeping that stays correct when vertices are
+// vacated and re-occupied by different tokens. It panics if the move log
+// is not a legal play (run Verify when the log is untrusted; Verify
+// replays through State first and reports errors instead).
+func (s *Solution) Traversals() []Traversal {
+	moves := append([]Move(nil), s.Moves...)
+	sort.SliceStable(moves, func(i, j int) bool { return moves[i].Round < moves[j].Round })
+	tokenAt := make([]int, s.Inst.N()) // vertex -> token index, -1 if empty
+	for v := range tokenAt {
+		tokenAt[v] = -1
+	}
+	var paths [][]int
+	for v := 0; v < s.Inst.N(); v++ {
+		if s.Inst.Token(v) {
+			tokenAt[v] = len(paths)
+			paths = append(paths, []int{v})
+		}
+	}
+	for _, m := range moves {
+		tk := tokenAt[m.From]
+		if tk < 0 {
+			panic(fmt.Sprintf("core: move %+v leaves an empty vertex", m))
+		}
+		if tokenAt[m.To] >= 0 {
+			panic(fmt.Sprintf("core: move %+v lands on an occupied vertex", m))
+		}
+		tokenAt[m.From] = -1
+		tokenAt[m.To] = tk
+		paths[tk] = append(paths[tk], m.To)
+	}
+	out := make([]Traversal, len(paths))
+	for i, p := range paths {
+		out[i] = Traversal{Path: p}
+	}
+	return out
+}
+
+// Tail computes the tail of a traversal per Definition 4.3: the longest
+// path (vd, …, vh) starting at the destination vd such that every vi with
+// d ≤ i ≤ h-1 passed at least one token to a child during the game, and
+// the last token vi passed went to vi+1. If the destination never passed a
+// token, the tail is just (vd).
+func (s *Solution) Tail(t Traversal) []int {
+	// lastPass[v] = destination of the chronologically last move out of v,
+	// or -1 if v never passed a token. A vertex passes at most one token
+	// per round, so (Round, log order) breaks ties consistently.
+	lastPass := make([]int, s.Inst.N())
+	lastRound := make([]int, s.Inst.N())
+	for i := range lastPass {
+		lastPass[i] = -1
+		lastRound[i] = -1
+	}
+	for _, m := range s.Moves {
+		if m.Round >= lastRound[m.From] {
+			lastRound[m.From] = m.Round
+			lastPass[m.From] = m.To
+		}
+	}
+	tail := []int{t.Destination()}
+	cur := t.Destination()
+	for lastPass[cur] >= 0 {
+		cur = lastPass[cur]
+		tail = append(tail, cur)
+	}
+	return tail
+}
+
+// ExtendedTraversal returns p*_s = (v1, …, vd, …, vh): the traversal
+// followed by its tail (Definition 4.3), with the shared vertex vd not
+// duplicated.
+func (s *Solution) ExtendedTraversal(t Traversal) []int {
+	tail := s.Tail(t)
+	return append(append([]int(nil), t.Path...), tail[1:]...)
+}
+
+// String summarizes the solution.
+func (s *Solution) String() string {
+	return fmt.Sprintf("solution{tokens=%d moves=%d rounds=%d}",
+		s.Inst.NumTokens(), len(s.Moves), s.Rounds)
+}

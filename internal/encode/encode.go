@@ -1,0 +1,168 @@
+// Package encode provides a stable JSON interchange format for token
+// dropping instances and solutions, so that workloads can be saved,
+// shared, and replayed across runs and tools (td-run -save/-load). The
+// format is deliberately plain: explicit edge lists and flat arrays, no
+// internal identifiers beyond vertex indices.
+package encode
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tokendrop/internal/core"
+	"tokendrop/internal/graph"
+)
+
+// InstanceJSON is the on-disk form of a token dropping instance.
+type InstanceJSON struct {
+	// N is the vertex count; vertices are 0..N-1.
+	N int `json:"n"`
+	// Edges lists each undirected edge once as [u, v].
+	Edges [][2]int `json:"edges"`
+	// Level[v] is the layer of vertex v.
+	Level []int `json:"level"`
+	// Tokens lists the vertices initially holding a token.
+	Tokens []int `json:"tokens"`
+}
+
+// SolutionJSON is the on-disk form of a solution: the move log and final
+// placement (sufficient to re-verify with core.Verify after binding to
+// the instance).
+type SolutionJSON struct {
+	Instance InstanceJSON `json:"instance"`
+	Moves    []MoveJSON   `json:"moves"`
+	Final    []int        `json:"final"` // vertices holding tokens at the end
+	Rounds   int          `json:"rounds"`
+}
+
+// MoveJSON is one token drop.
+type MoveJSON struct {
+	From  int `json:"from"`
+	To    int `json:"to"`
+	Round int `json:"round"`
+}
+
+// FromInstance converts an instance to its JSON form.
+func FromInstance(inst *core.Instance) InstanceJSON {
+	g := inst.Graph()
+	out := InstanceJSON{N: g.N(), Level: inst.Levels()}
+	for _, e := range g.Edges() {
+		out.Edges = append(out.Edges, [2]int{e.U, e.V})
+	}
+	for v := 0; v < g.N(); v++ {
+		if inst.Token(v) {
+			out.Tokens = append(out.Tokens, v)
+		}
+	}
+	return out
+}
+
+// ToInstance validates and rebuilds an instance from its JSON form.
+func (ij InstanceJSON) ToInstance() (*core.Instance, error) {
+	if ij.N < 0 {
+		return nil, fmt.Errorf("encode: negative vertex count")
+	}
+	if len(ij.Level) != ij.N {
+		return nil, fmt.Errorf("encode: %d levels for %d vertices", len(ij.Level), ij.N)
+	}
+	g := graph.New(ij.N)
+	for i, e := range ij.Edges {
+		if e[0] < 0 || e[0] >= ij.N || e[1] < 0 || e[1] >= ij.N || e[0] == e[1] {
+			return nil, fmt.Errorf("encode: edge %d = %v invalid", i, e)
+		}
+		if g.HasEdge(e[0], e[1]) {
+			return nil, fmt.Errorf("encode: duplicate edge %v", e)
+		}
+		g.AddEdge(e[0], e[1])
+	}
+	g.SortAdjacency()
+	token := make([]bool, ij.N)
+	for _, v := range ij.Tokens {
+		if v < 0 || v >= ij.N {
+			return nil, fmt.Errorf("encode: token vertex %d out of range", v)
+		}
+		if token[v] {
+			return nil, fmt.Errorf("encode: vertex %d holds two tokens", v)
+		}
+		token[v] = true
+	}
+	return core.NewInstance(g, ij.Level, token)
+}
+
+// FromSolution converts a solution (with its instance) to JSON form.
+func FromSolution(sol *core.Solution) SolutionJSON {
+	out := SolutionJSON{Instance: FromInstance(sol.Inst), Rounds: sol.Rounds}
+	for _, m := range sol.Moves {
+		out.Moves = append(out.Moves, MoveJSON{From: m.From, To: m.To, Round: m.Round})
+	}
+	for v, has := range sol.Final {
+		if has {
+			out.Final = append(out.Final, v)
+		}
+	}
+	return out
+}
+
+// ToSolution rebuilds a verifiable solution. Edge identifiers are
+// recovered from the endpoints; consumption flags are re-derived from the
+// move log (they are redundant in the interchange format).
+func (sj SolutionJSON) ToSolution() (*core.Solution, error) {
+	inst, err := sj.Instance.ToInstance()
+	if err != nil {
+		return nil, err
+	}
+	g := inst.Graph()
+	sol := &core.Solution{Inst: inst, Rounds: sj.Rounds}
+	consumed := make([]bool, g.M())
+	for i, m := range sj.Moves {
+		id, ok := g.EdgeID(m.From, m.To)
+		if !ok {
+			return nil, fmt.Errorf("encode: move %d uses nonexistent edge %d-%d", i, m.From, m.To)
+		}
+		sol.Moves = append(sol.Moves, core.Move{Edge: id, From: m.From, To: m.To, Round: m.Round})
+		consumed[id] = true
+	}
+	final := make([]bool, g.N())
+	for _, v := range sj.Final {
+		if v < 0 || v >= g.N() {
+			return nil, fmt.Errorf("encode: final token vertex %d out of range", v)
+		}
+		final[v] = true
+	}
+	sol.Final = final
+	sol.Consumed = consumed
+	return sol, nil
+}
+
+// WriteInstance streams an instance as indented JSON.
+func WriteInstance(w io.Writer, inst *core.Instance) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(FromInstance(inst))
+}
+
+// ReadInstance parses an instance from JSON.
+func ReadInstance(r io.Reader) (*core.Instance, error) {
+	var ij InstanceJSON
+	if err := json.NewDecoder(r).Decode(&ij); err != nil {
+		return nil, fmt.Errorf("encode: %w", err)
+	}
+	return ij.ToInstance()
+}
+
+// WriteSolution streams a solution as indented JSON.
+func WriteSolution(w io.Writer, sol *core.Solution) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(FromSolution(sol))
+}
+
+// ReadSolution parses a solution from JSON.
+func ReadSolution(r io.Reader) (*core.Solution, error) {
+	var sj SolutionJSON
+	if err := json.NewDecoder(r).Decode(&sj); err != nil {
+		return nil, fmt.Errorf("encode: %w", err)
+	}
+	return sj.ToSolution()
+}

@@ -1,0 +1,135 @@
+package encode
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tokendrop/internal/core"
+)
+
+func TestInstanceRoundTrip(t *testing.T) {
+	orig := core.Figure2()
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != orig.N() || back.Graph().M() != orig.Graph().M() {
+		t.Fatal("size changed in round trip")
+	}
+	for v := 0; v < orig.N(); v++ {
+		if back.Level(v) != orig.Level(v) || back.Token(v) != orig.Token(v) {
+			t.Fatalf("vertex %d changed in round trip", v)
+		}
+	}
+	for _, e := range orig.Graph().Edges() {
+		if !back.Graph().HasEdge(e.U, e.V) {
+			t.Fatalf("edge %v lost", e)
+		}
+	}
+}
+
+func TestSolutionRoundTripStillVerifies(t *testing.T) {
+	inst := core.Figure2()
+	sol := core.SolveSequential(inst, core.PolicyFirst, nil)
+	var buf bytes.Buffer
+	if err := WriteSolution(&buf, sol); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSolution(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Verify(back); err != nil {
+		t.Fatalf("round-tripped solution no longer verifies: %v", err)
+	}
+	if len(back.Moves) != len(sol.Moves) {
+		t.Fatal("move count changed")
+	}
+}
+
+func TestToInstanceValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		ij   InstanceJSON
+	}{
+		{"negative n", InstanceJSON{N: -1}},
+		{"level mismatch", InstanceJSON{N: 2, Level: []int{0}}},
+		{"bad edge", InstanceJSON{N: 2, Level: []int{0, 1}, Edges: [][2]int{{0, 5}}}},
+		{"self loop", InstanceJSON{N: 2, Level: []int{0, 1}, Edges: [][2]int{{1, 1}}}},
+		{"dup edge", InstanceJSON{N: 2, Level: []int{0, 1}, Edges: [][2]int{{0, 1}, {1, 0}}}},
+		{"token range", InstanceJSON{N: 2, Level: []int{0, 1}, Tokens: []int{7}}},
+		{"double token", InstanceJSON{N: 2, Level: []int{0, 1}, Tokens: []int{1, 1}}},
+		{"non-adjacent levels", InstanceJSON{N: 2, Level: []int{0, 5}, Edges: [][2]int{{0, 1}}}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.ij.ToInstance(); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}
+
+func TestToSolutionValidation(t *testing.T) {
+	good := FromSolution(core.SolveSequential(core.Chain(3), core.PolicyFirst, nil))
+
+	bad := good
+	bad.Moves = append([]MoveJSON(nil), good.Moves...)
+	bad.Moves[0].From = 0
+	bad.Moves[0].To = 2 // not an edge
+	if _, err := bad.ToSolution(); err == nil {
+		t.Fatal("nonexistent edge accepted")
+	}
+
+	bad2 := good
+	bad2.Final = []int{99}
+	if _, err := bad2.ToSolution(); err == nil {
+		t.Fatal("out-of-range final token accepted")
+	}
+}
+
+func TestReadInstanceMalformedJSON(t *testing.T) {
+	if _, err := ReadInstance(strings.NewReader("{nope")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := ReadSolution(strings.NewReader("[]")); err == nil {
+		t.Fatal("wrong JSON shape accepted")
+	}
+}
+
+// Property: random instances and their solutions survive the round trip
+// with verification intact.
+func TestRoundTripProperty(t *testing.T) {
+	check := func(seed int64, lRaw, wRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := core.LayeredConfig{
+			Levels:    int(lRaw%4) + 1,
+			Width:     int(wRaw%5) + 2,
+			ParentDeg: 1,
+			TokenProb: rng.Float64(),
+		}
+		cfg.ParentDeg = 1 + int(seed)%cfg.Width
+		if cfg.ParentDeg < 1 {
+			cfg.ParentDeg = 1
+		}
+		inst := core.RandomLayered(cfg, rng)
+		sol := core.SolveSequential(inst, core.PolicyRandom, rng)
+		var buf bytes.Buffer
+		if err := WriteSolution(&buf, sol); err != nil {
+			return false
+		}
+		back, err := ReadSolution(&buf)
+		if err != nil {
+			return false
+		}
+		return core.Verify(back) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Ball is the subgraph induced by all vertices within distance radius of a
+// center vertex, with the original vertex identifiers remembered. It is the
+// "t-radius neighborhood G[v, t]" of Section 6.
+type Ball struct {
+	Center int   // center in the original graph
+	Radius int   // extraction radius
+	Orig   []int // ball vertex -> original vertex
+	Dist   []int // ball vertex -> distance from center
+	G      *Graph
+}
+
+// ExtractBall returns the ball of the given radius around center.
+func ExtractBall(g *Graph, center, radius int) *Ball {
+	dist := g.BFS(center)
+	idx := make(map[int]int)
+	var orig []int
+	for v, d := range dist {
+		if d >= 0 && d <= radius {
+			idx[v] = len(orig)
+			orig = append(orig, v)
+		}
+	}
+	// Keep vertex order deterministic (BFS over sorted adjacency already
+	// yields increasing ids per level, but sort for safety).
+	sort.Ints(orig)
+	for i, v := range orig {
+		idx[v] = i
+	}
+	sub := New(len(orig))
+	bdist := make([]int, len(orig))
+	for i, v := range orig {
+		bdist[i] = dist[v]
+	}
+	for _, e := range g.Edges() {
+		iu, okU := idx[e.U]
+		iv, okV := idx[e.V]
+		if okU && okV {
+			sub.AddEdge(iu, iv)
+		}
+	}
+	sub.SortAdjacency()
+	return &Ball{Center: center, Radius: radius, Orig: orig, Dist: bdist, G: sub}
+}
+
+// IsTree reports whether the ball is acyclic (always true when the radius
+// is below half the girth of the host graph — the situation exploited by
+// the Section 6 indistinguishability argument).
+func (b *Ball) IsTree() bool {
+	return b.G.M() == b.G.N()-1 && b.G.IsConnected()
+}
+
+// CanonicalTree returns a canonical string encoding of the ball viewed as
+// a tree rooted at the center (AHU-style canonization). Two balls that are
+// trees receive the same encoding iff they are isomorphic as rooted trees,
+// which — for anonymous-structure algorithms — is exactly the condition
+// under which a deterministic LOCAL algorithm that ignores concrete IDs
+// behaves identically at the two centers. It panics if the ball is not a
+// tree; use IsTree first.
+func (b *Ball) CanonicalTree() string {
+	if !b.IsTree() {
+		panic("graph: CanonicalTree on a non-tree ball")
+	}
+	centerIdx := -1
+	for i, v := range b.Orig {
+		if v == b.Center {
+			centerIdx = i
+			break
+		}
+	}
+	if centerIdx < 0 {
+		panic("graph: ball lost its center")
+	}
+	var encode func(v, parent int) string
+	encode = func(v, parent int) string {
+		var kids []string
+		for _, a := range b.G.Adj(v) {
+			if a.To != parent {
+				kids = append(kids, encode(a.To, v))
+			}
+		}
+		sort.Strings(kids)
+		return "(" + strings.Join(kids, "") + ")"
+	}
+	return encode(centerIdx, -1)
+}
+
+// BallsIsomorphic reports whether the radius-t balls around u in g and
+// around v in h are isomorphic as rooted trees. It returns an error if
+// either ball contains a cycle (the canonical form implemented here covers
+// the tree case, which is the one the Section 6 argument needs).
+func BallsIsomorphic(g *Graph, u int, h *Graph, v, radius int) (bool, error) {
+	bu := ExtractBall(g, u, radius)
+	bv := ExtractBall(h, v, radius)
+	if !bu.IsTree() {
+		return false, fmt.Errorf("graph: ball of radius %d around %d contains a cycle", radius, u)
+	}
+	if !bv.IsTree() {
+		return false, fmt.Errorf("graph: ball of radius %d around %d contains a cycle", radius, v)
+	}
+	return bu.CanonicalTree() == bv.CanonicalTree(), nil
+}
+
+// Height returns, for every vertex of a tree (a connected acyclic graph),
+// its height h(v): the distance to the closest leaf, where a leaf is a
+// vertex of degree at most 1 (Section 6). It panics if g is not a tree.
+func Height(g *Graph) []int {
+	if g.M() != g.N()-1 || !g.IsConnected() {
+		panic("graph: Height requires a tree")
+	}
+	n := g.N()
+	h := make([]int, n)
+	for i := range h {
+		h[i] = -1
+	}
+	// Multi-source BFS from all leaves.
+	var queue []int
+	for v := 0; v < n; v++ {
+		if g.Degree(v) <= 1 {
+			h[v] = 0
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, a := range g.Adj(v) {
+			if h[a.To] < 0 {
+				h[a.To] = h[v] + 1
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	return h
+}

@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestExtractBall(t *testing.T) {
+	g := Path(7)
+	b := ExtractBall(g, 3, 2)
+	if b.G.N() != 5 { // vertices 1..5
+		t.Fatalf("ball size %d, want 5", b.G.N())
+	}
+	if !b.IsTree() {
+		t.Fatal("path ball must be a tree")
+	}
+	for i, v := range b.Orig {
+		if b.Dist[i] != abs(v-3) {
+			t.Fatalf("dist of %d = %d", v, b.Dist[i])
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestBallWithCycle(t *testing.T) {
+	b := ExtractBall(Cycle(5), 0, 2)
+	if b.G.N() != 5 {
+		t.Fatal("radius-2 ball of C5 is the whole cycle")
+	}
+	if b.IsTree() {
+		t.Fatal("whole C5 is not a tree")
+	}
+}
+
+func TestCanonicalTreeIsomorphism(t *testing.T) {
+	// Two different spots in a large cycle look identical at radius 2.
+	g := Cycle(20)
+	iso, err := BallsIsomorphic(g, 3, g, 11, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iso {
+		t.Fatal("cycle balls must be isomorphic")
+	}
+	// A path endpoint looks different from an interior vertex.
+	p := Path(9)
+	iso, err = BallsIsomorphic(p, 0, p, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iso {
+		t.Fatal("endpoint and interior balls must differ")
+	}
+}
+
+func TestTheorem63Indistinguishability(t *testing.T) {
+	// The heart of the Section 6 lower bound: a vertex of a Δ-regular
+	// high-girth graph and an interior vertex of a perfect Δ-ary tree have
+	// isomorphic t-radius views when t is below both half the girth and
+	// the distance to the tree's boundary.
+	const d, girth = 3, 8
+	rng := rand.New(rand.NewSource(42))
+	reg, err := RandomRegularGirth(120, d, girth, 5000, rng)
+	if err != nil {
+		t.Skipf("no high-girth sample: %v", err)
+	}
+	tree, depths := PerfectDAry(d, 7)
+	// Pick a tree vertex far from both root and leaves.
+	pick := -1
+	for v, dep := range depths {
+		if dep == 3 {
+			pick = v
+			break
+		}
+	}
+	if pick < 0 {
+		t.Fatal("no interior vertex found")
+	}
+	const radius = 3 // < girth/2 and within depth margin
+	iso, err := BallsIsomorphic(reg, 0, tree, pick, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iso {
+		t.Fatal("regular-graph ball and interior tree ball should be isomorphic")
+	}
+}
+
+func TestHeightOnStarAndPath(t *testing.T) {
+	h := Height(Star(4))
+	if h[0] != 1 {
+		t.Fatalf("hub height %d", h[0])
+	}
+	for v := 1; v <= 4; v++ {
+		if h[v] != 0 {
+			t.Fatal("leaf height must be 0")
+		}
+	}
+	hp := Height(Path(5))
+	want := []int{0, 1, 2, 1, 0}
+	for v := range want {
+		if hp[v] != want[v] {
+			t.Fatalf("path heights %v, want %v", hp, want)
+		}
+	}
+}
+
+func TestHeightPanicsOnNonTree(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on cyclic input")
+		}
+	}()
+	Height(Cycle(4))
+}
+
+func TestBallsIsomorphicErrorOnCyclicBall(t *testing.T) {
+	if _, err := BallsIsomorphic(Cycle(4), 0, Path(9), 4, 2); err == nil {
+		t.Fatal("cyclic ball should be rejected")
+	}
+}

@@ -1,0 +1,285 @@
+package graph
+
+import "fmt"
+
+// Bipartite views a graph as a two-sided customer/server network
+// (Section 7): vertices 0..NumLeft-1 are customers ("left"), the rest are
+// servers ("right"). Every edge must cross the bipartition. The underlying
+// Graph doubles as the LOCAL communication network for the distributed
+// assignment algorithms.
+type Bipartite struct {
+	G       *Graph
+	NumLeft int
+}
+
+// NewBipartite validates that every edge of g crosses the split at
+// numLeft and returns the wrapped view.
+func NewBipartite(g *Graph, numLeft int) (*Bipartite, error) {
+	if numLeft < 0 || numLeft > g.N() {
+		return nil, fmt.Errorf("graph: bipartition at %d outside [0,%d]", numLeft, g.N())
+	}
+	for id, e := range g.Edges() {
+		if (e.U < numLeft) == (e.V < numLeft) {
+			return nil, fmt.Errorf("graph: edge %d = %v does not cross the bipartition at %d", id, e, numLeft)
+		}
+	}
+	return &Bipartite{G: g, NumLeft: numLeft}, nil
+}
+
+// MustBipartite is NewBipartite that panics on error.
+func MustBipartite(g *Graph, numLeft int) *Bipartite {
+	b, err := NewBipartite(g, numLeft)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// IsCustomer reports whether vertex v is on the left (customer) side.
+func (b *Bipartite) IsCustomer(v int) bool { return v < b.NumLeft }
+
+// NumCustomers returns the number of customers.
+func (b *Bipartite) NumCustomers() int { return b.NumLeft }
+
+// NumServers returns the number of servers.
+func (b *Bipartite) NumServers() int { return b.G.N() - b.NumLeft }
+
+// Customers returns the customer vertex identifiers 0..NumLeft-1.
+func (b *Bipartite) Customers() []int {
+	out := make([]int, b.NumLeft)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Servers returns the server vertex identifiers NumLeft..n-1.
+func (b *Bipartite) Servers() []int {
+	out := make([]int, b.NumServers())
+	for i := range out {
+		out[i] = b.NumLeft + i
+	}
+	return out
+}
+
+// MaxCustomerDegree returns C, the maximum degree over customers.
+func (b *Bipartite) MaxCustomerDegree() int {
+	c := 0
+	for v := 0; v < b.NumLeft; v++ {
+		if d := b.G.Degree(v); d > c {
+			c = d
+		}
+	}
+	return c
+}
+
+// MaxServerDegree returns S, the maximum degree over servers.
+func (b *Bipartite) MaxServerDegree() int {
+	s := 0
+	for v := b.NumLeft; v < b.G.N(); v++ {
+		if d := b.G.Degree(v); d > s {
+			s = d
+		}
+	}
+	return s
+}
+
+// Assignment maps every customer to one adjacent server — the output
+// object of the stable assignment problem (Section 7). ServerOf[c] is the
+// assigned server of customer c, or -1 while unassigned. Loads are
+// maintained incrementally.
+type Assignment struct {
+	B        *Bipartite
+	ServerOf []int
+	load     []int // indexed by vertex id (customers stay 0)
+}
+
+// NewAssignment returns an all-unassigned assignment over b.
+func NewAssignment(b *Bipartite) *Assignment {
+	so := make([]int, b.NumLeft)
+	for i := range so {
+		so[i] = -1
+	}
+	return &Assignment{B: b, ServerOf: so, load: make([]int, b.G.N())}
+}
+
+// Clone returns a deep copy.
+func (a *Assignment) Clone() *Assignment {
+	return &Assignment{
+		B:        a.B,
+		ServerOf: append([]int(nil), a.ServerOf...),
+		load:     append([]int(nil), a.load...),
+	}
+}
+
+// Assigned reports whether customer c has a server.
+func (a *Assignment) Assigned(c int) bool { return a.ServerOf[c] >= 0 }
+
+// Complete reports whether every customer is assigned.
+func (a *Assignment) Complete() bool {
+	for _, s := range a.ServerOf {
+		if s < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Load returns the number of customers assigned to server s.
+func (a *Assignment) Load(s int) int { return a.load[s] }
+
+// Assign binds customer c to server s (which must be adjacent; c must be
+// unassigned).
+func (a *Assignment) Assign(c, s int) {
+	if a.ServerOf[c] >= 0 {
+		panic(fmt.Sprintf("graph: customer %d already assigned", c))
+	}
+	if !a.B.G.HasEdge(c, s) || a.B.IsCustomer(s) {
+		panic(fmt.Sprintf("graph: customer %d cannot use server %d", c, s))
+	}
+	a.ServerOf[c] = s
+	a.load[s]++
+}
+
+// Reassign moves customer c from its current server to adjacent server s.
+func (a *Assignment) Reassign(c, s int) {
+	old := a.ServerOf[c]
+	if old < 0 {
+		panic(fmt.Sprintf("graph: customer %d not assigned yet", c))
+	}
+	if !a.B.G.HasEdge(c, s) || a.B.IsCustomer(s) {
+		panic(fmt.Sprintf("graph: customer %d cannot use server %d", c, s))
+	}
+	a.load[old]--
+	a.ServerOf[c] = s
+	a.load[s]++
+}
+
+// Badness returns load(assigned) - min over adjacent servers of load — the
+// hyperedge badness of Section 7.2. Zero or negative means the customer
+// uses a least-loaded adjacent server.
+func (a *Assignment) Badness(c int) int {
+	s := a.ServerOf[c]
+	if s < 0 {
+		panic(fmt.Sprintf("graph: customer %d not assigned", c))
+	}
+	min := -1
+	for _, arc := range a.B.G.Adj(c) {
+		if l := a.load[arc.To]; min < 0 || l < min {
+			min = l
+		}
+	}
+	return a.load[s] - min
+}
+
+// Happy reports whether customer c has no incentive to switch: its
+// server's load is at most any adjacent server's load plus one.
+func (a *Assignment) Happy(c int) bool { return a.Badness(c) <= 1 }
+
+// Stable reports whether the assignment is complete and every customer is
+// happy — the stable assignment condition of Section 7.
+func (a *Assignment) Stable() bool {
+	if !a.Complete() {
+		return false
+	}
+	for c := 0; c < a.B.NumLeft; c++ {
+		if !a.Happy(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxBadness returns the maximum badness over assigned customers.
+func (a *Assignment) MaxBadness() int {
+	max := 0
+	for c := 0; c < a.B.NumLeft; c++ {
+		if a.ServerOf[c] < 0 {
+			continue
+		}
+		if b := a.Badness(c); b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// SemimatchingCost returns Σ_s f(load(s)) with f(x) = x(x+1)/2, the
+// objective of Section 1.3.
+func (a *Assignment) SemimatchingCost() int {
+	cost := 0
+	for s := a.B.NumLeft; s < a.B.G.N(); s++ {
+		l := a.load[s]
+		cost += l * (l + 1) / 2
+	}
+	return cost
+}
+
+// Loads returns a copy of the per-server load vector indexed by vertex id.
+func (a *Assignment) Loads() []int { return append([]int(nil), a.load...) }
+
+// CheckLoads recomputes loads from scratch; a consistency oracle.
+func (a *Assignment) CheckLoads() error {
+	fresh := make([]int, a.B.G.N())
+	for c, s := range a.ServerOf {
+		if s < 0 {
+			continue
+		}
+		if a.B.IsCustomer(s) || !a.B.G.HasEdge(c, s) {
+			return fmt.Errorf("graph: customer %d assigned to invalid server %d", c, s)
+		}
+		fresh[s]++
+	}
+	for v := range fresh {
+		if fresh[v] != a.load[v] {
+			return fmt.Errorf("graph: load of %d drifted: %d cached, %d actual", v, a.load[v], fresh[v])
+		}
+	}
+	return nil
+}
+
+// EffectiveLoad returns min(load, k) — the truncated load of the k-bounded
+// relaxation (Section 7.3).
+func (a *Assignment) EffectiveLoad(s, k int) int {
+	if a.load[s] > k {
+		return k
+	}
+	return a.load[s]
+}
+
+// KBadness is Badness computed on effective (k-truncated) loads.
+func (a *Assignment) KBadness(c, k int) int {
+	s := a.ServerOf[c]
+	if s < 0 {
+		panic(fmt.Sprintf("graph: customer %d not assigned", c))
+	}
+	min := -1
+	for _, arc := range a.B.G.Adj(c) {
+		if l := a.EffectiveLoad(arc.To, k); min < 0 || l < min {
+			min = l
+		}
+	}
+	return a.EffectiveLoad(s, k) - min
+}
+
+// KStable reports whether the assignment solves the k-bounded stable
+// assignment problem: complete, and no customer on a server of (true)
+// load ℓ has a neighbor of load at most min(k, ℓ) - 2 (Section 7.3).
+func (a *Assignment) KStable(k int) bool {
+	if !a.Complete() {
+		return false
+	}
+	for c := 0; c < a.B.NumLeft; c++ {
+		l := a.load[a.ServerOf[c]]
+		threshold := l
+		if k < threshold {
+			threshold = k
+		}
+		for _, arc := range a.B.G.Adj(c) {
+			if a.load[arc.To] <= threshold-2 {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,345 @@
+// Package graph provides the undirected-graph substrate used throughout the
+// token dropping reproduction: a compact adjacency representation with
+// stable edge identifiers, generators for the graph families the paper
+// evaluates on (random regular graphs, high-girth graphs, perfect d-ary
+// trees, bipartite customer/server graphs, layered DAGs), and structural
+// tooling (BFS, girth, ball extraction, rooted-tree isomorphism) needed by
+// the lower-bound experiments of Section 6.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected edge between vertices U and V. Construction
+// normalizes U < V so an Edge value is a canonical key for the edge.
+type Edge struct {
+	U, V int
+}
+
+// NormEdge returns the canonical (smaller endpoint first) form of {u, v}.
+func NormEdge(u, v int) Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{U: u, V: v}
+}
+
+// Other returns the endpoint of e that is not x. It panics if x is not an
+// endpoint of e.
+func (e Edge) Other(x int) int {
+	switch x {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: vertex %d is not an endpoint of edge %v", x, e))
+}
+
+// Arc is one directed half of an undirected edge as seen from a vertex's
+// adjacency list: the neighbor it leads to and the identifier of the
+// underlying undirected edge.
+type Arc struct {
+	To   int // neighbor vertex
+	Edge int // undirected edge identifier, index into Edges()
+}
+
+// Graph is an undirected multigraph with vertices 0..n-1 and stable edge
+// identifiers 0..m-1. Self-loops are rejected; parallel edges are allowed
+// by the representation but rejected by AddEdge (the paper's graphs are
+// simple).
+//
+// The zero value is an empty graph with no vertices; use New for a graph
+// with a fixed vertex count.
+type Graph struct {
+	adj   [][]Arc
+	edges []Edge
+}
+
+// New returns an empty graph with n vertices and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{adj: make([][]Arc, n)}
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	h := &Graph{
+		adj:   make([][]Arc, len(g.adj)),
+		edges: append([]Edge(nil), g.edges...),
+	}
+	for v, as := range g.adj {
+		h.adj[v] = append([]Arc(nil), as...)
+	}
+	return h
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// AddVertex appends a fresh isolated vertex and returns its identifier.
+func (g *Graph) AddVertex() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// AddEdge inserts the undirected edge {u, v} and returns its identifier.
+// It panics on self-loops, duplicate edges, and out-of-range endpoints:
+// all the paper's constructions are simple graphs, so a violation is a bug
+// in the caller, not an input error.
+func (g *Graph) AddEdge(u, v int) int {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		panic(fmt.Sprintf("graph: edge {%d,%d} out of range (n=%d)", u, v, len(g.adj)))
+	}
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at vertex %d", u))
+	}
+	if g.HasEdge(u, v) {
+		panic(fmt.Sprintf("graph: duplicate edge {%d,%d}", u, v))
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, NormEdge(u, v))
+	g.adj[u] = append(g.adj[u], Arc{To: v, Edge: id})
+	g.adj[v] = append(g.adj[v], Arc{To: u, Edge: id})
+	return id
+}
+
+// HasEdge reports whether the undirected edge {u, v} is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= len(g.adj) {
+		return false
+	}
+	for _, a := range g.adj[u] {
+		if a.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeID returns the identifier of edge {u, v} and whether it exists.
+func (g *Graph) EdgeID(u, v int) (int, bool) {
+	if u < 0 || u >= len(g.adj) {
+		return 0, false
+	}
+	for _, a := range g.adj[u] {
+		if a.To == v {
+			return a.Edge, true
+		}
+	}
+	return 0, false
+}
+
+// Edge returns the endpoints of edge id.
+func (g *Graph) Edge(id int) Edge { return g.edges[id] }
+
+// Edges returns the edge list indexed by edge identifier. The returned
+// slice is owned by the graph and must not be modified.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns Δ, the maximum degree over all vertices (0 for an
+// edgeless graph).
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for _, as := range g.adj {
+		if len(as) > d {
+			d = len(as)
+		}
+	}
+	return d
+}
+
+// Adj returns the adjacency list of v as arcs (neighbor, edge id). The
+// slice is owned by the graph and must not be modified. The order of arcs
+// defines the port numbering used by the LOCAL runtime: port p of v leads
+// to Adj(v)[p].To.
+func (g *Graph) Adj(v int) []Arc { return g.adj[v] }
+
+// Neighbors returns the neighbors of v in port order as a fresh slice.
+func (g *Graph) Neighbors(v int) []int {
+	ns := make([]int, len(g.adj[v]))
+	for i, a := range g.adj[v] {
+		ns[i] = a.To
+	}
+	return ns
+}
+
+// SortAdjacency reorders every adjacency list by neighbor identifier.
+// Generators call this so that port numbering — and therefore every
+// deterministic tie-break in the distributed algorithms — is a function of
+// the graph alone, not of edge insertion order.
+func (g *Graph) SortAdjacency() {
+	for v := range g.adj {
+		sort.Slice(g.adj[v], func(i, j int) bool { return g.adj[v][i].To < g.adj[v][j].To })
+	}
+}
+
+// IsRegular reports whether every vertex has degree d.
+func (g *Graph) IsRegular(d int) bool {
+	for _, as := range g.adj {
+		if len(as) != d {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks internal consistency (each edge appears in exactly the
+// two adjacency lists of its endpoints, no self-loops, no duplicates) and
+// returns a descriptive error on the first violation. It is used by tests
+// and by generators with nontrivial construction logic.
+func (g *Graph) Validate() error {
+	seen := make(map[Edge]bool, len(g.edges))
+	for id, e := range g.edges {
+		if e.U == e.V {
+			return fmt.Errorf("graph: edge %d is a self-loop at %d", id, e.U)
+		}
+		if e.U < 0 || e.V >= len(g.adj) {
+			return fmt.Errorf("graph: edge %d = %v out of range", id, e)
+		}
+		if seen[e] {
+			return fmt.Errorf("graph: duplicate edge %v", e)
+		}
+		seen[e] = true
+	}
+	deg := make([]int, len(g.adj))
+	for v, as := range g.adj {
+		dup := make(map[int]bool, len(as))
+		for _, a := range as {
+			if a.Edge < 0 || a.Edge >= len(g.edges) {
+				return fmt.Errorf("graph: vertex %d references unknown edge %d", v, a.Edge)
+			}
+			e := g.edges[a.Edge]
+			if e.Other(v) != a.To {
+				return fmt.Errorf("graph: vertex %d arc to %d disagrees with edge %d = %v", v, a.To, a.Edge, e)
+			}
+			if dup[a.To] {
+				return fmt.Errorf("graph: vertex %d lists neighbor %d twice", v, a.To)
+			}
+			dup[a.To] = true
+			deg[v]++
+		}
+	}
+	total := 0
+	for _, d := range deg {
+		total += d
+	}
+	if total != 2*len(g.edges) {
+		return fmt.Errorf("graph: degree sum %d != 2m = %d", total, 2*len(g.edges))
+	}
+	return nil
+}
+
+// BFS runs a breadth-first search from src and returns the distance slice
+// (-1 for unreachable vertices).
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, len(g.adj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, a := range g.adj[v] {
+			if dist[a.To] < 0 {
+				dist[a.To] = dist[v] + 1
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	return dist
+}
+
+// IsConnected reports whether g is connected (vacuously true for n <= 1).
+func (g *Graph) IsConnected() bool {
+	if len(g.adj) <= 1 {
+		return true
+	}
+	for _, d := range g.BFS(0) {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Girth returns the length of a shortest cycle in g, or -1 if g is acyclic
+// (a forest). It runs a BFS from every vertex, which is O(n·m) — fine for
+// the instance sizes of the lower-bound experiments.
+func (g *Graph) Girth() int {
+	best := -1
+	dist := make([]int, len(g.adj))
+	parentEdge := make([]int, len(g.adj))
+	for src := range g.adj {
+		for i := range dist {
+			dist[i] = -1
+			parentEdge[i] = -1
+		}
+		dist[src] = 0
+		queue := []int{src}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, a := range g.adj[v] {
+				if a.Edge == parentEdge[v] {
+					continue
+				}
+				if dist[a.To] < 0 {
+					dist[a.To] = dist[v] + 1
+					parentEdge[a.To] = a.Edge
+					queue = append(queue, a.To)
+				} else {
+					// A non-tree edge closes a cycle through src of length
+					// dist[v] + dist[a.To] + 1 (an upper bound that is tight
+					// for some src, which suffices for a minimum over all src).
+					c := dist[v] + dist[a.To] + 1
+					if best < 0 || c < best {
+						best = c
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// Bipartition attempts to 2-color g. It returns the side (0/1) of each
+// vertex and true on success, or nil and false if g has an odd cycle.
+func (g *Graph) Bipartition() ([]int, bool) {
+	side := make([]int, len(g.adj))
+	for i := range side {
+		side[i] = -1
+	}
+	for src := range g.adj {
+		if side[src] >= 0 {
+			continue
+		}
+		side[src] = 0
+		queue := []int{src}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, a := range g.adj[v] {
+				if side[a.To] < 0 {
+					side[a.To] = 1 - side[v]
+					queue = append(queue, a.To)
+				} else if side[a.To] == side[v] {
+					return nil, false
+				}
+			}
+		}
+	}
+	return side, true
+}

@@ -1,0 +1,236 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAddEdge(t *testing.T) {
+	g := New(4)
+	if g.N() != 4 || g.M() != 0 {
+		t.Fatalf("fresh graph: n=%d m=%d", g.N(), g.M())
+	}
+	id := g.AddEdge(2, 0)
+	if id != 0 {
+		t.Fatalf("first edge id = %d", id)
+	}
+	if !g.HasEdge(0, 2) || !g.HasEdge(2, 0) {
+		t.Fatal("edge not visible from both endpoints")
+	}
+	if g.Edge(id) != (Edge{U: 0, V: 2}) {
+		t.Fatalf("edge not normalized: %v", g.Edge(id))
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 1 || g.Degree(1) != 0 {
+		t.Fatal("degrees wrong after AddEdge")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(*Graph)
+	}{
+		{"self-loop", func(g *Graph) { g.AddEdge(1, 1) }},
+		{"duplicate", func(g *Graph) { g.AddEdge(0, 1); g.AddEdge(1, 0) }},
+		{"out-of-range", func(g *Graph) { g.AddEdge(0, 9) }},
+		{"negative", func(g *Graph) { g.AddEdge(-1, 0) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", tc.name)
+				}
+			}()
+			tc.fn(New(3))
+		})
+	}
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := NormEdge(7, 3)
+	if e.Other(3) != 7 || e.Other(7) != 3 {
+		t.Fatal("Other is wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Other on non-endpoint did not panic")
+		}
+	}()
+	e.Other(5)
+}
+
+func TestEdgeID(t *testing.T) {
+	g := Path(5)
+	id, ok := g.EdgeID(2, 3)
+	if !ok {
+		t.Fatal("edge {2,3} missing")
+	}
+	if g.Edge(id) != NormEdge(2, 3) {
+		t.Fatal("EdgeID returned wrong edge")
+	}
+	if _, ok := g.EdgeID(0, 4); ok {
+		t.Fatal("phantom edge")
+	}
+	if _, ok := g.EdgeID(-1, 2); ok {
+		t.Fatal("negative vertex lookup succeeded")
+	}
+}
+
+func TestAddVertex(t *testing.T) {
+	g := New(1)
+	v := g.AddVertex()
+	if v != 1 || g.N() != 2 {
+		t.Fatalf("AddVertex: v=%d n=%d", v, g.N())
+	}
+	g.AddEdge(0, v)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := Cycle(5)
+	h := g.Clone()
+	h.AddVertex()
+	h.AddEdge(0, 5)
+	if g.N() != 5 || g.M() != 5 {
+		t.Fatal("mutating the clone changed the original")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortAdjacencyAndPorts(t *testing.T) {
+	g := New(4)
+	g.AddEdge(3, 0)
+	g.AddEdge(1, 0)
+	g.AddEdge(2, 0)
+	g.SortAdjacency()
+	want := []int{1, 2, 3}
+	got := g.Neighbors(0)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("neighbors of 0 = %v, want %v", got, want)
+		}
+	}
+	// Arc edge ids must still agree with the edge table after sorting.
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := Grid2D(3, 4)
+	dist := g.BFS(0)
+	if dist[0] != 0 {
+		t.Fatal("dist to self != 0")
+	}
+	// Manhattan distance in a grid.
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 4; c++ {
+			if dist[r*4+c] != r+c {
+				t.Fatalf("dist[(%d,%d)] = %d, want %d", r, c, dist[r*4+c], r+c)
+			}
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := Disjoint(Path(3), Path(2))
+	dist := g.BFS(0)
+	if dist[3] != -1 || dist[4] != -1 {
+		t.Fatal("vertices of the other component should be unreachable")
+	}
+	if g.IsConnected() {
+		t.Fatal("disjoint union reported connected")
+	}
+	if !Path(4).IsConnected() {
+		t.Fatal("path reported disconnected")
+	}
+}
+
+func TestGirth(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"tree", Path(6), -1},
+		{"triangle", Complete(3), 3},
+		{"C5", Cycle(5), 5},
+		{"K4", Complete(4), 3},
+		{"grid", Grid2D(3, 3), 4},
+		{"K33", CompleteBipartite(3, 3), 4},
+	}
+	for _, tc := range cases {
+		if got := tc.g.Girth(); got != tc.want {
+			t.Errorf("girth(%s) = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestBipartition(t *testing.T) {
+	side, ok := Grid2D(4, 4).Bipartition()
+	if !ok {
+		t.Fatal("grid is bipartite")
+	}
+	g := Grid2D(4, 4)
+	for _, e := range g.Edges() {
+		if side[e.U] == side[e.V] {
+			t.Fatal("2-coloring has a monochromatic edge")
+		}
+	}
+	if _, ok := Cycle(5).Bipartition(); ok {
+		t.Fatal("odd cycle reported bipartite")
+	}
+}
+
+func TestMaxDegreeAndRegular(t *testing.T) {
+	if Complete(5).MaxDegree() != 4 {
+		t.Fatal("K5 max degree")
+	}
+	if !Cycle(7).IsRegular(2) {
+		t.Fatal("cycle should be 2-regular")
+	}
+	if Path(4).IsRegular(2) {
+		t.Fatal("path is not 2-regular")
+	}
+	if New(3).MaxDegree() != 0 {
+		t.Fatal("edgeless graph max degree")
+	}
+}
+
+// Property: for random graphs, Validate always passes, the degree sum is
+// 2m, and every edge is seen from both endpoints.
+func TestRandomGraphInvariants(t *testing.T) {
+	check := func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		maxM := n * (n - 1) / 2
+		m := int(mRaw) % (maxM + 1)
+		g := RandomGNM(n, m, rand.New(rand.NewSource(seed)))
+		if g.M() != m {
+			return false
+		}
+		if err := g.Validate(); err != nil {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if !g.HasEdge(e.U, e.V) || !g.HasEdge(e.V, e.U) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

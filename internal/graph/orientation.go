@@ -1,0 +1,198 @@
+package graph
+
+import "fmt"
+
+// Orientation assigns a direction to a subset of the edges of a graph. The
+// paper's stable-orientation algorithm grows a partial orientation phase by
+// phase, so "unoriented" is a first-class state here. For an oriented edge
+// we store its head: the vertex the edge points to (the server the customer
+// chose, in the paper's interpretation). The indegree of a vertex is its
+// load.
+type Orientation struct {
+	g    *Graph
+	head []int // per edge: head vertex, or -1 if unoriented
+	load []int // per vertex: current indegree
+	m    int   // number of oriented edges
+}
+
+// Unoriented marks an edge with no direction assigned yet.
+const Unoriented = -1
+
+// NewOrientation returns an all-unoriented orientation of g.
+func NewOrientation(g *Graph) *Orientation {
+	head := make([]int, g.M())
+	for i := range head {
+		head[i] = Unoriented
+	}
+	return &Orientation{g: g, head: head, load: make([]int, g.N())}
+}
+
+// Graph returns the underlying graph.
+func (o *Orientation) Graph() *Graph { return o.g }
+
+// Clone returns a deep copy of o.
+func (o *Orientation) Clone() *Orientation {
+	return &Orientation{
+		g:    o.g,
+		head: append([]int(nil), o.head...),
+		load: append([]int(nil), o.load...),
+		m:    o.m,
+	}
+}
+
+// Oriented reports whether edge id has been assigned a direction.
+func (o *Orientation) Oriented(id int) bool { return o.head[id] != Unoriented }
+
+// Complete reports whether every edge is oriented.
+func (o *Orientation) Complete() bool { return o.m == o.g.M() }
+
+// NumOriented returns the number of oriented edges.
+func (o *Orientation) NumOriented() int { return o.m }
+
+// Head returns the head vertex of edge id, or Unoriented.
+func (o *Orientation) Head(id int) int { return o.head[id] }
+
+// Tail returns the tail vertex of an oriented edge id; it panics if the
+// edge is unoriented.
+func (o *Orientation) Tail(id int) int {
+	h := o.head[id]
+	if h == Unoriented {
+		panic(fmt.Sprintf("graph: edge %d is unoriented", id))
+	}
+	return o.g.Edge(id).Other(h)
+}
+
+// Load returns the load (indegree) of vertex v.
+func (o *Orientation) Load(v int) int { return o.load[v] }
+
+// Loads returns a copy of the per-vertex load vector.
+func (o *Orientation) Loads() []int { return append([]int(nil), o.load...) }
+
+// Orient directs edge id toward head. The edge must currently be
+// unoriented.
+func (o *Orientation) Orient(id, head int) {
+	if o.head[id] != Unoriented {
+		panic(fmt.Sprintf("graph: edge %d already oriented", id))
+	}
+	e := o.g.Edge(id)
+	if head != e.U && head != e.V {
+		panic(fmt.Sprintf("graph: vertex %d is not an endpoint of edge %d = %v", head, id, e))
+	}
+	o.head[id] = head
+	o.load[head]++
+	o.m++
+}
+
+// Flip reverses the direction of an oriented edge id.
+func (o *Orientation) Flip(id int) {
+	h := o.head[id]
+	if h == Unoriented {
+		panic(fmt.Sprintf("graph: cannot flip unoriented edge %d", id))
+	}
+	t := o.g.Edge(id).Other(h)
+	o.load[h]--
+	o.load[t]++
+	o.head[id] = t
+}
+
+// Badness returns indegree(head) - indegree(tail) for an oriented edge
+// (Section 5 of the paper). It panics on unoriented edges.
+func (o *Orientation) Badness(id int) int {
+	h := o.head[id]
+	if h == Unoriented {
+		panic(fmt.Sprintf("graph: edge %d is unoriented", id))
+	}
+	t := o.g.Edge(id).Other(h)
+	return o.load[h] - o.load[t]
+}
+
+// Happy reports whether an oriented edge (u, v) is happy:
+// indegree(v) <= indegree(u) + 1, i.e. flipping it would not lower the
+// load of its head (Section 1.1).
+func (o *Orientation) Happy(id int) bool { return o.Badness(id) <= 1 }
+
+// MaxBadness returns the maximum badness over oriented edges (0 if there
+// are none).
+func (o *Orientation) MaxBadness() int {
+	max := 0
+	for id, h := range o.head {
+		if h == Unoriented {
+			continue
+		}
+		if b := o.Badness(id); b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// UnhappyEdges returns the identifiers of all oriented edges that are not
+// happy, in increasing order.
+func (o *Orientation) UnhappyEdges() []int {
+	var out []int
+	for id, h := range o.head {
+		if h != Unoriented && !o.Happy(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Stable reports whether the orientation is complete and every edge is
+// happy — the stable orientation condition of Section 1.1.
+func (o *Orientation) Stable() bool {
+	if !o.Complete() {
+		return false
+	}
+	for id := range o.head {
+		if !o.Happy(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// Potential returns the sum of squared loads, the potential function that
+// proves termination of the centralized sequential algorithm (Section 1.1)
+// and the local optimum objective of the load-balancing view.
+func (o *Orientation) Potential() int {
+	p := 0
+	for _, l := range o.load {
+		p += l * l
+	}
+	return p
+}
+
+// SemimatchingCost returns Σ_v f(load(v)) with f(x) = 1 + 2 + … + x =
+// x(x+1)/2, the semi-matching objective of Section 1.3 (HLLT06).
+func (o *Orientation) SemimatchingCost() int {
+	c := 0
+	for _, l := range o.load {
+		c += l * (l + 1) / 2
+	}
+	return c
+}
+
+// CheckLoads recomputes loads from scratch and returns an error if the
+// incrementally maintained load vector has drifted — a pure consistency
+// oracle for tests.
+func (o *Orientation) CheckLoads() error {
+	fresh := make([]int, o.g.N())
+	count := 0
+	for _, h := range o.head {
+		if h == Unoriented {
+			continue
+		}
+		fresh[h]++
+		count++
+	}
+	if count != o.m {
+		return fmt.Errorf("graph: oriented-edge count drifted: counted %d, cached %d", count, o.m)
+	}
+	for v := range fresh {
+		if fresh[v] != o.load[v] {
+			return fmt.Errorf("graph: load of %d drifted: recomputed %d, cached %d", v, fresh[v], o.load[v])
+		}
+	}
+	return nil
+}

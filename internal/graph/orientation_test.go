@@ -1,0 +1,210 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrientationBasics(t *testing.T) {
+	g := Path(3) // edges {0,1}, {1,2}
+	o := NewOrientation(g)
+	if o.Complete() || o.NumOriented() != 0 {
+		t.Fatal("fresh orientation should be empty")
+	}
+	e01, _ := g.EdgeID(0, 1)
+	e12, _ := g.EdgeID(1, 2)
+	o.Orient(e01, 1)
+	if o.Head(e01) != 1 || o.Tail(e01) != 0 {
+		t.Fatal("head/tail wrong")
+	}
+	if o.Load(1) != 1 || o.Load(0) != 0 {
+		t.Fatal("load wrong")
+	}
+	o.Orient(e12, 1)
+	if !o.Complete() {
+		t.Fatal("should be complete")
+	}
+	if o.Load(1) != 2 {
+		t.Fatal("load of shared head")
+	}
+	if o.Badness(e01) != 2 || o.Happy(e01) {
+		t.Fatalf("badness=%d", o.Badness(e01))
+	}
+	if o.Stable() {
+		t.Fatal("unhappy orientation reported stable")
+	}
+	o.Flip(e01)
+	if o.Head(e01) != 0 || o.Load(1) != 1 || o.Load(0) != 1 {
+		t.Fatal("flip bookkeeping")
+	}
+	if !o.Stable() {
+		t.Fatal("balanced path orientation should be stable")
+	}
+	if err := o.CheckLoads(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrientationPanics(t *testing.T) {
+	g := Path(2)
+	o := NewOrientation(g)
+	t.Run("double orient", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		o2 := NewOrientation(g)
+		o2.Orient(0, 1)
+		o2.Orient(0, 0)
+	})
+	t.Run("flip unoriented", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		o.Flip(0)
+	})
+	t.Run("orient to non-endpoint", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		o3 := NewOrientation(Path(3))
+		o3.Orient(0, 2)
+	})
+	t.Run("badness of unoriented", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		NewOrientation(g).Badness(0)
+	})
+}
+
+func TestPotentialAndCost(t *testing.T) {
+	g := Star(3)
+	o := NewOrientation(g)
+	for id := range g.Edges() {
+		o.Orient(id, 0) // all point at the hub
+	}
+	if o.Potential() != 9 {
+		t.Fatalf("potential = %d, want 9", o.Potential())
+	}
+	if o.SemimatchingCost() != 1+2+3 {
+		t.Fatalf("cost = %d, want 6", o.SemimatchingCost())
+	}
+	o.Flip(0)
+	if o.Potential() != 4+1 {
+		t.Fatalf("potential after flip = %d", o.Potential())
+	}
+}
+
+func TestUnhappyEdgesAndMaxBadness(t *testing.T) {
+	g := Star(4)
+	o := NewOrientation(g)
+	for id := range g.Edges() {
+		o.Orient(id, 0)
+	}
+	if o.MaxBadness() != 4 {
+		t.Fatalf("max badness = %d", o.MaxBadness())
+	}
+	unhappy := o.UnhappyEdges()
+	if len(unhappy) != 4 {
+		t.Fatalf("%d unhappy edges, want 4", len(unhappy))
+	}
+}
+
+func TestStableOnExamples(t *testing.T) {
+	// Figure 1 spirit: orient a cycle consistently; every vertex has load
+	// 1, all edges are happy.
+	g := Cycle(6)
+	o := NewOrientation(g)
+	for v := 0; v < 6; v++ {
+		id, _ := g.EdgeID(v, (v+1)%6)
+		o.Orient(id, (v+1)%6)
+	}
+	if !o.Stable() {
+		t.Fatal("cyclically oriented cycle must be stable")
+	}
+}
+
+func TestCloneOrientation(t *testing.T) {
+	g := Path(4)
+	o := NewOrientation(g)
+	o.Orient(0, 1)
+	c := o.Clone()
+	c.Orient(1, 1)
+	if o.NumOriented() != 1 || c.NumOriented() != 2 {
+		t.Fatal("clone not independent")
+	}
+	if err := o.CheckLoads(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckLoads(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after any sequence of orients and flips, incremental loads
+// match a from-scratch recount, and flipping an edge twice restores it.
+func TestOrientationFlipProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomGNM(12, 20, rng)
+		o := NewOrientation(g)
+		for id := range g.Edges() {
+			e := g.Edge(id)
+			if rng.Intn(2) == 0 {
+				o.Orient(id, e.U)
+			} else {
+				o.Orient(id, e.V)
+			}
+		}
+		for i := 0; i < 50; i++ {
+			id := rng.Intn(g.M())
+			before := o.Head(id)
+			o.Flip(id)
+			o.Flip(id)
+			if o.Head(id) != before {
+				return false
+			}
+			o.Flip(id)
+		}
+		return o.CheckLoads() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the potential drops by exactly 2(b-1) when flipping an edge of
+// badness b — the quantity behind the sequential algorithm's termination
+// argument (Section 1.1).
+func TestFlipPotentialDelta(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomGNM(10, 16, rng)
+		o := NewOrientation(g)
+		for id := range g.Edges() {
+			e := g.Edge(id)
+			if rng.Intn(2) == 0 {
+				o.Orient(id, e.U)
+			} else {
+				o.Orient(id, e.V)
+			}
+		}
+		id := rng.Intn(g.M())
+		b := o.Badness(id)
+		before := o.Potential()
+		o.Flip(id)
+		return before-o.Potential() == 2*(b-1)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,19 @@
+package hypergame
+
+// Encoded message sizes (local.Sized): a 4-bit tag covers the eleven
+// relay/server message kinds; every payload is a constant number of bits,
+// so the hypergraph game solvers are CONGEST-compatible as well.
+
+func (sAnnounce) Bits() int   { return 4 + 1 }
+func (sRequest) Bits() int    { return 4 }
+func (sGrant) Bits() int      { return 4 }
+func (sLeave) Bits() int      { return 4 }
+func (cAnnounce) Bits() int   { return 4 + 1 }
+func (cRequest) Bits() int    { return 4 }
+func (cGrant) Bits() int      { return 4 }
+func (cLeave) Bits() int      { return 4 }
+func (sOffer) Bits() int      { return 4 }
+func (sAccept) Bits() int     { return 4 }
+func (cOffer) Bits() int      { return 4 }
+func (cAccepted) Bits() int   { return 4 }
+func (cNoChildren) Bits() int { return 4 }

@@ -1,0 +1,10 @@
+package loadbalance
+
+import "math/bits"
+
+// Encoded message sizes (local.Sized): load announcements are the only
+// Θ(log load)-bit messages of the balancing dynamic.
+
+func (m lbLoad) Bits() int { return 2 + bits.Len(uint(m.Load)) }
+func (lbOffer) Bits() int  { return 2 }
+func (lbAck) Bits() int    { return 2 }

@@ -1,0 +1,243 @@
+// Package loadbalance implements locally optimal load balancing (Feuilloley,
+// Hirvonen, Suomela, DISC 2015), the problem Section 2 of the paper
+// contrasts token dropping against: integer loads sit on nodes, a unit of
+// load may move across an edge any number of times, and the goal is a
+// locally optimal state — no single move lowers Σ load², i.e. adjacent
+// loads differ by at most one.
+//
+// The paper's point is structural: token dropping consumes an edge after
+// one use, so a bottleneck edge between a high-load and a low-load region
+// is crossed once and the game simply gets stuck; a load balancer must
+// push units across it one by one, paying Ω(initial load) rounds. The
+// distributed best-response dynamic implemented here makes that cost
+// measurable (experiment E15), which is the evidence behind the paper's
+// remark that token dropping is the strictly easier problem.
+package loadbalance
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tokendrop/internal/graph"
+	"tokendrop/internal/local"
+)
+
+// State is a load vector over the vertices of a graph.
+type State struct {
+	G    *graph.Graph
+	Load []int
+}
+
+// NewState wraps a load vector (copied).
+func NewState(g *graph.Graph, load []int) (*State, error) {
+	if len(load) != g.N() {
+		return nil, fmt.Errorf("loadbalance: %d loads for %d vertices", len(load), g.N())
+	}
+	for v, l := range load {
+		if l < 0 {
+			return nil, fmt.Errorf("loadbalance: negative load at %d", v)
+		}
+	}
+	return &State{G: g, Load: append([]int(nil), load...)}, nil
+}
+
+// LocallyOptimal reports whether no single unit move improves Σ load²:
+// every edge's endpoint loads differ by at most one.
+func (s *State) LocallyOptimal() bool {
+	for _, e := range s.G.Edges() {
+		d := s.Load[e.U] - s.Load[e.V]
+		if d < -1 || d > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Potential returns Σ load².
+func (s *State) Potential() int {
+	p := 0
+	for _, l := range s.Load {
+		p += l * l
+	}
+	return p
+}
+
+// Total returns the load sum (conserved by balancing).
+func (s *State) Total() int {
+	t := 0
+	for _, l := range s.Load {
+		t += l
+	}
+	return t
+}
+
+// Messages of the distributed best-response dynamic; the protocol mirrors
+// the selfish-flip comparator (3-round cycles, coin-flip roles, node-
+// disjoint transfers per cycle), with load units in place of edge flips.
+type lbLoad struct{ Load int }
+type lbOffer struct{}
+type lbAck struct{}
+
+type lbMachine struct {
+	vertex  int
+	rng     *rand.Rand
+	load    int
+	nbrLoad []int
+	offerTo int
+	moves   int
+}
+
+func (m *lbMachine) Init(info local.NodeInfo) {
+	m.nbrLoad = make([]int, info.Degree)
+	for i := range m.nbrLoad {
+		m.nbrLoad[i] = -1
+	}
+	m.offerTo = -1
+}
+
+func (m *lbMachine) Step(round int, in []local.Payload, out []local.Payload) bool {
+	switch (round - 1) % 3 {
+	case 0: // apply acks from last cycle, broadcast loads
+		for p, raw := range in {
+			if raw == nil {
+				continue
+			}
+			if _, ok := raw.(lbAck); !ok {
+				panic(fmt.Sprintf("loadbalance: vertex %d expected acks, got %T", m.vertex, raw))
+			}
+			if p != m.offerTo {
+				panic("loadbalance: ack on an unoffered port")
+			}
+			m.load--
+			m.moves++
+		}
+		m.offerTo = -1
+		for p := range out {
+			out[p] = lbLoad{Load: m.load}
+		}
+	case 1: // read loads; proposers offer one unit downhill
+		for p, raw := range in {
+			if raw == nil {
+				continue
+			}
+			msg, ok := raw.(lbLoad)
+			if !ok {
+				panic(fmt.Sprintf("loadbalance: vertex %d expected loads, got %T", m.vertex, raw))
+			}
+			m.nbrLoad[p] = msg.Load
+		}
+		if m.rng.Intn(2) == 0 {
+			return false // receiver role this cycle
+		}
+		best, bestGap := -1, 1
+		for p, nl := range m.nbrLoad {
+			if nl < 0 {
+				continue
+			}
+			if gap := m.load - nl; gap > bestGap {
+				best, bestGap = p, gap
+			}
+		}
+		if best >= 0 {
+			m.offerTo = best
+			out[best] = lbOffer{}
+		}
+	case 2: // receivers take at most one unit
+		var offers []int
+		for p, raw := range in {
+			if raw == nil {
+				continue
+			}
+			if _, ok := raw.(lbOffer); !ok {
+				panic(fmt.Sprintf("loadbalance: vertex %d expected offers, got %T", m.vertex, raw))
+			}
+			offers = append(offers, p)
+		}
+		if m.offerTo >= 0 || len(offers) == 0 {
+			return false
+		}
+		p := offers[m.rng.Intn(len(offers))]
+		m.load++
+		m.moves++
+		out[p] = lbAck{}
+	}
+	return false
+}
+
+var _ local.Machine = (*lbMachine)(nil)
+
+// Result reports a balancing run.
+type Result struct {
+	Final     *State
+	Rounds    int
+	UnitMoves int // single-unit transfers executed (each counted once)
+}
+
+// Balance runs the distributed dynamic from the given state until locally
+// optimal (simulator-side termination oracle, as for the selfish-flip
+// baseline) and returns the balanced state. The input is not mutated.
+func Balance(s *State, seed int64, maxRounds, workers int) (*Result, error) {
+	if maxRounds == 0 {
+		maxRounds = 1 << 22
+	}
+	g := s.G
+	machines := make([]*lbMachine, g.N())
+	nw := local.NewNetwork(g, func(v int) local.Machine {
+		machines[v] = &lbMachine{
+			vertex: v,
+			rng:    rand.New(rand.NewSource(seed ^ int64(v)*0x632be5ab)),
+			load:   s.Load[v],
+		}
+		return machines[v]
+	})
+	stop := func(round int) bool {
+		if (round-1)%3 != 0 {
+			return false
+		}
+		for _, e := range g.Edges() {
+			d := machines[e.U].load - machines[e.V].load
+			if d < -1 || d > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	stats, err := nw.Run(local.Options{MaxRounds: maxRounds, Workers: workers, Stop: stop})
+	if err != nil {
+		return nil, fmt.Errorf("loadbalance: dynamic did not converge: %w", err)
+	}
+	final := make([]int, g.N())
+	moves := 0
+	for v, m := range machines {
+		final[v] = m.load
+		moves += m.moves
+	}
+	fs, err := NewState(g, final)
+	if err != nil {
+		return nil, err
+	}
+	if fs.Total() != s.Total() {
+		return nil, fmt.Errorf("loadbalance: load not conserved: %d -> %d", s.Total(), fs.Total())
+	}
+	return &Result{Final: fs, Rounds: stats.Rounds, UnitMoves: moves / 2}, nil
+}
+
+// Dumbbell builds the Section 2 bottleneck scenario: two groups of `side`
+// vertices joined by a single bridge edge, with `initial` units of load on
+// every vertex of the left group and none on the right. Within each group
+// the vertices form a path (so load can spread internally), and all
+// traffic between the groups must cross the one bridge.
+func Dumbbell(side, initial int) (*State, error) {
+	g := graph.New(2 * side)
+	for i := 0; i+1 < side; i++ {
+		g.AddEdge(i, i+1)
+		g.AddEdge(side+i, side+i+1)
+	}
+	g.AddEdge(side-1, side) // the bridge
+	g.SortAdjacency()
+	load := make([]int, 2*side)
+	for i := 0; i < side; i++ {
+		load[i] = initial
+	}
+	return NewState(g, load)
+}

@@ -1,0 +1,66 @@
+package local
+
+import (
+	"testing"
+
+	"tokendrop/internal/graph"
+)
+
+type sizedMsg struct{ Bits_ int }
+
+func (m sizedMsg) Bits() int { return m.Bits_ }
+
+type unsizedMsg struct{}
+
+// bitsProbe broadcasts one message per round and halts after two rounds.
+type bitsProbe struct {
+	payload Payload
+	rounds  int
+}
+
+func (m *bitsProbe) Init(NodeInfo) {}
+
+func (m *bitsProbe) Step(round int, in []Payload, out []Payload) bool {
+	for p := range out {
+		out[p] = m.payload
+	}
+	m.rounds++
+	return m.rounds >= 2
+}
+
+func TestMeasureBitsTracksMax(t *testing.T) {
+	g := graph.Path(3)
+	sizes := []int{5, 17, 9}
+	nw := NewNetwork(g, func(v int) Machine { return &bitsProbe{payload: sizedMsg{Bits_: sizes[v]}} })
+	stats, err := nw.Run(Options{MeasureBits: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MaxMessageBits != 17 {
+		t.Fatalf("max bits %d, want 17", stats.MaxMessageBits)
+	}
+}
+
+func TestMeasureBitsUnknownPayload(t *testing.T) {
+	g := graph.Path(2)
+	nw := NewNetwork(g, func(v int) Machine { return &bitsProbe{payload: unsizedMsg{}} })
+	stats, err := nw.Run(Options{MeasureBits: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MaxMessageBits != -1 {
+		t.Fatalf("unsized payloads should report -1, got %d", stats.MaxMessageBits)
+	}
+}
+
+func TestMeasureBitsOffByDefault(t *testing.T) {
+	g := graph.Path(2)
+	nw := NewNetwork(g, func(v int) Machine { return &bitsProbe{payload: sizedMsg{Bits_: 100}} })
+	stats, err := nw.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MaxMessageBits != 0 {
+		t.Fatalf("accounting ran without MeasureBits: %d", stats.MaxMessageBits)
+	}
+}

@@ -1,0 +1,313 @@
+// Package local implements a faithful simulator for the LOCAL model of
+// distributed computing (Linial 1992, Peleg 2000), the model of Section 3
+// of the paper: a port-numbered synchronous network in which computation
+// proceeds in rounds, message sizes are unbounded, every node has a unique
+// identifier, and a node initially knows only its own ID, its degree, and
+// the IDs of its neighbors.
+//
+// Each graph vertex runs a Machine — a deterministic state machine stepped
+// once per round. Within a round all machines step logically in parallel:
+// the runner executes them on a pool of goroutines with a barrier between
+// rounds, which is both the natural Go realization of synchronous message
+// passing and deterministic, because machines communicate exclusively
+// through the round's double-buffered port arrays.
+package local
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"tokendrop/internal/graph"
+)
+
+// Payload is an arbitrary message payload. The LOCAL model places no bound
+// on message size, so payloads are ordinary Go values; algorithms in this
+// repository use small immutable structs.
+type Payload any
+
+// Sized is implemented by payloads that can report their encoded size in
+// bits. The LOCAL model never needs it, but every protocol in this
+// repository happens to use O(log n)-bit messages — i.e. they also run in
+// the CONGEST model — and the runner can verify that claim when
+// Options.MeasureBits is set.
+type Sized interface {
+	Bits() int
+}
+
+// NodeInfo is the initial knowledge of a node in the LOCAL model.
+type NodeInfo struct {
+	// ID is the node's unique identifier (the graph vertex index; any
+	// injective relabeling would do, and tests exercise relabelings).
+	ID int
+	// Degree is the number of incident edges, i.e. the number of ports.
+	Degree int
+	// Neighbor[p] is the ID of the neighbor reached through port p.
+	Neighbor []int
+}
+
+// Machine is the per-node algorithm. Implementations must be deterministic
+// functions of their inputs (seeded randomness is threaded through machine
+// construction, never drawn from global state), which makes every run of
+// the simulator reproducible regardless of goroutine scheduling.
+type Machine interface {
+	// Init is called once, before the first round, with the node's initial
+	// knowledge. The machine may record info; the slice is owned by the
+	// caller and must be copied if retained beyond Init. (All machines in
+	// this repository retain the NodeInfo wholesale, which is safe because
+	// the runner allocates one per node.)
+	Init(info NodeInfo)
+
+	// Step executes one synchronous round. in[p] is the payload received
+	// on port p this round (nil if the neighbor sent nothing or has
+	// halted); the machine writes its outgoing messages into out[p]
+	// (pre-zeroed, one slot per port). Returning true halts the node: it
+	// will not be stepped again and anything addressed to it is dropped.
+	// A machine that wants neighbors to know it is leaving must say so in
+	// its final messages, exactly as a real LOCAL algorithm would.
+	Step(round int, in []Payload, out []Payload) (halt bool)
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	Rounds   int   // rounds executed until every node halted
+	Messages int64 // total messages delivered (non-nil payloads)
+	Halted   int   // nodes that halted (== n on success)
+	// MaxMessageBits is the largest delivered payload in bits, when
+	// Options.MeasureBits is set; -1 marks a payload that does not
+	// implement Sized (size unknown — LOCAL-only protocol).
+	MaxMessageBits int
+}
+
+// Options configure a run.
+type Options struct {
+	// MaxRounds aborts the run if some node is still awake after this many
+	// rounds; it guards against non-terminating protocols in tests.
+	// Zero means a generous default of 1<<20 rounds.
+	MaxRounds int
+	// Workers is the number of goroutines stepping machines within a
+	// round. Zero means runtime.GOMAXPROCS(0). One yields a fully
+	// sequential execution (useful to demonstrate schedule independence).
+	Workers int
+	// OnRound, if non-nil, is invoked after every round with the round
+	// number (1-based) and the number of messages delivered in that round.
+	// It runs on the coordinating goroutine.
+	OnRound func(round int, delivered int)
+	// Stop, if non-nil, is consulted at the barrier after every round; a
+	// true return ends the run even though machines are still awake. It is
+	// a simulation-side termination oracle for protocols whose nodes
+	// cannot detect global convergence locally (e.g. best-response
+	// dynamics); it runs on the coordinating goroutine, where reading
+	// machine state is race-free.
+	Stop func(round int) bool
+	// MeasureBits tracks the largest delivered payload size (see
+	// Stats.MaxMessageBits and the Sized interface).
+	MeasureBits bool
+}
+
+// Network binds machines to the vertices of a graph and runs them.
+type Network struct {
+	g        *graph.Graph
+	machines []Machine
+	// revPort[v][p] is the port at neighbor u = adj(v)[p].To that leads
+	// back to v; precomputed so message routing is pure array indexing.
+	revPort [][]int
+	ids     []int // vertex -> exposed identifier
+}
+
+// NewNetwork creates a network over g where vertex v runs factory(v).
+// IDs exposed to the machines are the vertex indices.
+func NewNetwork(g *graph.Graph, factory func(v int) Machine) *Network {
+	return NewNetworkIDs(g, nil, factory)
+}
+
+// NewNetworkIDs is NewNetwork with an explicit injective identifier
+// assignment ids[v] (nil means identity). Lower-bound experiments use this
+// to check that algorithm outputs depend only on the structure the model
+// says they may depend on.
+func NewNetworkIDs(g *graph.Graph, ids []int, factory func(v int) Machine) *Network {
+	n := g.N()
+	if ids == nil {
+		ids = make([]int, n)
+		for v := range ids {
+			ids[v] = v
+		}
+	} else if len(ids) != n {
+		panic(fmt.Sprintf("local: got %d ids for %d vertices", len(ids), n))
+	}
+	nw := &Network{
+		g:        g,
+		machines: make([]Machine, n),
+		revPort:  make([][]int, n),
+		ids:      ids,
+	}
+	// Precompute reverse ports: for the arc v --(port p)--> u, find the
+	// port q at u with adj(u)[q].To == v.
+	portOf := make([]map[int]int, n)
+	for v := 0; v < n; v++ {
+		adj := g.Adj(v)
+		portOf[v] = make(map[int]int, len(adj))
+		for p, a := range adj {
+			portOf[v][a.To] = p
+		}
+	}
+	for v := 0; v < n; v++ {
+		adj := g.Adj(v)
+		nw.revPort[v] = make([]int, len(adj))
+		for p, a := range adj {
+			nw.revPort[v][p] = portOf[a.To][v]
+		}
+	}
+	for v := 0; v < n; v++ {
+		nw.machines[v] = factory(v)
+	}
+	return nw
+}
+
+// Machine returns the machine at vertex v (for output extraction after a
+// run).
+func (nw *Network) Machine(v int) Machine { return nw.machines[v] }
+
+// Run initializes every machine and executes synchronous rounds until all
+// machines halt. It returns the run statistics or an error if MaxRounds is
+// exceeded.
+func (nw *Network) Run(opt Options) (Stats, error) {
+	n := nw.g.N()
+	maxRounds := opt.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 1 << 20
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n && n > 0 {
+		workers = n
+	}
+
+	// Double-buffered port arrays: curIn[v][p] read this round,
+	// nextOut[v][p] written this round and routed into curIn afterwards.
+	curIn := make([][]Payload, n)
+	nextOut := make([][]Payload, n)
+	for v := 0; v < n; v++ {
+		d := nw.g.Degree(v)
+		curIn[v] = make([]Payload, d)
+		nextOut[v] = make([]Payload, d)
+		info := NodeInfo{ID: nw.ids[v], Degree: d, Neighbor: make([]int, d)}
+		for p, a := range nw.g.Adj(v) {
+			info.Neighbor[p] = nw.ids[a.To]
+		}
+		nw.machines[v].Init(info)
+	}
+
+	halted := make([]bool, n)
+	haltedAt := make([]int, n) // round in which the node halted
+	var stats Stats
+	awake := n
+	if n == 0 {
+		return stats, nil
+	}
+
+	step := func(v, round int) {
+		if halted[v] {
+			return
+		}
+		out := nextOut[v]
+		for p := range out {
+			out[p] = nil
+		}
+		if nw.machines[v].Step(round, curIn[v], out) {
+			halted[v] = true
+			haltedAt[v] = round
+		}
+	}
+
+	for round := 1; awake > 0; round++ {
+		if round > maxRounds {
+			return stats, fmt.Errorf("local: %d nodes still awake after %d rounds", awake, maxRounds)
+		}
+		// Phase 1: step all awake machines in parallel.
+		if workers == 1 {
+			for v := 0; v < n; v++ {
+				step(v, round)
+			}
+		} else {
+			var wg sync.WaitGroup
+			chunk := (n + workers - 1) / workers
+			for w := 0; w < workers; w++ {
+				lo := w * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				if lo >= hi {
+					break
+				}
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					for v := lo; v < hi; v++ {
+						step(v, round)
+					}
+				}(lo, hi)
+			}
+			wg.Wait()
+		}
+		// Phase 2: route nextOut into curIn along reverse ports and update
+		// bookkeeping. A node that halted during this round still gets its
+		// final messages delivered (it wrote them in its last Step); its
+		// out-buffer is cleared afterwards so nothing stale is ever
+		// redelivered. Receiver-major iteration reads each sender slot
+		// exactly once, so this phase could also run in parallel; it is
+		// cheap enough sequentially and keeps message accounting trivial.
+		delivered := 0
+		stillAwake := 0
+		for v := 0; v < n; v++ {
+			in := curIn[v]
+			if halted[v] {
+				for p := range in {
+					in[p] = nil
+				}
+				continue
+			}
+			stillAwake++
+			adj := nw.g.Adj(v)
+			for p := range in {
+				u := adj[p].To
+				msg := nextOut[u][nw.revPort[v][p]]
+				in[p] = msg
+				if msg != nil {
+					delivered++
+					if opt.MeasureBits && stats.MaxMessageBits >= 0 {
+						if s, ok := msg.(Sized); ok {
+							if b := s.Bits(); b > stats.MaxMessageBits {
+								stats.MaxMessageBits = b
+							}
+						} else {
+							stats.MaxMessageBits = -1
+						}
+					}
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if halted[v] && haltedAt[v] == round {
+				out := nextOut[v]
+				for p := range out {
+					out[p] = nil
+				}
+			}
+		}
+		awake = stillAwake
+		stats.Rounds = round
+		stats.Messages += int64(delivered)
+		if opt.OnRound != nil {
+			opt.OnRound(round, delivered)
+		}
+		if opt.Stop != nil && opt.Stop(round) {
+			break
+		}
+	}
+	stats.Halted = n - awake
+	return stats, nil
+}

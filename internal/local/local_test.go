@@ -1,0 +1,321 @@
+package local
+
+import (
+	"sync"
+	"testing"
+
+	"tokendrop/internal/graph"
+)
+
+// countdownMachine halts after a fixed number of rounds, broadcasting its
+// remaining count each round.
+type countdownMachine struct {
+	left int
+	info NodeInfo
+	seen [][]Payload
+}
+
+func (m *countdownMachine) Init(info NodeInfo) { m.info = info }
+
+func (m *countdownMachine) Step(round int, in []Payload, out []Payload) bool {
+	cp := append([]Payload(nil), in...)
+	m.seen = append(m.seen, cp)
+	for p := range out {
+		out[p] = m.left
+	}
+	m.left--
+	return m.left <= 0
+}
+
+func TestRunHaltsAndCountsRounds(t *testing.T) {
+	g := graph.Cycle(5)
+	nw := NewNetwork(g, func(v int) Machine { return &countdownMachine{left: 3} })
+	stats, err := nw.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != 3 {
+		t.Fatalf("rounds = %d, want 3", stats.Rounds)
+	}
+	// Each of 5 nodes broadcasts on 2 ports for 3 rounds; receivers are
+	// awake for all deliveries except those addressed to nodes that halted
+	// in the same round as the sender... here everyone halts together in
+	// round 3, so messages from rounds 1 and 2 are delivered (round-3
+	// messages target halted nodes and are dropped).
+	if stats.Messages != 5*2*2 {
+		t.Fatalf("messages = %d, want 20", stats.Messages)
+	}
+}
+
+func TestNodeInfoExposed(t *testing.T) {
+	g := graph.Star(3)
+	machines := make([]*countdownMachine, g.N())
+	nw := NewNetwork(g, func(v int) Machine {
+		machines[v] = &countdownMachine{left: 1}
+		return machines[v]
+	})
+	if _, err := nw.Run(Options{}); err != nil {
+		t.Fatal(err)
+	}
+	hub := machines[0].info
+	if hub.ID != 0 || hub.Degree != 3 {
+		t.Fatalf("hub info %+v", hub)
+	}
+	for p, nb := range hub.Neighbor {
+		if nb != g.Adj(0)[p].To {
+			t.Fatal("neighbor ids disagree with port order")
+		}
+	}
+	leaf := machines[2].info
+	if leaf.Degree != 1 || leaf.Neighbor[0] != 0 {
+		t.Fatalf("leaf info %+v", leaf)
+	}
+}
+
+// pingPong: node 0 sends a counter; node 1 increments and returns it.
+// Verifies one-round message latency and payload integrity.
+type pingPong struct {
+	id    int
+	last  int
+	turns int
+}
+
+func (m *pingPong) Init(info NodeInfo) { m.id = info.ID }
+
+func (m *pingPong) Step(round int, in []Payload, out []Payload) bool {
+	if m.id == 0 {
+		if round == 1 {
+			out[0] = 1
+			return false
+		}
+		if in[0] != nil {
+			m.last = in[0].(int)
+			if m.last >= 6 {
+				return true
+			}
+			out[0] = m.last + 1
+		}
+		return false
+	}
+	if in[0] != nil {
+		v := in[0].(int)
+		m.turns++
+		out[0] = v + 1
+		return v+1 >= 6
+	}
+	return false
+}
+
+func TestPingPongLatency(t *testing.T) {
+	g := graph.Path(2)
+	var zero *pingPong
+	nw := NewNetwork(g, func(v int) Machine {
+		m := &pingPong{}
+		if v == 0 {
+			zero = m
+		}
+		return m
+	})
+	stats, err := nw.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.last != 6 {
+		t.Fatalf("final counter %d, want 6", zero.last)
+	}
+	// 1 sends in rounds 1..6 alternating: total rounds = 7 (node 0 halts
+	// one round after receiving 6).
+	if stats.Rounds < 6 || stats.Rounds > 8 {
+		t.Fatalf("rounds = %d", stats.Rounds)
+	}
+}
+
+// finalWordMachine: node 0 halts in round 1 while sending a message; node
+// 1 stays awake one more round and must still receive it (final messages
+// of a halting node are delivered).
+type finalWordMachine struct {
+	id       int
+	gotFinal bool
+}
+
+func (m *finalWordMachine) Init(info NodeInfo) { m.id = info.ID }
+
+func (m *finalWordMachine) Step(round int, in []Payload, out []Payload) bool {
+	if m.id == 0 {
+		out[0] = "bye"
+		return true
+	}
+	if round == 2 {
+		m.gotFinal = in[0] == "bye"
+		return true
+	}
+	return false
+}
+
+func TestFinalMessagesDelivered(t *testing.T) {
+	g := graph.Path(2)
+	var receiver *finalWordMachine
+	nw := NewNetwork(g, func(v int) Machine {
+		m := &finalWordMachine{}
+		if v == 1 {
+			receiver = m
+		}
+		return m
+	})
+	if _, err := nw.Run(Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !receiver.gotFinal {
+		t.Fatal("final message of a halting node was dropped")
+	}
+}
+
+// staleMachine checks that a halted node's old messages are never
+// redelivered: node 0 sends once and halts; node 1 waits three rounds and
+// confirms it saw exactly one non-nil payload.
+type staleMachine struct {
+	id       int
+	nonNil   int
+	lifetime int
+}
+
+func (m *staleMachine) Init(info NodeInfo) { m.id = info.ID }
+
+func (m *staleMachine) Step(round int, in []Payload, out []Payload) bool {
+	if m.id == 0 {
+		out[0] = "once"
+		return true
+	}
+	if in[0] != nil {
+		m.nonNil++
+	}
+	m.lifetime++
+	return m.lifetime >= 4
+}
+
+func TestNoStaleRedelivery(t *testing.T) {
+	g := graph.Path(2)
+	var waiter *staleMachine
+	nw := NewNetwork(g, func(v int) Machine {
+		m := &staleMachine{}
+		if v == 1 {
+			waiter = m
+		}
+		return m
+	})
+	if _, err := nw.Run(Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if waiter.nonNil != 1 {
+		t.Fatalf("saw %d messages, want exactly 1", waiter.nonNil)
+	}
+}
+
+func TestMaxRoundsGuard(t *testing.T) {
+	g := graph.Path(3)
+	nw := NewNetwork(g, func(v int) Machine { return &countdownMachine{left: 1 << 30} })
+	if _, err := nw.Run(Options{MaxRounds: 10}); err == nil {
+		t.Fatal("runaway protocol not caught")
+	}
+}
+
+func TestCustomIDs(t *testing.T) {
+	g := graph.Path(2)
+	ids := []int{100, 200}
+	machines := make([]*countdownMachine, 2)
+	nw := NewNetworkIDs(g, ids, func(v int) Machine {
+		machines[v] = &countdownMachine{left: 1}
+		return machines[v]
+	})
+	if _, err := nw.Run(Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if machines[0].info.ID != 100 || machines[0].info.Neighbor[0] != 200 {
+		t.Fatal("custom identifiers not exposed")
+	}
+}
+
+func TestEmptyNetwork(t *testing.T) {
+	nw := NewNetwork(graph.New(0), func(int) Machine { panic("no vertices") })
+	stats, err := nw.Run(Options{})
+	if err != nil || stats.Rounds != 0 {
+		t.Fatalf("empty network: %v %+v", err, stats)
+	}
+}
+
+// schedulerProbe records the payloads it receives each round; used to show
+// worker counts do not affect results.
+type schedulerProbe struct {
+	id     int
+	digest []int
+	rounds int
+}
+
+func (m *schedulerProbe) Init(info NodeInfo) { m.id = info.ID }
+
+func (m *schedulerProbe) Step(round int, in []Payload, out []Payload) bool {
+	sum := m.id
+	for _, p := range in {
+		if p != nil {
+			sum += p.(int)
+		}
+	}
+	m.digest = append(m.digest, sum)
+	for p := range out {
+		out[p] = sum
+	}
+	m.rounds++
+	return m.rounds >= 8
+}
+
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	g := graph.Torus2D(6, 6)
+	run := func(workers int) [][]int {
+		machines := make([]*schedulerProbe, g.N())
+		nw := NewNetwork(g, func(v int) Machine {
+			machines[v] = &schedulerProbe{}
+			return machines[v]
+		})
+		if _, err := nw.Run(Options{Workers: workers}); err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]int, g.N())
+		for v, m := range machines {
+			out[v] = m.digest
+		}
+		return out
+	}
+	seq := run(1)
+	for _, workers := range []int{2, 4, 16, 100} {
+		par := run(workers)
+		for v := range seq {
+			for r := range seq[v] {
+				if seq[v][r] != par[v][r] {
+					t.Fatalf("workers=%d: node %d round %d digest %d != %d",
+						workers, v, r, par[v][r], seq[v][r])
+				}
+			}
+		}
+	}
+}
+
+func TestOnRoundCallback(t *testing.T) {
+	g := graph.Cycle(4)
+	var mu sync.Mutex
+	var perRound []int
+	nw := NewNetwork(g, func(v int) Machine { return &countdownMachine{left: 2} })
+	_, err := nw.Run(Options{OnRound: func(round, delivered int) {
+		mu.Lock()
+		perRound = append(perRound, delivered)
+		mu.Unlock()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perRound) != 2 {
+		t.Fatalf("callback fired %d times", len(perRound))
+	}
+	if perRound[0] != 8 {
+		t.Fatalf("round 1 delivered %d, want 8", perRound[0])
+	}
+}

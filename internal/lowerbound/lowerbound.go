@@ -1,0 +1,197 @@
+// Package lowerbound implements the constructions and checks behind the
+// paper's Ω(Δ) lower bound for stable orientations (Section 6):
+//
+//   - Lemma 6.1: in any stable orientation of a perfect d-ary tree,
+//     indegree(v) ≤ h(v) + 1 where h is the distance to the closest leaf;
+//   - Lemma 6.2: any orientation of a d-regular graph has a vertex of
+//     indegree at least ⌈d/2⌉;
+//   - Theorem 6.3: a t-round algorithm with t ≤ Δ/2 − 3 cannot tell a
+//     vertex of a Δ-regular girth-(Δ+1) graph from an interior vertex of a
+//     perfect Δ-ary tree, yet stability forces contradictory indegrees at
+//     the two — so no such algorithm exists.
+//
+// The package verifies the two lemmas on concrete algorithm outputs and
+// demonstrates the indistinguishability premise on the LOCAL simulator
+// with an anonymous view-collection machine: after t rounds a node's
+// state is exactly its t-ball, so two nodes with isomorphic balls emit
+// identical outputs.
+package lowerbound
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tokendrop/internal/graph"
+	"tokendrop/internal/local"
+)
+
+// CheckLemma61 verifies indegree(v) ≤ h(v) + 1 for every vertex of a tree
+// under the given complete orientation. The input must be a tree; the
+// orientation is anything an algorithm produced (the lemma holds for
+// stable orientations).
+func CheckLemma61(o *graph.Orientation) error {
+	g := o.Graph()
+	h := graph.Height(g)
+	for v := 0; v < g.N(); v++ {
+		if o.Load(v) > h[v]+1 {
+			return fmt.Errorf("lowerbound: Lemma 6.1 violated at %d: indegree %d > h+1 = %d",
+				v, o.Load(v), h[v]+1)
+		}
+	}
+	return nil
+}
+
+// CheckLemma62 verifies that some vertex of a d-regular graph has
+// indegree at least ⌈d/2⌉ under the given complete orientation, returning
+// that vertex.
+func CheckLemma62(o *graph.Orientation, d int) (int, error) {
+	g := o.Graph()
+	if !g.IsRegular(d) {
+		return -1, fmt.Errorf("lowerbound: graph is not %d-regular", d)
+	}
+	want := (d + 1) / 2
+	for v := 0; v < g.N(); v++ {
+		if o.Load(v) >= want {
+			return v, nil
+		}
+	}
+	return -1, fmt.Errorf("lowerbound: no vertex with indegree >= %d — Lemma 6.2 violated (impossible for a complete orientation)", want)
+}
+
+// viewMachine collects the anonymized t-radius view: after round r its
+// state encodes the depth-r unfolding of the port-numbered neighborhood,
+// with port labels erased by sorting (so the encoding is invariant under
+// graph isomorphism, which is what a deterministic ID-oblivious LOCAL
+// algorithm may depend on).
+type viewMachine struct {
+	rounds int
+	state  string
+}
+
+func (m *viewMachine) Init(info local.NodeInfo) { m.state = "()" }
+
+func (m *viewMachine) Step(round int, in []local.Payload, out []local.Payload) bool {
+	var parts []string
+	for _, raw := range in {
+		if raw != nil {
+			parts = append(parts, raw.(string))
+		}
+	}
+	sort.Strings(parts)
+	if round > 1 {
+		m.state = "(" + strings.Join(parts, "") + ")"
+	}
+	if round > m.rounds {
+		return true
+	}
+	for p := range out {
+		out[p] = m.state
+	}
+	return false
+}
+
+// Views runs the anonymous view-collection machine for t rounds on g and
+// returns each vertex's canonical t-view encoding. Two vertices receive
+// equal encodings iff their t-radius views unfold identically — for
+// radius below half the girth this coincides with rooted-ball isomorphism.
+func Views(g *graph.Graph, t int) []string {
+	machines := make([]*viewMachine, g.N())
+	nw := local.NewNetwork(g, func(v int) local.Machine {
+		machines[v] = &viewMachine{rounds: t}
+		return machines[v]
+	})
+	if _, err := nw.Run(local.Options{MaxRounds: t + 2}); err != nil {
+		panic(err) // the machine always halts after t+1 rounds
+	}
+	out := make([]string, g.N())
+	for v, m := range machines {
+		out[v] = m.state
+	}
+	return out
+}
+
+// Indistinguishability is the outcome of the Theorem 6.3 experiment.
+type Indistinguishability struct {
+	Delta        int
+	Radius       int  // t, the hypothetical running time
+	RegularN     int  // size of the Δ-regular graph used
+	Girth        int  // its measured girth (-1: acyclic, impossible here)
+	TreeVertex   int  // the interior tree vertex v′ with h(v′) = ⌈Δ/2⌉ − 2
+	BallsMatch   bool // radius-t balls isomorphic (structure check)
+	ViewsMatch   bool // t-round simulator outputs equal (behavioural check)
+	RegularForce int  // ⌈Δ/2⌉ — the indegree Lemma 6.2 forces in G1
+	TreeCap      int  // h(v′) + 1 — the indegree Lemma 6.1 allows in G2
+}
+
+// RunIndistinguishability instantiates the Theorem 6.3 construction for
+// the given Δ-regular graph (which must have girth > 2·radius, so that
+// balls are trees) and a perfect Δ-ary tree deep enough to contain an
+// interior vertex at height ⌈Δ/2⌉ − 2 whose radius-t ball avoids both the
+// root and the leaves. The returned report carries the contradiction pair
+// (RegularForce > TreeCap ⟺ the two outputs cannot both be stable).
+func RunIndistinguishability(reg *graph.Graph, delta, radius int) (*Indistinguishability, error) {
+	if !reg.IsRegular(delta) {
+		return nil, fmt.Errorf("lowerbound: graph is not %d-regular", delta)
+	}
+	girth := reg.Girth()
+	if girth >= 0 && girth < 2*radius+2 {
+		// A cycle of length ≤ 2t+1 lies entirely inside some radius-t
+		// ball, so tree-shaped views need girth ≥ 2t+2.
+		return nil, fmt.Errorf("lowerbound: girth %d too small for radius %d (need ≥ %d)", girth, radius, 2*radius+2)
+	}
+	// Tree with an interior vertex v′ at height ⌈Δ/2⌉ − 2 (as in the
+	// Theorem 6.3 proof) whose ball of the given radius stays interior.
+	hTarget := (delta+1)/2 - 2
+	if hTarget < 0 {
+		return nil, fmt.Errorf("lowerbound: Δ = %d too small for the construction", delta)
+	}
+	if radius > hTarget-1 {
+		return nil, fmt.Errorf("lowerbound: radius %d would let v' see the leaves (need radius ≤ ⌈Δ/2⌉-3 = %d, as in t ≤ Δ/2-3)",
+			radius, hTarget-1)
+	}
+	// The proof's tree has depth Δ+1 and places v′ at height ⌈Δ/2⌉ − 2 —
+	// exponentially many vertices. The radius-t ball of any vertex that is
+	// at distance > t from both the root and the leaves is the same
+	// complete Δ-ary ball, so a depth-2(t+1) tree with v′ at depth t+1
+	// exhibits the identical view; the indegree cap h(v′)+1 stays the
+	// analytic value from the full-size construction.
+	tree, depths := graph.PerfectDAry(delta, 2*(radius+1))
+	pick := -1
+	for v := range depths {
+		if depths[v] == radius+1 {
+			pick = v
+			break
+		}
+	}
+	if pick < 0 {
+		return nil, fmt.Errorf("lowerbound: no interior vertex at depth %d", radius+1)
+	}
+
+	iso, err := graph.BallsIsomorphic(reg, 0, tree, pick, radius)
+	if err != nil {
+		return nil, err
+	}
+
+	regViews := Views(reg, radius)
+	treeViews := Views(tree, radius)
+	report := &Indistinguishability{
+		Delta:        delta,
+		Radius:       radius,
+		RegularN:     reg.N(),
+		Girth:        girth,
+		TreeVertex:   pick,
+		BallsMatch:   iso,
+		ViewsMatch:   regViews[0] == treeViews[pick],
+		RegularForce: (delta + 1) / 2,
+		TreeCap:      hTarget + 1,
+	}
+	return report, nil
+}
+
+// Contradicts reports whether the experiment exhibits the Theorem 6.3
+// contradiction: indistinguishable views with incompatible indegree
+// requirements.
+func (r *Indistinguishability) Contradicts() bool {
+	return r.BallsMatch && r.ViewsMatch && r.RegularForce > r.TreeCap
+}

@@ -1,0 +1,8 @@
+package matching
+
+// Encoded message sizes (local.Sized): the proposal algorithm for maximal
+// matching uses three constant-size message kinds.
+
+func (mPropose) Bits() int { return 2 }
+func (mAccept) Bits() int  { return 2 }
+func (mLeave) Bits() int   { return 2 }

@@ -1,0 +1,225 @@
+// Package matching implements distributed bipartite maximal matching — the
+// problem both lower-bound reductions of the paper target (Theorems 4.6
+// and 7.4; Balliu et al. FOCS 2019 prove it needs Ω(Δ + log n/log log n)
+// rounds). The algorithm is the classic proposal algorithm (Hańćkowiak,
+// Karoński, Panconesi SODA 1998 style): unmatched customers walk their
+// port lists proposing to one server per attempt; servers accept one
+// proposal each and retire. It runs in O(Δ) rounds on the LOCAL simulator
+// and doubles as a comparator for the token-dropping reductions.
+package matching
+
+import (
+	"fmt"
+
+	"tokendrop/internal/graph"
+	"tokendrop/internal/local"
+)
+
+type mPropose struct{}
+type mAccept struct{}
+type mLeave struct{}
+
+// customerMachine proposes along its ports in order until matched or out
+// of live ports. A proposal is answered within two rounds: either an
+// accept, or the server's leave (it matched someone else); silence beyond
+// that window means rejection is impossible — servers always answer one
+// proposer and leave, so the window resolves every proposal.
+type customerMachine struct {
+	matchedTo int // neighbor ID, -1 if unmatched
+	portDead  []bool
+	proposed  int // port of the outstanding proposal, -1
+	window    int
+	neighbors []int
+}
+
+func (m *customerMachine) Init(info local.NodeInfo) {
+	m.matchedTo = -1
+	m.proposed = -1
+	m.portDead = make([]bool, info.Degree)
+	m.neighbors = append([]int(nil), info.Neighbor...)
+}
+
+func (m *customerMachine) Step(round int, in []local.Payload, out []local.Payload) bool {
+	if m.window > 0 {
+		m.window--
+	}
+	for p, raw := range in {
+		if raw == nil {
+			continue
+		}
+		switch raw.(type) {
+		case mLeave:
+			m.portDead[p] = true
+		case mAccept:
+			if p != m.proposed {
+				panic("matching: accept on a port never proposed to")
+			}
+			m.matchedTo = m.neighbors[p]
+		default:
+			panic(fmt.Sprintf("matching: customer got %T", raw))
+		}
+	}
+	if m.matchedTo >= 0 {
+		for p := range out {
+			if !m.portDead[p] {
+				out[p] = mLeave{}
+			}
+		}
+		return true
+	}
+	if m.proposed >= 0 && (m.portDead[m.proposed] || m.window == 0) {
+		// The proposal failed; that server is spoken for (it accepted
+		// another proposal this very round, its leave is in flight).
+		m.portDead[m.proposed] = true
+		m.proposed = -1
+	}
+	if m.proposed < 0 {
+		for p, dead := range m.portDead {
+			if !dead {
+				m.proposed = p
+				m.window = 2
+				out[p] = mPropose{}
+				break
+			}
+		}
+		if m.proposed < 0 {
+			// Out of candidates: every neighbor is matched elsewhere.
+			return true
+		}
+	}
+	return false
+}
+
+// serverMachine accepts the first proposal it sees (one accept total).
+type serverMachine struct {
+	matchedTo int
+	neighbors []int
+	portDead  []bool
+}
+
+func (m *serverMachine) Init(info local.NodeInfo) {
+	m.matchedTo = -1
+	m.neighbors = append([]int(nil), info.Neighbor...)
+	m.portDead = make([]bool, info.Degree)
+}
+
+func (m *serverMachine) Step(round int, in []local.Payload, out []local.Payload) bool {
+	accept := -1
+	for p, raw := range in {
+		if raw == nil {
+			continue
+		}
+		switch raw.(type) {
+		case mLeave:
+			m.portDead[p] = true
+		case mPropose:
+			if accept < 0 && !m.portDead[p] {
+				accept = p
+			}
+		default:
+			panic(fmt.Sprintf("matching: server got %T", raw))
+		}
+	}
+	if accept >= 0 {
+		m.matchedTo = m.neighbors[accept]
+		for p := range out {
+			if m.portDead[p] {
+				continue
+			}
+			if p == accept {
+				out[p] = mAccept{}
+			} else {
+				out[p] = mLeave{}
+			}
+		}
+		return true
+	}
+	live := 0
+	for _, dead := range m.portDead {
+		if !dead {
+			live++
+		}
+	}
+	if live == 0 {
+		return true // all neighbors matched elsewhere; retire unmatched
+	}
+	return false
+}
+
+var (
+	_ local.Machine = (*customerMachine)(nil)
+	_ local.Machine = (*serverMachine)(nil)
+)
+
+// Result reports a distributed matching run.
+type Result struct {
+	// MatchOf maps each vertex to its partner, -1 if unmatched.
+	MatchOf []int
+	Rounds  int
+}
+
+// Solve runs the distributed proposal algorithm for maximal matching on
+// the bipartite network b.
+func Solve(b *graph.Bipartite, maxRounds, workers int) (*Result, error) {
+	if maxRounds == 0 {
+		maxRounds = 1 << 20
+	}
+	customers := make([]*customerMachine, b.NumLeft)
+	servers := make(map[int]*serverMachine, b.NumServers())
+	nw := local.NewNetwork(b.G, func(v int) local.Machine {
+		if b.IsCustomer(v) {
+			customers[v] = &customerMachine{}
+			return customers[v]
+		}
+		sm := &serverMachine{}
+		servers[v] = sm
+		return sm
+	})
+	stats, err := nw.Run(local.Options{MaxRounds: maxRounds, Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	matchOf := make([]int, b.G.N())
+	for v := range matchOf {
+		matchOf[v] = -1
+	}
+	for c, m := range customers {
+		matchOf[c] = m.matchedTo
+	}
+	for s, m := range servers {
+		matchOf[s] = m.matchedTo
+	}
+	// Cross-check the two sides agree.
+	for c := 0; c < b.NumLeft; c++ {
+		if m := matchOf[c]; m >= 0 && matchOf[m] != c {
+			return nil, fmt.Errorf("matching: vertices %d and %d disagree on the match", c, m)
+		}
+	}
+	return &Result{MatchOf: matchOf, Rounds: stats.Rounds}, nil
+}
+
+// VerifyMaximal checks that matchOf is a matching of b (consistent,
+// partners adjacent, degree ≤ 1) and that it is maximal: no edge joins two
+// unmatched vertices. It is the oracle used by the reduction experiments.
+func VerifyMaximal(b *graph.Bipartite, matchOf []int) error {
+	if len(matchOf) != b.G.N() {
+		return fmt.Errorf("matching: matchOf has %d entries for %d vertices", len(matchOf), b.G.N())
+	}
+	for v, m := range matchOf {
+		if m < 0 {
+			continue
+		}
+		if matchOf[m] != v {
+			return fmt.Errorf("matching: %d -> %d but %d -> %d", v, m, m, matchOf[m])
+		}
+		if !b.G.HasEdge(v, m) {
+			return fmt.Errorf("matching: %d matched to non-neighbor %d", v, m)
+		}
+	}
+	for _, e := range b.G.Edges() {
+		if matchOf[e.U] < 0 && matchOf[e.V] < 0 {
+			return fmt.Errorf("matching: edge %v joins two unmatched vertices (not maximal)", e)
+		}
+	}
+	return nil
+}

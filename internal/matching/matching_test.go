@@ -1,0 +1,165 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tokendrop/internal/graph"
+)
+
+func bip(t *testing.T, g *graph.Graph, nl int) *graph.Bipartite {
+	t.Helper()
+	b, err := graph.NewBipartite(g, nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestSolveTiny(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	b := bip(t, g, 1)
+	res, err := Solve(b, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MatchOf[0] != 1 || res.MatchOf[1] != 0 {
+		t.Fatalf("single edge not matched: %v", res.MatchOf)
+	}
+	if err := VerifyMaximal(b, res.MatchOf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveCompleteBipartite(t *testing.T) {
+	b := bip(t, graph.CompleteBipartite(5, 5), 5)
+	res, err := Solve(b, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched := 0
+	for c := 0; c < 5; c++ {
+		if res.MatchOf[c] >= 0 {
+			matched++
+		}
+	}
+	if matched != 5 {
+		t.Fatalf("K55 should match everyone, matched %d", matched)
+	}
+	if err := VerifyMaximal(b, res.MatchOf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 15; i++ {
+		nl, nr := 4+rng.Intn(20), 4+rng.Intn(12)
+		c := 1 + rng.Intn(min(nr, 5))
+		g := graph.RandomBipartite(nl, nr, c, rng)
+		b := bip(t, g, nl)
+		res, err := Solve(b, 100000, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyMaximal(b, res.MatchOf); err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+	}
+}
+
+func TestLinearRounds(t *testing.T) {
+	// O(Δ) rounds: sweep the degree and check with a generous constant.
+	rng := rand.New(rand.NewSource(5))
+	for _, c := range []int{2, 4, 8, 16} {
+		g := graph.RandomBipartite(4*c, 2*c, c, rng)
+		b := bip(t, g, 4*c)
+		res, err := Solve(b, 1<<20, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delta := b.MaxServerDegree()
+		if b.MaxCustomerDegree() > delta {
+			delta = b.MaxCustomerDegree()
+		}
+		if res.Rounds > 6*delta+20 {
+			t.Fatalf("Δ=%d: %d rounds, not linear", delta, res.Rounds)
+		}
+	}
+}
+
+func TestVerifyMaximalCatchesViolations(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	b := bip(t, g, 2)
+
+	t.Run("empty not maximal", func(t *testing.T) {
+		if err := VerifyMaximal(b, []int{-1, -1, -1, -1}); err == nil {
+			t.Fatal("empty matching accepted")
+		}
+	})
+	t.Run("asymmetric", func(t *testing.T) {
+		if err := VerifyMaximal(b, []int{2, -1, -1, -1}); err == nil {
+			t.Fatal("asymmetric matching accepted")
+		}
+	})
+	t.Run("non-adjacent", func(t *testing.T) {
+		if err := VerifyMaximal(b, []int{3, -1, -1, 0}); err == nil {
+			t.Fatal("non-edge match accepted")
+		}
+	})
+	t.Run("valid", func(t *testing.T) {
+		if err := VerifyMaximal(b, []int{2, 3, 0, 1}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestIsolatedVertices(t *testing.T) {
+	g := graph.New(4) // customer 1 and server 3 isolated
+	g.AddEdge(0, 2)
+	b := bip(t, g, 2)
+	res, err := Solve(b, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MatchOf[1] != -1 || res.MatchOf[3] != -1 {
+		t.Fatal("isolated vertices must stay unmatched")
+	}
+	if err := VerifyMaximal(b, res.MatchOf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the distributed matcher always produces a maximal matching.
+func TestSolveProperty(t *testing.T) {
+	check := func(seed int64, nlRaw, nrRaw, cRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl := int(nlRaw%20) + 1
+		nr := int(nrRaw%10) + 1
+		c := int(cRaw)%min(nr, 5) + 1
+		g := graph.RandomBipartite(nl, nr, c, rng)
+		b, err := graph.NewBipartite(g, nl)
+		if err != nil {
+			return false
+		}
+		res, err := Solve(b, 1<<20, 0)
+		if err != nil {
+			return false
+		}
+		return VerifyMaximal(b, res.MatchOf) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,11 @@
+package orient
+
+import "math/bits"
+
+// Encoded message sizes (local.Sized) for the fixed-schedule protocol's
+// phase messages. Loads are bounded by Δ ≤ n, so the load broadcast is the
+// only Θ(log n)-bit message of the whole algorithm — it stays within
+// CONGEST's O(log n) budget.
+
+func (m msgLoad) Bits() int     { return 2 + bits.Len(uint(m.Load)) }
+func (msgAcceptEdge) Bits() int { return 2 }

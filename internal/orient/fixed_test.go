@@ -1,0 +1,118 @@
+package orient
+
+import (
+	"math/rand"
+	"testing"
+
+	"tokendrop/internal/core"
+	"tokendrop/internal/graph"
+)
+
+func solveFixed(t *testing.T, g *graph.Graph, opt FixedOptions) *FixedResult {
+	t.Helper()
+	res, err := SolveFixed(g, opt)
+	if err != nil {
+		t.Fatalf("SolveFixed: %v", err)
+	}
+	if g.M() > 0 && !res.Orientation.Stable() {
+		t.Fatal("not stable")
+	}
+	if err := res.Orientation.CheckLoads(); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFixedTinyGraphs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"empty", graph.New(3)},
+		{"edge", graph.Path(2)},
+		{"path", graph.Path(5)},
+		{"cycle", graph.Cycle(6)},
+		{"star", graph.Star(4)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			solveFixed(t, tc.g, FixedOptions{Seed: 1})
+		})
+	}
+}
+
+func TestFixedScheduleLengthIsWorstCase(t *testing.T) {
+	g := graph.Cycle(8) // Δ = 2
+	res := solveFixed(t, g, FixedOptions{})
+	want := 2 * 2 * (PhaseBudget(2) + 2) // 2Δ phases × phase length
+	if res.Rounds != want {
+		t.Fatalf("rounds = %d, want the full schedule %d", res.Rounds, want)
+	}
+	if res.Rounds != WorstCaseBound(2) {
+		t.Fatalf("schedule %d disagrees with WorstCaseBound %d", res.Rounds, WorstCaseBound(2))
+	}
+	if res.LastActiveRound >= res.Rounds {
+		t.Fatal("no idle tail — suspicious for a fixed schedule")
+	}
+}
+
+func TestFixedMatchesAdaptiveOutcomeQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 4; i++ {
+		g := graph.RandomGNM(14, 28, rng)
+		fixed := solveFixed(t, g, FixedOptions{Seed: int64(i)})
+		adaptive, err := Solve(g, Options{Seed: int64(i), CheckInvariants: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Both stable; potentials may differ (different tie-break
+		// sequencing) but both are local optima.
+		if !fixed.Orientation.Stable() || !adaptive.Orientation.Stable() {
+			t.Fatal("stability mismatch")
+		}
+		// The adaptive driver's work is far below the fixed schedule.
+		if adaptive.Rounds >= fixed.Rounds {
+			t.Fatalf("adaptive %d rounds should be below fixed %d", adaptive.Rounds, fixed.Rounds)
+		}
+	}
+}
+
+func TestFixedDeterministicAcrossWorkers(t *testing.T) {
+	g := graph.RandomRegular(12, 3, rand.New(rand.NewSource(5)))
+	a := solveFixed(t, g, FixedOptions{Seed: 9, Workers: 1})
+	b := solveFixed(t, g, FixedOptions{Seed: 9, Workers: 8})
+	for id := range g.Edges() {
+		if a.Orientation.Head(id) != b.Orientation.Head(id) {
+			t.Fatal("worker count changed the orientation")
+		}
+	}
+}
+
+func TestFixedRandomTies(t *testing.T) {
+	g := graph.RandomGNM(12, 30, rand.New(rand.NewSource(7)))
+	solveFixed(t, g, FixedOptions{Seed: 11, Tie: core.TieRandom})
+}
+
+func TestFixedCustomBudgetTooSmallFailsLoudly(t *testing.T) {
+	// A budget of 3 rounds cannot finish any nontrivial game; the run
+	// must detect the problem (incomplete/unstable/disagreement or the
+	// stray-grant panic) rather than return a bad orientation.
+	defer func() { recover() }() // the stray-grant guard may panic; fine
+	g := graph.Star(5)
+	if res, err := SolveFixed(g, FixedOptions{PhaseBudget: 3, Phases: 2}); err == nil {
+		if res.Orientation.Stable() && res.Orientation.Complete() {
+			t.Skip("tiny budget happened to suffice on this instance")
+		}
+		t.Fatal("undersized budget went unnoticed")
+	}
+}
+
+func TestFixedAgreesWithLemma61OnTrees(t *testing.T) {
+	tree, _ := graph.PerfectDAry(3, 3)
+	res := solveFixed(t, tree, FixedOptions{Seed: 2})
+	h := graph.Height(tree)
+	for v := 0; v < tree.N(); v++ {
+		if res.Orientation.Load(v) > h[v]+1 {
+			t.Fatalf("Lemma 6.1 violated at %d", v)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package semimatch
+
+import (
+	"fmt"
+	"sort"
+
+	"tokendrop/internal/graph"
+)
+
+// This file provides a second, independent optimality oracle based on the
+// characterization of Harvey, Ladner, Lovász, Tamir (2006): an assignment
+// is an optimal semi-matching if and only if it admits no cost-reducing
+// path — an alternating sequence of assignment edges and free edges that
+// moves one unit of load from a server with load ℓ to a server with load
+// at most ℓ - 2. The experiments use it to cross-validate the min-cost
+// flow solver: two very different algorithms certifying each other.
+
+// costReducingPath searches for a cost-reducing alternating path starting
+// at any server and returns (customers to reassign, target servers) or ok
+// = false if none exists. The search is a BFS over servers: from server s
+// we may move any customer c assigned to s onto any other adjacent server
+// s'; the move chain ends as soon as the final server's load is at least
+// two below the start's.
+func costReducingPath(a *graph.Assignment) (customers []int, targets []int, ok bool) {
+	b := a.B
+	// byServer[s] = customers currently assigned to s.
+	byServer := make(map[int][]int)
+	for c := 0; c < b.NumLeft; c++ {
+		if s := a.ServerOf[c]; s >= 0 {
+			byServer[s] = append(byServer[s], c)
+		}
+	}
+	for _, start := range b.Servers() {
+		// BFS over servers reachable by chains of single reassignments.
+		type hop struct {
+			server   int
+			customer int // customer moved to reach this server
+			prev     int // index into the visit log, -1 for the root
+		}
+		log := []hop{{server: start, customer: -1, prev: -1}}
+		seen := map[int]bool{start: true}
+		for i := 0; i < len(log); i++ {
+			cur := log[i].server
+			if a.Load(start) >= a.Load(cur)+2 {
+				// Unwind the chain.
+				for j := i; log[j].prev >= 0; j = log[j].prev {
+					customers = append(customers, log[j].customer)
+					targets = append(targets, log[j].server)
+				}
+				return customers, targets, true
+			}
+			for _, c := range byServer[cur] {
+				for _, arc := range b.G.Adj(c) {
+					if !seen[arc.To] {
+						seen[arc.To] = true
+						log = append(log, hop{server: arc.To, customer: c, prev: i})
+					}
+				}
+			}
+		}
+	}
+	return nil, nil, false
+}
+
+// IsOptimal reports whether a is an optimal semi-matching, by the
+// cost-reducing-path characterization. The assignment must be complete.
+func IsOptimal(a *graph.Assignment) (bool, error) {
+	if !a.Complete() {
+		return false, fmt.Errorf("semimatch: assignment incomplete")
+	}
+	_, _, found := costReducingPath(a)
+	return !found, nil
+}
+
+// Improve applies cost-reducing paths until none remains, turning any
+// complete assignment into an optimal semi-matching in place. It returns
+// the number of paths applied. Together with IsOptimal it forms a third
+// route to the optimum (local search), used in tests to triangulate the
+// flow solver.
+func Improve(a *graph.Assignment) int {
+	applied := 0
+	for {
+		customers, targets, ok := costReducingPath(a)
+		if !ok {
+			return applied
+		}
+		// The path is reported end-to-start; apply reassignments in that
+		// order (each move is individually valid: the customer moves to
+		// an adjacent server).
+		for i, c := range customers {
+			a.Reassign(c, targets[i])
+		}
+		applied++
+	}
+}
+
+// LoadProfile returns the server loads in descending order — HLLT06 show
+// an optimal semi-matching simultaneously minimizes every prefix sum of
+// this profile (it is lexicographically minimal), hence also the maximum
+// load and the total flow time.
+func LoadProfile(a *graph.Assignment) []int {
+	b := a.B
+	profile := make([]int, 0, b.NumServers())
+	for _, s := range b.Servers() {
+		profile = append(profile, a.Load(s))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(profile)))
+	return profile
+}
+
+// MaxLoad returns the largest server load (the makespan objective).
+func MaxLoad(a *graph.Assignment) int {
+	max := 0
+	for _, s := range a.B.Servers() {
+		if l := a.Load(s); l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// ProfileLessEq reports whether profile p dominates q from below:
+// descending-sorted p is lexicographically no larger than q. Optimal
+// semi-matchings have the minimal profile.
+func ProfileLessEq(p, q []int) bool {
+	for i := range p {
+		if i >= len(q) {
+			return false
+		}
+		if p[i] != q[i] {
+			return p[i] < q[i]
+		}
+	}
+	return true
+}

@@ -1,0 +1,220 @@
+// Package semimatch provides the semi-matching substrate of Section 1.3
+// (Harvey, Ladner, Lovász, Tamir 2006): assign every customer of a
+// bipartite graph to an adjacent server minimizing Σ_s f(load(s)) with
+// f(x) = 1 + 2 + … + x. The exact optimum is computed by successive
+// shortest paths on a min-cost flow network whose server arcs have the
+// convex marginal costs 1, 2, 3, …; the optimum certifies the paper's
+// claim (via CHSW12) that a stable assignment is a 2-approximation.
+package semimatch
+
+import (
+	"fmt"
+	"math"
+
+	"tokendrop/internal/graph"
+)
+
+// Cost returns Σ_s f(load(s)) for the load vector of an assignment.
+func Cost(a *graph.Assignment) int { return a.SemimatchingCost() }
+
+// CostOfLoads computes the objective for a raw load vector.
+func CostOfLoads(loads []int) int {
+	c := 0
+	for _, l := range loads {
+		c += l * (l + 1) / 2
+	}
+	return c
+}
+
+// Optimal computes an exact optimal semi-matching of b via min-cost flow
+// with successive shortest paths, returning the assignment and its cost.
+// Every customer must have at least one adjacent server.
+//
+// Network: source → customer (capacity 1, cost 0), customer → server
+// (capacity 1, cost 0), server → sink (deg(server) parallel unit arcs of
+// costs 1, 2, 3, …). The convex arc costs make any min-cost integral flow
+// of value |customers| an optimal semi-matching. Successive shortest
+// paths with Bellman–Ford–style relaxation handles the negative residual
+// arcs; instance sizes in the experiments keep this comfortably fast.
+func Optimal(b *graph.Bipartite) (*graph.Assignment, int, error) {
+	for c := 0; c < b.NumLeft; c++ {
+		if b.G.Degree(c) == 0 {
+			return nil, 0, fmt.Errorf("semimatch: customer %d has no adjacent server", c)
+		}
+	}
+	f := newFlow(b)
+	for i := 0; i < b.NumLeft; i++ {
+		if !f.augment() {
+			return nil, 0, fmt.Errorf("semimatch: could not assign all customers (augmented %d of %d)", i, b.NumLeft)
+		}
+	}
+	a := f.toAssignment()
+	if err := a.CheckLoads(); err != nil {
+		return nil, 0, err
+	}
+	return a, a.SemimatchingCost(), nil
+}
+
+// flow is a compact successive-shortest-path min-cost-flow solver
+// specialized to the semi-matching network.
+type flow struct {
+	b     *graph.Bipartite
+	n     int // nodes: source, customers, servers, sink
+	src   int
+	sink  int
+	head  []int // adjacency: arc lists
+	nxt   []int
+	to    []int
+	cap   []int
+	cost  []int
+	first []int
+}
+
+func newFlow(b *graph.Bipartite) *flow {
+	nC, nS := b.NumLeft, b.NumServers()
+	f := &flow{
+		b:    b,
+		n:    2 + nC + nS,
+		src:  0,
+		sink: 1 + nC + nS,
+	}
+	f.first = make([]int, f.n)
+	for i := range f.first {
+		f.first[i] = -1
+	}
+	customer := func(c int) int { return 1 + c }
+	server := func(s int) int { return 1 + nC + (s - b.NumLeft) }
+	for c := 0; c < nC; c++ {
+		f.addArc(f.src, customer(c), 1, 0)
+	}
+	for c := 0; c < nC; c++ {
+		for _, arc := range b.G.Adj(c) {
+			f.addArc(customer(c), server(arc.To), 1, 0)
+		}
+	}
+	for s := b.NumLeft; s < b.G.N(); s++ {
+		for u := 1; u <= b.G.Degree(s); u++ {
+			f.addArc(server(s), f.sink, 1, u) // marginal cost of the u-th unit
+		}
+	}
+	return f
+}
+
+// addArc appends a forward arc and its zero-capacity reverse.
+func (f *flow) addArc(u, v, capacity, cost int) {
+	push := func(u, v, capacity, cost int) {
+		f.to = append(f.to, v)
+		f.cap = append(f.cap, capacity)
+		f.cost = append(f.cost, cost)
+		f.nxt = append(f.nxt, f.first[u])
+		f.first[u] = len(f.to) - 1
+	}
+	push(u, v, capacity, cost)
+	push(v, u, 0, -cost)
+}
+
+// augment finds a min-cost augmenting path from source to sink and pushes
+// one unit along it; it returns false if the sink is unreachable.
+func (f *flow) augment() bool {
+	dist := make([]int, f.n)
+	inQueue := make([]bool, f.n)
+	prevArc := make([]int, f.n)
+	for i := range dist {
+		dist[i] = math.MaxInt / 2
+		prevArc[i] = -1
+	}
+	dist[f.src] = 0
+	queue := []int{f.src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		inQueue[u] = false
+		for a := f.first[u]; a >= 0; a = f.nxt[a] {
+			if f.cap[a] <= 0 {
+				continue
+			}
+			v := f.to[a]
+			if nd := dist[u] + f.cost[a]; nd < dist[v] {
+				dist[v] = nd
+				prevArc[v] = a
+				if !inQueue[v] {
+					inQueue[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	if prevArc[f.sink] < 0 {
+		return false
+	}
+	for v := f.sink; v != f.src; {
+		a := prevArc[v]
+		f.cap[a]--
+		f.cap[a^1]++ // arcs are added in pairs; a^1 is the reverse
+		v = f.to[a^1]
+	}
+	return true
+}
+
+// toAssignment reads the customer→server unit flows back out.
+func (f *flow) toAssignment() *graph.Assignment {
+	b := f.b
+	a := graph.NewAssignment(b)
+	for c := 0; c < b.NumLeft; c++ {
+		u := 1 + c
+		for arc := f.first[u]; arc >= 0; arc = f.nxt[arc] {
+			// A saturated forward customer→server arc has cap 0 and its
+			// reverse cap 1; forward arcs are the even indices.
+			if arc%2 == 0 && f.cap[arc] == 0 && f.to[arc] != f.src {
+				server := b.NumLeft + (f.to[arc] - 1 - b.NumLeft)
+				a.Assign(c, server)
+				break
+			}
+		}
+	}
+	return a
+}
+
+// ApproxRatio returns cost(a) / optimal cost as a float together with the
+// optimal cost; the paper (via CHSW12) guarantees stable assignments stay
+// at or below 2.
+func ApproxRatio(a *graph.Assignment) (float64, int, error) {
+	_, opt, err := Optimal(a.B)
+	if err != nil {
+		return 0, 0, err
+	}
+	if opt == 0 {
+		if a.SemimatchingCost() == 0 {
+			return 1, 0, nil
+		}
+		return math.Inf(1), 0, nil
+	}
+	return float64(a.SemimatchingCost()) / float64(opt), opt, nil
+}
+
+// BruteForceOptimal exhaustively searches all assignments — usable only
+// for tiny instances (product of customer degrees across customers must
+// stay small); it is the test oracle for Optimal.
+func BruteForceOptimal(b *graph.Bipartite) (int, error) {
+	var loads = make([]int, b.G.N())
+	best := math.MaxInt
+	var rec func(c int)
+	rec = func(c int) {
+		if c == b.NumLeft {
+			if cost := CostOfLoads(loads[b.NumLeft:]); cost < best {
+				best = cost
+			}
+			return
+		}
+		for _, arc := range b.G.Adj(c) {
+			loads[arc.To]++
+			rec(c + 1)
+			loads[arc.To]--
+		}
+	}
+	rec(0)
+	if best == math.MaxInt {
+		return 0, fmt.Errorf("semimatch: no assignment exists")
+	}
+	return best, nil
+}

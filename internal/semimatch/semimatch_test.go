@@ -1,0 +1,161 @@
+package semimatch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tokendrop/internal/assign"
+	"tokendrop/internal/graph"
+)
+
+func bip(t *testing.T, g *graph.Graph, nl int) *graph.Bipartite {
+	t.Helper()
+	b, err := graph.NewBipartite(g, nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestCostOfLoads(t *testing.T) {
+	if CostOfLoads([]int{0, 1, 2, 3}) != 0+1+3+6 {
+		t.Fatal("f(x) = x(x+1)/2 summed")
+	}
+}
+
+func TestOptimalTiny(t *testing.T) {
+	// Two customers, two servers, complete: optimum splits them, cost 2.
+	b := bip(t, graph.CompleteBipartite(2, 2), 2)
+	a, cost, err := Optimal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 2 {
+		t.Fatalf("cost %d, want 2", cost)
+	}
+	if !a.Complete() {
+		t.Fatal("incomplete optimal assignment")
+	}
+}
+
+func TestOptimalForcedImbalance(t *testing.T) {
+	// Three customers all adjacent only to one server: cost 1+2+3 = 6.
+	g := graph.New(4)
+	g.AddEdge(0, 3)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	_, cost, err := Optimal(bip(t, g, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 6 {
+		t.Fatalf("cost %d, want 6", cost)
+	}
+}
+
+func TestOptimalMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 25; i++ {
+		nl := 2 + rng.Intn(5)
+		nr := 2 + rng.Intn(4)
+		c := 1 + rng.Intn(min(nr, 3))
+		g := graph.RandomBipartite(nl, nr, c, rng)
+		b := bip(t, g, nl)
+		_, flowCost, err := Optimal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bruteCost, err := BruteForceOptimal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if flowCost != bruteCost {
+			t.Fatalf("instance %d: flow %d != brute force %d", i, flowCost, bruteCost)
+		}
+	}
+}
+
+func TestOptimalRejectsIsolatedCustomer(t *testing.T) {
+	g := graph.New(2)
+	b := bip(t, g, 1)
+	if _, _, err := Optimal(b); err == nil {
+		t.Fatal("isolated customer accepted")
+	}
+}
+
+func TestStableAssignmentIs2Approximation(t *testing.T) {
+	// The headline quality claim of Section 1.3: a stable assignment is a
+	// factor-2 approximation of the optimal semi-matching.
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 12; i++ {
+		nl, nr := 6+rng.Intn(24), 3+rng.Intn(8)
+		c := 1 + rng.Intn(min(nr, 4))
+		g := graph.RandomBipartite(nl, nr, c, rng)
+		b := bip(t, g, nl)
+		res, err := assign.Solve(b, assign.Options{Seed: int64(i), CheckInvariants: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio, opt, err := ApproxRatio(res.Assignment)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio > 2.0 {
+			t.Fatalf("instance %d: ratio %.3f > 2 (stable %d, optimal %d)",
+				i, ratio, res.Assignment.SemimatchingCost(), opt)
+		}
+		if ratio < 1.0 {
+			t.Fatalf("instance %d: ratio %.3f < 1 — optimum is not optimal", i, ratio)
+		}
+	}
+}
+
+func TestOptimalIsStableToo(t *testing.T) {
+	// An optimal semi-matching is in particular locally optimal: no
+	// single reassignment improves it, hence every customer is happy.
+	rng := rand.New(rand.NewSource(13))
+	g := graph.RandomBipartite(15, 5, 3, rng)
+	a, _, err := Optimal(bip(t, g, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Stable() {
+		t.Fatal("optimal semi-matching should be a stable assignment")
+	}
+}
+
+// Property: flow optimum equals brute force on small random instances,
+// and is never beaten by any stable assignment.
+func TestOptimalProperty(t *testing.T) {
+	check := func(seed int64, nlRaw, nrRaw, cRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl := int(nlRaw%5) + 2
+		nr := int(nrRaw%4) + 2
+		c := int(cRaw)%min(nr, 3) + 1
+		g := graph.RandomBipartite(nl, nr, c, rng)
+		b, err := graph.NewBipartite(g, nl)
+		if err != nil {
+			return false
+		}
+		_, flowCost, err := Optimal(b)
+		if err != nil {
+			return false
+		}
+		brute, err := BruteForceOptimal(b)
+		if err != nil {
+			return false
+		}
+		return flowCost == brute
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,232 @@
+package tokendrop_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"tokendrop"
+)
+
+// These tests exercise the public facade end to end — integration tests
+// across the internal modules through the API a downstream user sees.
+
+func TestQuickstartFlow(t *testing.T) {
+	g := tokendrop.RandomRegular(24, 4, rand.New(rand.NewSource(1)))
+	res, err := tokendrop.StableOrientation(g, tokendrop.OrientOptions{CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Orientation.Stable() {
+		t.Fatal("not stable")
+	}
+	if res.Rounds <= 0 || res.Rounds >= tokendrop.OrientWorstCaseBound(4) {
+		t.Fatalf("suspicious round count %d", res.Rounds)
+	}
+}
+
+func TestGameFacade(t *testing.T) {
+	inst := tokendrop.ChainGame(6)
+	sol, stats, err := tokendrop.SolveGame(inst, tokendrop.GameOptions{MaxRounds: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tokendrop.VerifyGame(sol); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds < 6 {
+		t.Fatal("chain cannot finish this fast")
+	}
+
+	seq := tokendrop.SolveGameSequential(inst, tokendrop.PolicyFirst, nil)
+	if err := tokendrop.VerifyGame(seq); err != nil {
+		t.Fatal(err)
+	}
+
+	fig := tokendrop.Figure2Game()
+	sol2, _, err := tokendrop.SolveGame(fig, tokendrop.GameOptions{Tie: tokendrop.TieRandom, Seed: 7, MaxRounds: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tokendrop.VerifyGame(sol2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGame3LevelFacade(t *testing.T) {
+	inst := tokendrop.ChainGame(2)
+	sol, _, err := tokendrop.SolveGame3Level(inst, tokendrop.GameOptions{MaxRounds: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tokendrop.VerifyGame(sol); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tokendrop.SolveGame3Level(tokendrop.ChainGame(5), tokendrop.GameOptions{}); err == nil {
+		t.Fatal("tall game accepted by the 3-level solver")
+	}
+}
+
+func TestCustomGameConstruction(t *testing.T) {
+	g := tokendrop.NewGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	inst, err := tokendrop.NewGame(g, []int{0, 1, 2}, []bool{false, true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, _, err := tokendrop.SolveGame(inst, tokendrop.GameOptions{MaxRounds: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tokendrop.VerifyGame(sol); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tokendrop.NewGame(g, []int{0, 2, 4}, make([]bool, 3)); err == nil {
+		t.Fatal("invalid levels accepted")
+	}
+}
+
+func TestAssignmentFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := tokendrop.RandomBipartite(20, 8, 3, rng)
+	b, err := tokendrop.NewBipartite(g, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tokendrop.StableAssignment(b, tokendrop.AssignOptions{CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Assignment.Stable() {
+		t.Fatal("not stable")
+	}
+	ratio, opt, err := tokendrop.SemimatchingApproxRatio(res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio > 2 || opt <= 0 {
+		t.Fatalf("ratio %.3f opt %d", ratio, opt)
+	}
+}
+
+func TestBoundedAndMatchingFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := tokendrop.RandomBipartite(16, 8, 3, rng)
+	b, err := tokendrop.NewBipartite(g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tokendrop.KBoundedAssignment(b, tokendrop.BoundedOptions{CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Assignment.KStable(2) {
+		t.Fatal("not 2-bounded stable")
+	}
+	matchOf := tokendrop.MatchingFromBounded(res.Assignment)
+	if err := tokendrop.VerifyMaximalMatching(b, matchOf); err != nil {
+		t.Fatal(err)
+	}
+
+	mm, err := tokendrop.MaximalMatching(b, 100000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tokendrop.VerifyMaximalMatching(b, mm.MatchOf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaselineFacade(t *testing.T) {
+	g := tokendrop.StarGraph(8)
+	o := tokendrop.ArbitraryOrientation(g, tokendrop.InitRandom, rand.New(rand.NewSource(1)))
+	res := tokendrop.GreedyOrientation(o.Clone(), tokendrop.FlipWorst, rand.New(rand.NewSource(2)))
+	if !res.Orientation.Stable() {
+		t.Fatal("greedy did not stabilize")
+	}
+	selfish, err := tokendrop.SelfishOrientation(o, 3, 1<<18, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !selfish.Orientation.Stable() {
+		t.Fatal("selfish flips did not stabilize")
+	}
+}
+
+func TestBipartiteGameFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := tokendrop.RandomBipartite(10, 10, 3, rng)
+	inst := tokendrop.BipartiteGame(g, 10)
+	sol, _, err := tokendrop.SolveGame(inst, tokendrop.GameOptions{MaxRounds: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tokendrop.VerifyGame(sol); err != nil {
+		t.Fatal(err)
+	}
+	// Traversals form a matching (Theorem 4.6's reduction).
+	b, _ := tokendrop.NewBipartite(g, 10)
+	matchOf := make([]int, g.N())
+	for v := range matchOf {
+		matchOf[v] = -1
+	}
+	for _, tr := range sol.Traversals() {
+		if len(tr.Path) == 2 {
+			matchOf[tr.Path[0]] = tr.Path[1]
+			matchOf[tr.Path[1]] = tr.Path[0]
+		}
+	}
+	if err := tokendrop.VerifyMaximalMatching(b, matchOf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorsFacade(t *testing.T) {
+	if tokendrop.PathGraph(4).M() != 3 {
+		t.Fatal("path")
+	}
+	if tokendrop.CycleGraph(5).M() != 5 {
+		t.Fatal("cycle")
+	}
+	if tokendrop.GridGraph(2, 3).N() != 6 {
+		t.Fatal("grid")
+	}
+	if tokendrop.CompleteGraph(4).M() != 6 {
+		t.Fatal("complete")
+	}
+	if tokendrop.CaterpillarGraph(5, 1).N() != 10 {
+		t.Fatal("caterpillar")
+	}
+	tree, depths := tokendrop.PerfectDAryTree(3, 2)
+	if tree.N() != len(depths) {
+		t.Fatal("tree")
+	}
+	rng := rand.New(rand.NewSource(1))
+	if !tokendrop.RandomRegular(12, 3, rng).IsRegular(3) {
+		t.Fatal("regular")
+	}
+	if tokendrop.RandomGraph(10, 15, rng).M() != 15 {
+		t.Fatal("gnm")
+	}
+	if tokendrop.RandomBipartiteRegular(6, 4, 2, 3, rng).M() != 12 {
+		t.Fatal("bipartite regular")
+	}
+	cfg := tokendrop.LayeredConfig{Levels: 3, Width: 4, ParentDeg: 2, TokenProb: 0.5}
+	inst := tokendrop.RandomLayeredGame(cfg, rng)
+	if inst.Height() != 3 {
+		t.Fatal("layered")
+	}
+	_, _, err := tokendrop.OptimalSemimatching(mustBip(t, tokendrop.RandomBipartite(6, 3, 2, rng), 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustBip(t *testing.T, g *tokendrop.Graph, nl int) *tokendrop.Bipartite {
+	t.Helper()
+	b, err := tokendrop.NewBipartite(g, nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
