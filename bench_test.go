@@ -153,6 +153,12 @@ func BenchmarkE21MessageSizes(b *testing.B) {
 	}
 }
 
+func BenchmarkE22ShardedEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.E22ShardedEngine(quick())
+	}
+}
+
 func BenchmarkFixedScheduleOrientation(b *testing.B) {
 	g := tokendrop.CycleGraph(10)
 	for i := 0; i < b.N; i++ {

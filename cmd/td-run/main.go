@@ -7,6 +7,9 @@
 //	td-run -workload layered -levels 5 -width 12 -deg 3 -tokens 0.7 -solver proposal -paths
 //	td-run -workload figure2 -solver sequential -paths
 //	td-run -workload bipartite -width 20 -deg 4 -solver threelevel
+//	td-run -workload layered -levels 7 -width 125000 -deg 4 -engine sharded
+//	td-run -workload grid -levels 100 -width 10000 -engine sharded
+//	td-run -workload powerlaw -width 500000 -deg 16 -engine sharded -solver threelevel
 package main
 
 import (
@@ -21,12 +24,15 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "layered", "chain | layered | figure2 | bipartite | topheavy")
+		workload = flag.String("workload", "layered", "chain | layered | figure2 | bipartite | topheavy | grid | powerlaw")
 		levels   = flag.Int("levels", 5, "number of layers above layer 0")
-		width    = flag.Int("width", 10, "vertices per layer (layered/topheavy) or per side (bipartite)")
-		deg      = flag.Int("deg", 3, "downward degree per vertex")
+		width    = flag.Int("width", 10, "vertices per layer (layered/topheavy/grid) or per side (bipartite/powerlaw)")
+		deg      = flag.Int("deg", 3, "downward degree per vertex (max degree for powerlaw)")
 		tokens   = flag.Float64("tokens", 0.6, "token density (layered)")
 		solver   = flag.String("solver", "proposal", "proposal | threelevel | sequential | parallel")
+		engine   = flag.String("engine", "local", "local (goroutine-per-node simulator) | sharded (flat CSR engine)")
+		shards   = flag.Int("shards", 0, "sharded engine worker count (0 = GOMAXPROCS)")
+		alpha    = flag.Float64("alpha", 2.0, "power-law degree exponent (powerlaw)")
 		seed     = flag.Int64("seed", 1, "workload and tie-break seed")
 		random   = flag.Bool("random-ties", false, "randomized tie-breaking")
 		paths    = flag.Bool("paths", false, "print token traversals")
@@ -39,6 +45,7 @@ func main() {
 
 	rng := rand.New(rand.NewSource(*seed))
 	var inst *tokendrop.GameInstance
+	var flat *tokendrop.FlatGame // CSR-native workloads build this first
 	if *loadFile != "" {
 		f, err := os.Open(*loadFile)
 		if err != nil {
@@ -86,8 +93,23 @@ func main() {
 	case "bipartite":
 		g := tokendrop.RandomBipartite(*width, *width, *deg, rng)
 		inst = tokendrop.BipartiteGame(g, *width)
+	case "grid":
+		// levels+1 rows of width columns, top quarter of the rows occupied.
+		rows := *levels + 1
+		tokenRows := (rows + 3) / 4
+		if tokenRows >= rows {
+			tokenRows = rows - 1
+		}
+		flat = tokendrop.LayeredGridGame(rows, *width, tokenRows)
+	case "powerlaw":
+		flat = tokendrop.PowerLawBipartiteGame(*width, *width, *alpha, *deg, rng)
 	default:
 		log.Fatalf("unknown workload %q", *workload)
+	}
+	if flat != nil {
+		// CSR-native workload: materialize the pointer instance too (the
+		// sequential solvers, the object engine, and verification use it).
+		inst = flat.Instance()
 	}
 
 	if *saveFile != "" {
@@ -105,6 +127,12 @@ func main() {
 	fmt.Printf("instance: n=%d m=%d height=%d Δ=%d tokens=%d\n",
 		inst.N(), inst.Graph().M(), inst.Height(), inst.MaxDegree(), inst.NumTokens())
 
+	if *engine != "local" && *engine != "sharded" {
+		log.Fatalf("unknown engine %q (want local or sharded)", *engine)
+	}
+	if *engine == "sharded" && *solver != "proposal" && *solver != "threelevel" {
+		log.Fatalf("solver %q is centralized; -engine sharded applies only to proposal | threelevel", *solver)
+	}
 	tie := tokendrop.TieFirstPort
 	if *random {
 		tie = tokendrop.TieRandom
@@ -114,20 +142,38 @@ func main() {
 	var sol *tokendrop.GameSolution
 	var stats tokendrop.GameStats
 	var err error
-	switch *solver {
-	case "proposal":
-		sol, stats, err = tokendrop.SolveGame(inst, opt)
-	case "threelevel":
-		sol, stats, err = tokendrop.SolveGame3Level(inst, opt)
-	case "sequential":
-		sol = tokendrop.SolveGameSequential(inst, tokendrop.PolicyFirst, rng)
-	case "parallel":
-		sol = tokendrop.SolveGameSequential(inst, tokendrop.PolicyRandom, rng)
-	default:
-		log.Fatalf("unknown solver %q", *solver)
-	}
-	if err != nil {
-		log.Fatal(err)
+	if *engine == "sharded" && (*solver == "proposal" || *solver == "threelevel") {
+		if flat == nil {
+			flat = tokendrop.NewFlatGame(inst)
+		}
+		sopt := tokendrop.ShardedGameOptions{Tie: tie, Seed: *seed, MaxRounds: 1 << 20, Shards: *shards}
+		var res *tokendrop.FlatGameResult
+		if *solver == "proposal" {
+			res, err = tokendrop.SolveGameSharded(flat, sopt)
+		} else {
+			res, err = tokendrop.SolveGame3LevelSharded(flat, sopt)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		sol = res.Solution(inst)
+		stats = res.Stats
+	} else {
+		switch *solver {
+		case "proposal":
+			sol, stats, err = tokendrop.SolveGame(inst, opt)
+		case "threelevel":
+			sol, stats, err = tokendrop.SolveGame3Level(inst, opt)
+		case "sequential":
+			sol = tokendrop.SolveGameSequential(inst, tokendrop.PolicyFirst, rng)
+		case "parallel":
+			sol = tokendrop.SolveGameSequential(inst, tokendrop.PolicyRandom, rng)
+		default:
+			log.Fatalf("unknown solver %q", *solver)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	if err := tokendrop.VerifyGame(sol); err != nil {
 		log.Fatalf("solution failed verification: %v", err)

@@ -24,8 +24,25 @@
 //
 // Everything runs on a faithful simulator of the LOCAL model
 // (port-numbered synchronous message passing, unbounded messages, unique
-// identifiers) in which per-round node steps execute in parallel on a
-// goroutine pool with deterministic results.
+// identifiers). Two runtimes implement it:
+//
+//   - the seed engine (internal/local.Network): one Machine object per
+//     node stepped on a goroutine pool per round, arbitrary Go payloads —
+//     fully general, and the reference semantics;
+//   - the sharded engine (internal/local.RunSharded): a CSR graph
+//     (internal/graph.CSR — compressed adjacency with flat arc, edge-id,
+//     and reverse-arc arrays), byte-word messages in double-buffered flat
+//     arrays, per-vertex state as struct-of-arrays, and persistent
+//     workers over arc-balanced vertex shards with one barrier per round
+//     — no goroutine spawns and no per-message allocations, built for
+//     million-node games (≥5× the seed engine's round throughput at 10⁶
+//     vertices; numbers in CHANGES.md).
+//
+// Both engines are deterministic regardless of scheduling, and under
+// first-port tie-breaking they produce bit-identical runs of the game
+// algorithms, which the differential test suite in internal/core asserts
+// against the centralized sequential oracle on hundreds of instances
+// (experiment E22 records the same check as a table).
 //
 // # Quick start
 //

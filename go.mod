@@ -1,0 +1,3 @@
+module tokendrop
+
+go 1.21

@@ -77,7 +77,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 	for _, id := range []string{
 		"E1", "E2", "E3", "E4a", "E4b", "E5", "E6", "E7", "E8a", "E8b", "E9",
 		"E10a", "E10b", "E11", "E12", "E13", "E14",
-		"E15", "E16", "E17", "E18", "E19", "E20", "E21",
+		"E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22",
 	} {
 		if !seen[id] {
 			t.Fatalf("experiment %s missing", id)

@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"time"
+
+	"tokendrop/internal/core"
+)
+
+// E22: the sharded flat LOCAL engine versus the seed goroutine-per-node
+// engine. Both run the deterministic proposal protocol (TieFirstPort) on
+// the same game with identical port numbering, so beyond the timing the
+// experiment certifies that the two engines produce the same run — same
+// rounds, same move count, same final configuration potential — and that
+// the solution verifies.
+func E22ShardedEngine(p Profile) *Table {
+	t := &Table{
+		ID:    "E22",
+		Title: "Sharded flat engine vs seed engine (proposal algorithm)",
+		Claim: "the CSR/flat-word engine reproduces the object engine's runs bit for bit, faster",
+		Columns: []string{"engine", "n", "m", "rounds", "moves", "final Φ", "ms", "rounds/s",
+			"verified", "engines agree"},
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	cfg := core.LayeredConfig{Levels: 5, Width: 2000, ParentDeg: 4, TokenProb: 0.6, FreeBottom: true}
+	if p.Quick {
+		cfg.Width = 60
+	}
+	fi := core.FlatRandomLayered(cfg, rng)
+	inst := fi.Instance()
+
+	t0 := time.Now()
+	seedSol, seedStats, err := core.SolveProposal(inst, core.SolveOptions{Tie: core.TieFirstPort, MaxRounds: 1 << 20})
+	seedMS := time.Since(t0).Seconds() * 1000
+	if err != nil {
+		t.AddRow("seed", inst.N(), inst.Graph().M(), "error", err.Error(), "", "", "", mark(false), "")
+		return t
+	}
+	t0 = time.Now()
+	res, err := core.SolveProposalSharded(fi, core.ShardedSolveOptions{Tie: core.TieFirstPort, MaxRounds: 1 << 20})
+	shardMS := time.Since(t0).Seconds() * 1000
+	if err != nil {
+		t.AddRow("sharded", fi.N(), fi.M(), "error", err.Error(), "", "", "", mark(false), "")
+		return t
+	}
+	flatSol := res.Solution(inst)
+
+	agree := seedStats.Rounds == res.Stats.Rounds &&
+		len(seedSol.Moves) == len(res.Moves) &&
+		core.SolutionPotential(seedSol) == core.SolutionPotential(flatSol) &&
+		slices.Equal(seedSol.Final, flatSol.Final)
+	rps := func(rounds int, ms float64) string {
+		if ms <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.0f", float64(rounds)/(ms/1000))
+	}
+	t.AddRow("seed", inst.N(), inst.Graph().M(), seedStats.Rounds, len(seedSol.Moves),
+		core.SolutionPotential(seedSol), seedMS, rps(seedStats.Rounds, seedMS),
+		mark(core.Verify(seedSol) == nil), mark(agree))
+	t.AddRow("sharded", fi.N(), fi.M(), res.Stats.Rounds, len(res.Moves),
+		core.SolutionPotential(flatSol), shardMS, rps(res.Stats.Rounds, shardMS),
+		mark(core.Verify(flatSol) == nil), mark(agree))
+	if shardMS > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("speedup %.1fx end-to-end at n=%d (10⁶-vertex numbers in CHANGES.md)",
+			seedMS/shardMS, inst.N()))
+	}
+	return t
+}

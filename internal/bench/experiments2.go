@@ -243,5 +243,6 @@ func All(p Profile) []*Table {
 	out = append(out, E19ScheduleAblation(p))
 	out = append(out, E20RuntimeScaling(p))
 	out = append(out, E21MessageSizes(p))
+	out = append(out, E22ShardedEngine(p))
 	return out
 }

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// The differential suite runs every solver — the centralized sequential
+// oracle, the object-engine distributed solvers, and the sharded flat
+// solvers — over a battery of ~200 seeded random layered instances and
+// cross-checks them three ways:
+//
+//  1. every solution passes core.Verify (legal replay, unique
+//     destinations, maximality),
+//  2. every solution satisfies the potential identity
+//     finalPotential == initialPotential - moves (each move drops one
+//     token one level; token count is conserved),
+//  3. the object engine and the sharded engine, running the same
+//     deterministic protocol (TieFirstPort) over the same port numbering,
+//     produce bit-identical runs: same rounds, same message count, same
+//     move log, same final placement — and therefore identical final
+//     potentials.
+//
+// Distinct maximal solutions of one instance may legitimately end at
+// different potentials (the game is not potential-convex), so potential
+// equality across *different* algorithms is checked only through the
+// per-solver identity (2) and the engine-pair equality (3).
+
+// diffCase derives a small random layered instance from a case index.
+func diffCase(i int) (LayeredConfig, int64) {
+	cfg := LayeredConfig{
+		Levels:     1 + i%4,
+		Width:      2 + (i/4)%7,
+		TokenProb:  [...]float64{0.3, 0.6, 0.9}[i%3],
+		FreeBottom: i%2 == 0,
+	}
+	cfg.ParentDeg = 1 + i%3
+	if cfg.ParentDeg > cfg.Width {
+		cfg.ParentDeg = cfg.Width
+	}
+	return cfg, int64(1000 + i)
+}
+
+func checkSolution(t *testing.T, tag string, inst *Instance, sol *Solution) {
+	t.Helper()
+	if err := Verify(sol); err != nil {
+		t.Fatalf("%s: verification failed: %v", tag, err)
+	}
+	want := InstancePotential(inst) - int64(len(sol.Moves))
+	if got := SolutionPotential(sol); got != want {
+		t.Fatalf("%s: final potential %d, want initial %d - %d moves = %d",
+			tag, got, InstancePotential(inst), len(sol.Moves), want)
+	}
+}
+
+func TestDifferentialProposalEngines(t *testing.T) {
+	const cases = 200
+	for i := 0; i < cases; i++ {
+		cfg, seed := diffCase(i)
+		rng := rand.New(rand.NewSource(seed))
+		inst := RandomLayered(cfg, rng)
+		fi := NewFlatInstance(inst)
+		tag := fmt.Sprintf("case %d (%+v)", i, cfg)
+
+		// Oracle: the centralized sequential solver.
+		oracle := SolveSequential(inst, PolicyFirst, nil)
+		checkSolution(t, tag+" sequential", inst, oracle)
+
+		// Object engine.
+		objSol, objStats, err := SolveProposal(inst, SolveOptions{Tie: TieFirstPort, MaxRounds: 1 << 16})
+		if err != nil {
+			t.Fatalf("%s: object engine: %v", tag, err)
+		}
+		checkSolution(t, tag+" proposal/object", inst, objSol)
+
+		// Sharded engine, with a shard count varying across cases to
+		// exercise partition boundaries.
+		res, err := SolveProposalSharded(fi, ShardedSolveOptions{
+			Tie: TieFirstPort, MaxRounds: 1 << 16, Shards: 1 + i%5,
+		})
+		if err != nil {
+			t.Fatalf("%s: sharded engine: %v", tag, err)
+		}
+		flatSol := res.Solution(inst)
+		checkSolution(t, tag+" proposal/sharded", inst, flatSol)
+
+		// Engine pair: bit-identical runs.
+		if res.Stats.Rounds != objStats.Rounds {
+			t.Fatalf("%s: rounds %d (sharded) != %d (object)", tag, res.Stats.Rounds, objStats.Rounds)
+		}
+		if res.Stats.Messages != objStats.Messages {
+			t.Fatalf("%s: messages %d (sharded) != %d (object)", tag, res.Stats.Messages, objStats.Messages)
+		}
+		if res.Stats.MaxActiveUnoccupied != objStats.MaxActiveUnoccupied {
+			t.Fatalf("%s: maxActive %d (sharded) != %d (object)",
+				tag, res.Stats.MaxActiveUnoccupied, objStats.MaxActiveUnoccupied)
+		}
+		if !slices.Equal(res.Moves, objSol.Moves) {
+			t.Fatalf("%s: move logs diverge:\nsharded: %v\nobject:  %v", tag, res.Moves, objSol.Moves)
+		}
+		if !slices.Equal(res.Final, objSol.Final) {
+			t.Fatalf("%s: final placements diverge", tag)
+		}
+		if sp, op := SolutionPotential(flatSol), SolutionPotential(objSol); sp != op {
+			t.Fatalf("%s: final potentials diverge: %d (sharded) != %d (object)", tag, sp, op)
+		}
+	}
+}
+
+func TestDifferentialThreeLevelEngines(t *testing.T) {
+	const cases = 200
+	ran := 0
+	for i := 0; i < cases; i++ {
+		cfg, seed := diffCase(i)
+		if cfg.Levels > ThreeLevelMaxLevel {
+			continue
+		}
+		ran++
+		rng := rand.New(rand.NewSource(seed))
+		inst := RandomLayered(cfg, rng)
+		fi := NewFlatInstance(inst)
+		tag := fmt.Sprintf("case %d (%+v)", i, cfg)
+
+		oracle := SolveSequential(inst, PolicyFirst, nil)
+		checkSolution(t, tag+" sequential", inst, oracle)
+
+		objSol, objStats, err := SolveThreeLevel(inst, SolveOptions{Tie: TieFirstPort, MaxRounds: 1 << 16})
+		if err != nil {
+			t.Fatalf("%s: object engine: %v", tag, err)
+		}
+		checkSolution(t, tag+" threelevel/object", inst, objSol)
+
+		res, err := SolveThreeLevelSharded(fi, ShardedSolveOptions{
+			Tie: TieFirstPort, MaxRounds: 1 << 16, Shards: 1 + i%5,
+		})
+		if err != nil {
+			t.Fatalf("%s: sharded engine: %v", tag, err)
+		}
+		flatSol := res.Solution(inst)
+		checkSolution(t, tag+" threelevel/sharded", inst, flatSol)
+
+		if res.Stats.Rounds != objStats.Rounds {
+			t.Fatalf("%s: rounds %d (sharded) != %d (object)", tag, res.Stats.Rounds, objStats.Rounds)
+		}
+		if res.Stats.Messages != objStats.Messages {
+			t.Fatalf("%s: messages %d (sharded) != %d (object)", tag, res.Stats.Messages, objStats.Messages)
+		}
+		if !slices.Equal(res.Moves, objSol.Moves) {
+			t.Fatalf("%s: move logs diverge:\nsharded: %v\nobject:  %v", tag, res.Moves, objSol.Moves)
+		}
+		if !slices.Equal(res.Final, objSol.Final) {
+			t.Fatalf("%s: final placements diverge", tag)
+		}
+		if sp, op := SolutionPotential(flatSol), SolutionPotential(objSol); sp != op {
+			t.Fatalf("%s: final potentials diverge: %d (sharded) != %d (object)", tag, sp, op)
+		}
+	}
+	if ran < 50 {
+		t.Fatalf("only %d three-level cases ran", ran)
+	}
+}
+
+// TestDifferentialTieRandom checks the flat TieRandom rule: its draws are
+// engine-specific, so only the solution-level properties are compared —
+// every run must verify and satisfy the potential identity.
+func TestDifferentialTieRandom(t *testing.T) {
+	for i := 0; i < 60; i++ {
+		cfg, seed := diffCase(i)
+		rng := rand.New(rand.NewSource(seed))
+		inst := RandomLayered(cfg, rng)
+		fi := NewFlatInstance(inst)
+		tag := fmt.Sprintf("case %d (%+v)", i, cfg)
+
+		res, err := SolveProposalSharded(fi, ShardedSolveOptions{
+			Tie: TieRandom, Seed: seed, MaxRounds: 1 << 16, Shards: 1 + i%4,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tag, err)
+		}
+		checkSolution(t, tag+" proposal/sharded/random", inst, res.Solution(inst))
+
+		if cfg.Levels <= ThreeLevelMaxLevel {
+			res3, err := SolveThreeLevelSharded(fi, ShardedSolveOptions{
+				Tie: TieRandom, Seed: seed, MaxRounds: 1 << 16, Shards: 1 + i%4,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", tag, err)
+			}
+			checkSolution(t, tag+" threelevel/sharded/random", inst, res3.Solution(inst))
+		}
+	}
+}
+
+// TestShardedShardCountInvariance pins the schedule-independence claim:
+// the same game solved with 1..8 shards produces the same run.
+func TestShardedShardCountInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inst := RandomLayered(LayeredConfig{Levels: 4, Width: 12, ParentDeg: 3, TokenProb: 0.7, FreeBottom: true}, rng)
+	fi := NewFlatInstance(inst)
+	base, err := SolveProposalSharded(fi, ShardedSolveOptions{Tie: TieFirstPort, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for shards := 2; shards <= 8; shards++ {
+		fi2 := NewFlatInstance(inst) // fresh state arrays
+		res, err := SolveProposalSharded(fi2, ShardedSolveOptions{Tie: TieFirstPort, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Rounds != base.Stats.Rounds || !slices.Equal(res.Moves, base.Moves) || !slices.Equal(res.Final, base.Final) {
+			t.Fatalf("shards=%d diverges from shards=1", shards)
+		}
+	}
+}
+
+// TestShardedStressTinyGraphs drives the sharded engine across many tiny
+// instances with shard counts far above the vertex count; run under
+// -race this flushes barrier and partition bugs (satellite of the
+// sharded-engine issue).
+func TestShardedStressTinyGraphs(t *testing.T) {
+	for i := 0; i < 120; i++ {
+		cfg := LayeredConfig{
+			Levels:     1 + i%3,
+			Width:      1 + i%5,
+			ParentDeg:  1,
+			TokenProb:  0.8,
+			FreeBottom: i%2 == 0,
+		}
+		rng := rand.New(rand.NewSource(int64(i)))
+		inst := RandomLayered(cfg, rng)
+		fi := NewFlatInstance(inst)
+		res, err := SolveProposalSharded(fi, ShardedSolveOptions{
+			Tie: TieFirstPort, Shards: 16, MaxRounds: 1 << 16,
+		})
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if err := Verify(res.Solution(inst)); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tokendrop/internal/graph"
+	"tokendrop/internal/local"
+)
+
+// This file defines the flat-encoded side of the package: a CSR-backed
+// game instance and the shared plumbing of the sharded solvers
+// (flatproposal.go, flatthreelevel.go). The protocols are word-for-word
+// the ones of proposal.go and threelevel.go; only the representation
+// changes — message structs become single words, per-node machines become
+// struct-of-arrays programs for local.RunSharded. With TieFirstPort the
+// flat and object engines execute the same deterministic protocol over
+// the same port numbering and therefore produce identical runs, which the
+// differential tests assert exactly.
+
+// Message words of the flat game protocols (local.Word; 0 = no message).
+const (
+	fAnnounceFree local.Word = 1 + iota // announce: unoccupied
+	fAnnounceOcc                        // announce: occupied
+	fRequest                            // child asks parent for its token
+	fGrant                              // parent passes its token (edge consumed)
+	fLeaveFree                          // sender terminates, unoccupied
+	fLeaveOcc                           // sender terminates, occupied
+	fPropose                            // 3-level: middle offers its token downwards
+	fAccept                             // 3-level: bottom accepts one proposal
+)
+
+// FlatInstance is a token dropping game over a CSR graph: the flat
+// counterpart of Instance, used by the sharded solvers. Levels are int32
+// and the representation is three flat arrays, so million-node instances
+// are a handful of allocations.
+type FlatInstance struct {
+	csr    *graph.CSR
+	level  []int32
+	token  []bool
+	height int
+}
+
+// NewFlatInstanceCSR validates and wraps a CSR game instance: every edge
+// must join adjacent levels and no level may be negative.
+func NewFlatInstanceCSR(csr *graph.CSR, level []int32, token []bool) (*FlatInstance, error) {
+	n := csr.N()
+	if len(level) != n || len(token) != n {
+		return nil, fmt.Errorf("core: level/token slices sized %d/%d for %d vertices",
+			len(level), len(token), n)
+	}
+	height := int32(0)
+	for v, l := range level {
+		if l < 0 {
+			return nil, fmt.Errorf("core: vertex %d has negative level %d", v, l)
+		}
+		if l > height {
+			height = l
+		}
+	}
+	for v := 0; v < n; v++ {
+		lo, hi := csr.ArcRange(v)
+		for i := lo; i < hi; i++ {
+			d := level[v] - level[csr.Col[i]]
+			if d != 1 && d != -1 {
+				return nil, fmt.Errorf("core: edge %d joins levels %d and %d (must be adjacent)",
+					csr.EID[i], level[v], level[csr.Col[i]])
+			}
+		}
+	}
+	return &FlatInstance{csr: csr, level: level, token: token, height: int(height)}, nil
+}
+
+// MustFlatInstanceCSR is NewFlatInstanceCSR that panics on error; for
+// generators whose construction guarantees validity.
+func MustFlatInstanceCSR(csr *graph.CSR, level []int32, token []bool) *FlatInstance {
+	fi, err := NewFlatInstanceCSR(csr, level, token)
+	if err != nil {
+		panic(err)
+	}
+	return fi
+}
+
+// NewFlatInstance converts a pointer-based Instance to flat form. The CSR
+// preserves the adjacency order, so port numbering — and every
+// deterministic tie-break — is identical in both representations.
+func NewFlatInstance(inst *Instance) *FlatInstance {
+	n := inst.N()
+	level := make([]int32, n)
+	for v := 0; v < n; v++ {
+		level[v] = int32(inst.Level(v))
+	}
+	return &FlatInstance{
+		csr:    graph.NewCSRFromGraph(inst.Graph()),
+		level:  level,
+		token:  inst.TokenVector(),
+		height: inst.Height(),
+	}
+}
+
+// CSR returns the underlying graph.
+func (fi *FlatInstance) CSR() *graph.CSR { return fi.csr }
+
+// N returns the number of vertices.
+func (fi *FlatInstance) N() int { return fi.csr.N() }
+
+// M returns the number of edges.
+func (fi *FlatInstance) M() int { return fi.csr.M() }
+
+// Height returns L, the maximum level.
+func (fi *FlatInstance) Height() int { return fi.height }
+
+// Level returns the level of vertex v.
+func (fi *FlatInstance) Level(v int) int { return int(fi.level[v]) }
+
+// Token reports whether vertex v initially holds a token.
+func (fi *FlatInstance) Token(v int) bool { return fi.token[v] }
+
+// MaxDegree returns Δ.
+func (fi *FlatInstance) MaxDegree() int { return fi.csr.MaxDegree() }
+
+// NumTokens returns the number of tokens.
+func (fi *FlatInstance) NumTokens() int {
+	k := 0
+	for _, t := range fi.token {
+		if t {
+			k++
+		}
+	}
+	return k
+}
+
+// Instance materializes the pointer-based Instance (same vertex ids, edge
+// ids, and port order), for verification and for running the object
+// engine on the same game.
+func (fi *FlatInstance) Instance() *Instance {
+	level := make([]int, len(fi.level))
+	for v, l := range fi.level {
+		level[v] = int(l)
+	}
+	return MustInstance(fi.csr.ToGraph(), level, fi.token)
+}
+
+// InitialPotential returns Σ level(v) over the initial token placement.
+// Every move drops one token one level, so any legal play with k moves
+// ends at potential InitialPotential() - k.
+func (fi *FlatInstance) InitialPotential() int64 {
+	var p int64
+	for v, t := range fi.token {
+		if t {
+			p += int64(fi.level[v])
+		}
+	}
+	return p
+}
+
+// SolutionPotential returns Σ level(v) over a solution's final placement —
+// the potential that dropped by exactly one per move from the instance's
+// initial potential.
+func SolutionPotential(s *Solution) int64 {
+	var p int64
+	for v, t := range s.Final {
+		if t {
+			p += int64(s.Inst.Level(v))
+		}
+	}
+	return p
+}
+
+// InstancePotential returns Σ level(v) over an instance's initial tokens.
+func InstancePotential(inst *Instance) int64 {
+	var p int64
+	for v := 0; v < inst.N(); v++ {
+		if inst.Token(v) {
+			p += int64(inst.Level(v))
+		}
+	}
+	return p
+}
+
+// ShardedSolveOptions configure the sharded flat solvers.
+type ShardedSolveOptions struct {
+	Tie       TieBreak
+	Seed      int64 // feeds the per-vertex PRNG streams of TieRandom
+	MaxRounds int
+	Shards    int // worker count; 0 = GOMAXPROCS
+	// Stop, if non-nil, ends the run after the round for which it returns
+	// true even though the game is unfinished (throughput measurement).
+	Stop func(round int) bool
+}
+
+// FlatResult is the outcome of a sharded solve: the final token placement
+// and the chronological move log. Attach an Instance with Solution to
+// verify it with the standard oracle.
+type FlatResult struct {
+	Final []bool
+	Moves []Move
+	Stats DistStats
+}
+
+// Solution wraps the result for core.Verify. inst must describe the same
+// game (use FlatInstance.Instance(), or the Instance the FlatInstance was
+// converted from).
+func (r *FlatResult) Solution(inst *Instance) *Solution {
+	consumed := make([]bool, inst.Graph().M())
+	for _, m := range r.Moves {
+		consumed[m.Edge] = true
+	}
+	return &Solution{
+		Inst:     inst,
+		Moves:    r.Moves,
+		Final:    r.Final,
+		Consumed: consumed,
+		Rounds:   r.Stats.Rounds,
+	}
+}
+
+// assembleFlatResult merges the per-shard move logs. Within a shard moves
+// are appended round-major with vertices ascending, and shards partition
+// the vertex range in order, so the stable sort by round reproduces the
+// exact (round, vertex) order of the object engine's assembleSolution.
+func assembleFlatResult(fi *FlatInstance, stats local.ShardedStats, occupied []bool,
+	shardMoves [][]Move, shardMsgs []int64, maxActive int) *FlatResult {
+	total := 0
+	for _, ms := range shardMoves {
+		total += len(ms)
+	}
+	all := make([]Move, 0, total)
+	for _, ms := range shardMoves {
+		all = append(all, ms...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Round < all[j].Round })
+	var messages int64
+	for _, m := range shardMsgs {
+		messages += m
+	}
+	final := make([]bool, len(occupied))
+	copy(final, occupied)
+	return &FlatResult{
+		Final: final,
+		Moves: all,
+		Stats: DistStats{
+			Rounds:              stats.Rounds,
+			Messages:            messages,
+			MaxActiveUnoccupied: maxActive,
+		},
+	}
+}
+
+// arcIsParent computes the per-arc "head is one level above the tail"
+// table the flat programs branch on. Materializing it turns the hot
+// loops' random level[Col[i]] lookups into one sequential byte read.
+func arcIsParent(fi *FlatInstance) []bool {
+	csr := fi.csr
+	isParent := make([]bool, csr.NumArcs())
+	for v := 0; v < csr.N(); v++ {
+		lo, hi := csr.ArcRange(v)
+		for i := lo; i < hi; i++ {
+			isParent[i] = fi.level[csr.Col[i]] > fi.level[v]
+		}
+	}
+	return isParent
+}
+
+// arcFlags is arcIsParent packed into the aParent bit of the per-arc flag
+// bytes (aDead and aPOcc start clear).
+func arcFlags(fi *FlatInstance) []uint8 {
+	csr := fi.csr
+	flags := make([]uint8, csr.NumArcs())
+	for v := 0; v < csr.N(); v++ {
+		lo, hi := csr.ArcRange(v)
+		for i := lo; i < hi; i++ {
+			if fi.level[csr.Col[i]] > fi.level[v] {
+				flags[i] = aParent
+			}
+		}
+	}
+	return flags
+}
+
+// splitmix64 is the per-vertex PRNG of the flat TieRandom rule: cheap,
+// allocation-free, and seedable per vertex. Its draws differ from the
+// math/rand streams of the object machines, so TieRandom runs of the two
+// engines are independent samples of the same protocol (TieFirstPort runs
+// are identical).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// flatRandSeeds fills one PRNG state per vertex.
+func flatRandSeeds(n int, seed int64) []uint64 {
+	s := make([]uint64, n)
+	for v := range s {
+		s[v] = splitmix64(uint64(seed) ^ uint64(v)*0x9e3779b97f4a7c15)
+	}
+	return s
+}
+
+// flatIntn draws a value in [0, n) from the state, advancing it, and
+// returns the new state.
+func flatIntn(state uint64, n int) (uint64, int) {
+	state = splitmix64(state)
+	return state, int((state >> 32) * uint64(n) >> 32)
+}

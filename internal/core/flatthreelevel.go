@@ -1,0 +1,409 @@
+package core
+
+import (
+	"fmt"
+
+	"tokendrop/internal/local"
+)
+
+// flatThreeLevel is the Theorem 4.7 algorithm (threelevel.go) in
+// struct-of-arrays form for the sharded engine, mirroring
+// ThreeLevelMachine's three role behaviours case for case. In-flight
+// handshake targets (requestedTo, proposedTo) are stored as absolute arc
+// indices, -1 when none.
+type flatThreeLevel struct {
+	fi   *FlatInstance
+	tie  TieBreak
+	rngs []uint64
+
+	occupied    []bool
+	waitGrant   []uint8
+	waitAccept  []uint8
+	requestedTo []int32
+	proposedTo  []int32
+	active      []int32
+
+	isParent  []bool
+	portDead  []bool
+	parentOcc []bool
+
+	shardMoves [][]Move
+	shardMsgs  []int64
+}
+
+func newFlatThreeLevel(fi *FlatInstance, tie TieBreak, seed int64) *flatThreeLevel {
+	n := fi.N()
+	arcs := fi.csr.NumArcs()
+	pr := &flatThreeLevel{
+		fi:          fi,
+		tie:         tie,
+		occupied:    make([]bool, n),
+		waitGrant:   make([]uint8, n),
+		waitAccept:  make([]uint8, n),
+		requestedTo: make([]int32, n),
+		proposedTo:  make([]int32, n),
+		active:      make([]int32, n),
+		isParent:    arcIsParent(fi),
+		portDead:    make([]bool, arcs),
+		parentOcc:   make([]bool, arcs),
+	}
+	copy(pr.occupied, fi.token)
+	for v := range pr.requestedTo {
+		pr.requestedTo[v] = -1
+		pr.proposedTo[v] = -1
+	}
+	if tie == TieRandom {
+		pr.rngs = flatRandSeeds(n, seed)
+	}
+	return pr
+}
+
+// InitShards implements local.FlatProgram.
+func (pr *flatThreeLevel) InitShards(bounds []int) {
+	pr.shardMoves = make([][]Move, len(bounds)-1)
+	pr.shardMsgs = make([]int64, len(bounds)-1)
+}
+
+// pickWord selects among the arcs of [a0, a1) whose incoming word equals
+// want and which are not port-dead, per the tie-break rule; it mirrors
+// pickPort over the recorded message sets of the object machine (which
+// records a request/proposal only when the port is alive).
+func (pr *flatThreeLevel) pickWord(v, a0, a1 int, recv []local.Word, want local.Word) int {
+	if pr.tie == TieFirstPort {
+		for i := a0; i < a1; i++ {
+			if !pr.portDead[i] && recv[i] == want {
+				return i
+			}
+		}
+		return -1
+	}
+	choice, cnt := -1, 0
+	state := pr.rngs[v]
+	for i := a0; i < a1; i++ {
+		if !pr.portDead[i] && recv[i] == want {
+			cnt++
+			var pick int
+			state, pick = flatIntn(state, cnt)
+			if pick == 0 {
+				choice = i
+			}
+		}
+	}
+	pr.rngs[v] = state
+	return choice
+}
+
+// StepShard implements local.FlatProgram.
+func (pr *flatThreeLevel) StepShard(round, shard int, verts []int32, recv, send []local.Word, halted []bool) {
+	for _, v32 := range verts {
+		v := int(v32)
+		var halt bool
+		switch pr.fi.level[v] {
+		case 0:
+			halt = pr.stepBottom(round, shard, v, recv, send)
+		case 1:
+			halt = pr.stepMiddle(round, shard, v, recv, send)
+		case 2:
+			halt = pr.stepTop(round, shard, v, recv, send)
+		default:
+			panic(fmt.Sprintf("core: three-level program on level %d", pr.fi.level[v]))
+		}
+		if halt {
+			halted[v] = true
+		}
+	}
+}
+
+// stepTop: level-2 behaviour (see ThreeLevelMachine.stepTop).
+func (pr *flatThreeLevel) stepTop(round, shard, v int, recv, send []local.Word) bool {
+	csr := pr.fi.csr
+	a0, a1 := csr.ArcRange(v)
+	occ := pr.occupied[v]
+	anyReq := false
+	for i := a0; i < a1; i++ {
+		msg := recv[i]
+		if msg == 0 {
+			continue
+		}
+		pr.shardMsgs[shard]++
+		switch msg {
+		case fLeaveFree, fLeaveOcc:
+			pr.portDead[i] = true
+		case fRequest:
+			if !pr.portDead[i] {
+				anyReq = true
+			}
+		default:
+			panic(fmt.Sprintf("core: level-2 vertex %d got unexpected word %d", v, msg))
+		}
+	}
+	grantArc := -1
+	if occ && anyReq {
+		grantArc = pr.pickWord(v, a0, a1, recv, fRequest)
+	}
+	if grantArc >= 0 {
+		occ = false
+		pr.portDead[grantArc] = true
+		pr.shardMoves[shard] = append(pr.shardMoves[shard],
+			Move{Edge: int(csr.EID[grantArc]), From: v, To: int(csr.Col[grantArc]), Round: round})
+	}
+	liveChildren := 0
+	for i := a0; i < a1; i++ {
+		if !pr.portDead[i] {
+			liveChildren++
+		}
+	}
+	halt := !occ || liveChildren == 0
+	for i := a0; i < a1; i++ {
+		var word local.Word
+		switch {
+		case i == grantArc:
+			word = fGrant
+		case pr.portDead[i]:
+		case halt:
+			if occ {
+				word = fLeaveOcc
+			} else {
+				word = fLeaveFree
+			}
+		default:
+			if occ {
+				word = fAnnounceOcc
+			} else {
+				word = fAnnounceFree
+			}
+		}
+		send[csr.Rev[i]] = word
+	}
+	pr.occupied[v] = occ
+	return halt
+}
+
+// stepBottom: level-0 behaviour (see ThreeLevelMachine.stepBottom).
+func (pr *flatThreeLevel) stepBottom(round, shard, v int, recv, send []local.Word) bool {
+	csr := pr.fi.csr
+	a0, a1 := csr.ArcRange(v)
+	occ := pr.occupied[v]
+	anyProp := false
+	for i := a0; i < a1; i++ {
+		msg := recv[i]
+		if msg == 0 {
+			continue
+		}
+		pr.shardMsgs[shard]++
+		switch msg {
+		case fLeaveFree, fLeaveOcc:
+			pr.portDead[i] = true
+		case fPropose:
+			if !pr.portDead[i] {
+				anyProp = true
+			}
+		default:
+			panic(fmt.Sprintf("core: level-0 vertex %d got unexpected word %d", v, msg))
+		}
+	}
+	acceptArc := -1
+	if !occ && anyProp {
+		acceptArc = pr.pickWord(v, a0, a1, recv, fPropose)
+	}
+	if acceptArc >= 0 {
+		occ = true
+		pr.portDead[acceptArc] = true
+	}
+	liveParents := 0
+	for i := a0; i < a1; i++ {
+		if !pr.portDead[i] {
+			liveParents++
+		}
+	}
+	halt := occ || liveParents == 0
+	for i := a0; i < a1; i++ {
+		var word local.Word
+		switch {
+		case i == acceptArc:
+			word = fAccept
+		case pr.portDead[i]:
+		case halt:
+			if occ {
+				word = fLeaveOcc
+			} else {
+				word = fLeaveFree
+			}
+		}
+		send[csr.Rev[i]] = word
+	}
+	pr.occupied[v] = occ
+	return halt
+}
+
+// stepMiddle: level-1 behaviour (see ThreeLevelMachine.stepMiddle).
+func (pr *flatThreeLevel) stepMiddle(round, shard, v int, recv, send []local.Word) bool {
+	csr := pr.fi.csr
+	a0, a1 := csr.ArcRange(v)
+	col, rev := csr.Col, csr.Rev
+	isParent := pr.isParent
+	occ := pr.occupied[v]
+	wg, wa := pr.waitGrant[v], pr.waitAccept[v]
+	if wg > 0 {
+		wg--
+	}
+	if wa > 0 {
+		wa--
+	}
+	reqTo, propTo := pr.requestedTo[v], pr.proposedTo[v]
+	for i := a0; i < a1; i++ {
+		msg := recv[i]
+		if msg == 0 {
+			continue
+		}
+		pr.shardMsgs[shard]++
+		switch msg {
+		case fLeaveFree, fLeaveOcc:
+			pr.portDead[i] = true
+			pr.parentOcc[i] = false
+		case fAnnounceFree, fAnnounceOcc:
+			if !isParent[i] {
+				panic(fmt.Sprintf("core: level-1 vertex %d got an announcement from below", v))
+			}
+			pr.parentOcc[i] = msg == fAnnounceOcc
+		case fGrant:
+			if occ {
+				panic(fmt.Sprintf("core: level-1 vertex %d received a second token", v))
+			}
+			occ = true
+			pr.portDead[i] = true
+			pr.parentOcc[i] = false
+			wg = 0
+			reqTo = -1
+		case fAccept:
+			if int32(i) != propTo {
+				panic(fmt.Sprintf("core: level-1 vertex %d got an accept it never asked for", v))
+			}
+			occ = false
+			pr.portDead[i] = true
+			pr.shardMoves[shard] = append(pr.shardMoves[shard],
+				Move{Edge: int(csr.EID[i]), From: v, To: int(col[i]), Round: round})
+			wa = 0
+			propTo = -1
+		default:
+			panic(fmt.Sprintf("core: level-1 vertex %d got unexpected word %d", v, msg))
+		}
+	}
+	// Expire resolved handshakes.
+	if reqTo >= 0 && (pr.portDead[reqTo] || wg == 0) {
+		reqTo = -1
+	}
+	if propTo >= 0 && (pr.portDead[propTo] || wa == 0) {
+		propTo = -1
+	}
+
+	reqArc, propArc := -1, -1
+	liveParents, liveChildren := 0, 0
+	wantReq := !occ && reqTo < 0
+	wantProp := occ && propTo < 0
+	reqCnt, propCnt := 0, 0
+	for i := a0; i < a1; i++ {
+		if pr.portDead[i] {
+			continue
+		}
+		if isParent[i] {
+			liveParents++
+			if wantReq && pr.parentOcc[i] {
+				reqCnt++
+				if pr.tie == TieFirstPort {
+					if reqArc < 0 {
+						reqArc = i
+					}
+				} else {
+					var pick int
+					pr.rngs[v], pick = flatIntn(pr.rngs[v], reqCnt)
+					if pick == 0 {
+						reqArc = i
+					}
+				}
+			}
+		} else {
+			liveChildren++
+			if wantProp {
+				propCnt++
+				if pr.tie == TieFirstPort {
+					if propArc < 0 {
+						propArc = i
+					}
+				} else {
+					var pick int
+					pr.rngs[v], pick = flatIntn(pr.rngs[v], propCnt)
+					if pick == 0 {
+						propArc = i
+					}
+				}
+			}
+		}
+	}
+	if reqArc >= 0 {
+		reqTo = int32(reqArc)
+		wg = 2
+		pr.active[v]++
+	}
+	if propArc >= 0 {
+		propTo = int32(propArc)
+		wa = 2
+	}
+
+	halt := (occ && liveChildren == 0) || (!occ && liveParents == 0 && reqTo < 0)
+	for i := a0; i < a1; i++ {
+		var word local.Word
+		switch {
+		case pr.portDead[i]:
+		case halt:
+			if occ {
+				word = fLeaveOcc
+			} else {
+				word = fLeaveFree
+			}
+		case i == reqArc:
+			word = fRequest
+		case i == propArc:
+			word = fPropose
+		}
+		send[rev[i]] = word
+	}
+	pr.occupied[v] = occ
+	pr.waitGrant[v] = wg
+	pr.waitAccept[v] = wa
+	pr.requestedTo[v] = reqTo
+	pr.proposedTo[v] = propTo
+	return halt
+}
+
+func (pr *flatThreeLevel) result(stats local.ShardedStats) *FlatResult {
+	maxActive := 0
+	for _, a := range pr.active {
+		if int(a) > maxActive {
+			maxActive = int(a)
+		}
+	}
+	return assembleFlatResult(pr.fi, stats, pr.occupied, pr.shardMoves, pr.shardMsgs, maxActive)
+}
+
+var _ local.FlatProgram = (*flatThreeLevel)(nil)
+
+// SolveThreeLevelSharded runs the Theorem 4.7 algorithm on the sharded
+// flat engine; it errors on games of height greater than
+// ThreeLevelMaxLevel. Under TieFirstPort the run is bit-identical to
+// SolveThreeLevel on the same game.
+func SolveThreeLevelSharded(fi *FlatInstance, opt ShardedSolveOptions) (*FlatResult, error) {
+	if h := fi.Height(); h > ThreeLevelMaxLevel {
+		return nil, fmt.Errorf("core: three-level solver got height %d > %d", h, ThreeLevelMaxLevel)
+	}
+	pr := newFlatThreeLevel(fi, opt.Tie, opt.Seed)
+	stats, err := local.RunSharded(fi.csr, pr, local.ShardedOptions{
+		MaxRounds: opt.MaxRounds,
+		Shards:    opt.Shards,
+		Stop:      opt.Stop,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pr.result(stats), nil
+}

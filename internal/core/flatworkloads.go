@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tokendrop/internal/graph"
+)
+
+// Million-node adversary workloads, built directly into CSR form so that
+// generation is a handful of flat allocations. These are the scaling
+// counterparts of the workloads.go generators; they draw from the same
+// distributions but consume their RNG differently (stamp-based rejection
+// sampling instead of partial Fisher–Yates), so the two families are
+// independent samples, not bit-identical ones.
+
+// FlatRandomLayered builds a random layered instance per cfg directly into
+// CSR form: every vertex on layer ℓ ≥ 1 has exactly cfg.ParentDeg edges to
+// uniformly random distinct vertices on layer ℓ-1 (a random Δ-regular-
+// below layered graph), and tokens are placed i.i.d. with probability
+// cfg.TokenProb, with layer 0 kept free when cfg.FreeBottom is set.
+func FlatRandomLayered(cfg LayeredConfig, rng *rand.Rand) *FlatInstance {
+	if cfg.Levels < 0 || cfg.Width < 1 {
+		panic(fmt.Sprintf("core: bad layered config %+v", cfg))
+	}
+	if cfg.ParentDeg > cfg.Width {
+		panic("core: ParentDeg exceeds layer width")
+	}
+	csr := graph.CSRRandomLayered(cfg.Levels, cfg.Width, cfg.ParentDeg, rng)
+	n := csr.N()
+	level := make([]int32, n)
+	token := make([]bool, n)
+	for v := 0; v < n; v++ {
+		level[v] = int32(v / cfg.Width)
+	}
+	for v := 0; v < n; v++ {
+		if cfg.FreeBottom && level[v] == 0 {
+			continue
+		}
+		if rng.Float64() < cfg.TokenProb {
+			token[v] = true
+		}
+	}
+	return MustFlatInstanceCSR(csr, level, token)
+}
+
+// FlatLayeredGrid builds the diagonal-lattice instance of
+// graph.CSRLayeredGrid: rows layers of cols vertices, level(v) = row(v),
+// with tokens on the topmost tokenRows rows — a structured cascade where
+// every token has exactly two candidate drops per level.
+func FlatLayeredGrid(rows, cols, tokenRows int) *FlatInstance {
+	if tokenRows < 0 || tokenRows >= rows {
+		panic(fmt.Sprintf("core: tokenRows=%d out of range for %d rows", tokenRows, rows))
+	}
+	csr := graph.CSRLayeredGrid(rows, cols)
+	n := csr.N()
+	level := make([]int32, n)
+	token := make([]bool, n)
+	for v := 0; v < n; v++ {
+		r := v / cols
+		level[v] = int32(r)
+		token[v] = r >= rows-tokenRows
+	}
+	return MustFlatInstanceCSR(csr, level, token)
+}
+
+// FlatPowerLawBipartite builds the height-2 game of Theorem 4.6 over a
+// power-law bipartite graph: nl customers on level 1 (each holding a
+// token, with degree drawn from a truncated power law with exponent alpha
+// on 1..maxDeg), nr servers on level 0. Solutions are maximal matchings
+// under skewed demand.
+func FlatPowerLawBipartite(nl, nr int, alpha float64, maxDeg int, rng *rand.Rand) *FlatInstance {
+	csr := graph.CSRPowerLawBipartite(nl, nr, alpha, maxDeg, rng)
+	n := csr.N()
+	level := make([]int32, n)
+	token := make([]bool, n)
+	for v := 0; v < nl; v++ {
+		level[v] = 1
+		token[v] = true
+	}
+	return MustFlatInstanceCSR(csr, level, token)
+}

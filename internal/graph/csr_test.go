@@ -1,0 +1,200 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCSRFromGraphRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, g := range []*Graph{
+		New(0),
+		New(3),
+		Path(7),
+		Star(9),
+		Torus2D(4, 5),
+		RandomGNM(30, 80, rng),
+	} {
+		csr := NewCSRFromGraph(g)
+		if err := csr.Validate(); err != nil {
+			t.Fatalf("csr invalid: %v", err)
+		}
+		if csr.N() != g.N() || csr.M() != g.M() {
+			t.Fatalf("csr %dx%d, graph %dx%d", csr.N(), csr.M(), g.N(), g.M())
+		}
+		// Port order must survive the round trip exactly.
+		back := csr.ToGraph()
+		if err := back.Validate(); err != nil {
+			t.Fatalf("round-tripped graph invalid: %v", err)
+		}
+		for v := 0; v < g.N(); v++ {
+			a, b := g.Adj(v), back.Adj(v)
+			if len(a) != len(b) {
+				t.Fatalf("vertex %d degree changed", v)
+			}
+			for p := range a {
+				if a[p] != b[p] {
+					t.Fatalf("vertex %d port %d: %v != %v", v, p, a[p], b[p])
+				}
+			}
+		}
+		for id, e := range g.Edges() {
+			if back.Edge(id) != e {
+				t.Fatalf("edge %d changed: %v != %v", id, back.Edge(id), e)
+			}
+		}
+	}
+}
+
+func TestCSRRevRouting(t *testing.T) {
+	g := RandomGNM(25, 60, rand.New(rand.NewSource(2)))
+	csr := NewCSRFromGraph(g)
+	for v := 0; v < csr.N(); v++ {
+		lo, hi := csr.ArcRange(v)
+		for i := lo; i < hi; i++ {
+			r := int(csr.Rev[i])
+			if int(csr.Col[r]) != v {
+				t.Fatalf("reverse of arc %d does not lead back to %d", i, v)
+			}
+			if csr.Tail(i) != v {
+				t.Fatalf("Tail(%d) = %d, want %d", i, csr.Tail(i), v)
+			}
+			if csr.Tail(r) != int(csr.Col[i]) {
+				t.Fatalf("tail of reverse arc disagrees with head")
+			}
+		}
+	}
+}
+
+func TestCSRBuilderMatchesGraph(t *testing.T) {
+	edges := [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}}
+	g := New(5)
+	b := NewCSRBuilder(5, len(edges))
+	for _, e := range edges {
+		idG := g.AddEdge(e[0], e[1])
+		idB := b.AddEdge(e[0], e[1])
+		if idG != idB {
+			t.Fatalf("edge ids diverge: %d != %d", idG, idB)
+		}
+	}
+	csr := b.Build()
+	if err := csr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Graph.AddEdge appends arcs in insertion order, as does the builder's
+	// counting sort, so adjacency must agree arc for arc.
+	ref := NewCSRFromGraph(g)
+	if len(csr.Col) != len(ref.Col) {
+		t.Fatalf("arc counts differ")
+	}
+	for i := range csr.Col {
+		if csr.Col[i] != ref.Col[i] || csr.EID[i] != ref.EID[i] || csr.Rev[i] != ref.Rev[i] {
+			t.Fatalf("arc %d differs: (%d,%d,%d) != (%d,%d,%d)", i,
+				csr.Col[i], csr.EID[i], csr.Rev[i], ref.Col[i], ref.EID[i], ref.Rev[i])
+		}
+	}
+}
+
+func TestCSRRandomLayered(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, tc := range []struct{ levels, width, deg int }{
+		{3, 10, 3},
+		{2, 5, 5},  // dense: Fisher–Yates path
+		{1, 40, 2}, // sparse: stamp path
+		{0, 4, 2},  // no layers above 0: edgeless
+	} {
+		csr := CSRRandomLayered(tc.levels, tc.width, tc.deg, rng)
+		if err := csr.Validate(); err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if csr.N() != (tc.levels+1)*tc.width {
+			t.Fatalf("%+v: n=%d", tc, csr.N())
+		}
+		if want := tc.levels * tc.width * tc.deg; csr.M() != want {
+			t.Fatalf("%+v: m=%d, want %d", tc, csr.M(), want)
+		}
+		// Every vertex above the bottom layer has exactly deg downward
+		// edges, and all edges join adjacent layers.
+		down := make([]int, csr.N())
+		for v := 0; v < csr.N(); v++ {
+			lv := v / tc.width
+			lo, hi := csr.ArcRange(v)
+			for i := lo; i < hi; i++ {
+				lw := int(csr.Col[i]) / tc.width
+				if lw != lv-1 && lw != lv+1 {
+					t.Fatalf("%+v: edge joins layers %d and %d", tc, lv, lw)
+				}
+				if lw == lv-1 {
+					down[v]++
+				}
+			}
+		}
+		for v := tc.width; v < csr.N(); v++ {
+			if down[v] != tc.deg {
+				t.Fatalf("%+v: vertex %d has %d downward edges, want %d", tc, v, down[v], tc.deg)
+			}
+		}
+	}
+}
+
+func TestCSRLayeredGrid(t *testing.T) {
+	csr := CSRLayeredGrid(4, 5)
+	if err := csr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if csr.N() != 20 || csr.M() != 2*3*5 {
+		t.Fatalf("n=%d m=%d", csr.N(), csr.M())
+	}
+	for v := 0; v < csr.N(); v++ {
+		r := v / 5
+		lo, hi := csr.ArcRange(v)
+		for i := lo; i < hi; i++ {
+			rw := int(csr.Col[i]) / 5
+			if rw != r-1 && rw != r+1 {
+				t.Fatalf("edge joins rows %d and %d", r, rw)
+			}
+		}
+		// Interior rows have degree 4 (two up, two down).
+		if r > 0 && r < 3 && hi-lo != 4 {
+			t.Fatalf("vertex %d (row %d) has degree %d, want 4", v, r, hi-lo)
+		}
+	}
+}
+
+func TestCSRPowerLawBipartite(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	nl, nr, maxDeg := 300, 60, 12
+	csr := CSRPowerLawBipartite(nl, nr, 2.2, maxDeg, rng)
+	if err := csr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if csr.N() != nl+nr {
+		t.Fatalf("n=%d", csr.N())
+	}
+	ones := 0
+	for u := 0; u < nl; u++ {
+		d := csr.Degree(u)
+		if d < 1 || d > maxDeg {
+			t.Fatalf("customer %d has degree %d", u, d)
+		}
+		if d == 1 {
+			ones++
+		}
+		lo, hi := csr.ArcRange(u)
+		for i := lo; i < hi; i++ {
+			if int(csr.Col[i]) < nl {
+				t.Fatalf("customer %d links to customer %d", u, csr.Col[i])
+			}
+		}
+	}
+	// A power law with alpha > 2 is dominated by degree-1 customers.
+	if ones < nl/2 {
+		t.Fatalf("only %d/%d degree-1 customers; power law looks wrong", ones, nl)
+	}
+	// Dense-draw fallback: maxDeg close to nr must still terminate and
+	// produce distinct neighbors (Validate above would catch duplicates).
+	dense := CSRPowerLawBipartite(20, 8, 0.5, 8, rng)
+	if err := dense.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file holds generators that build directly into CSR form, for
+// workloads at scales (10⁶+ vertices) where assembling the pointer-based
+// Graph first would dominate the run. They use stamp-based rejection
+// sampling instead of the O(width) partial Fisher–Yates of the small
+// generators, so the cost per vertex is O(degree) regardless of layer
+// width.
+
+// CSRRandomLayered builds a random layered graph: levels+1 layers of width
+// vertices each, vertex i of layer ℓ is ℓ*width+i, and every vertex on
+// layer ℓ ≥ 1 connects to deg distinct uniformly random vertices on layer
+// ℓ-1. Every vertex above the bottom layer therefore has downward degree
+// exactly deg (a random Δ-regular-below layered graph); upward degrees are
+// binomial.
+func CSRRandomLayered(levels, width, deg int, rng *rand.Rand) *CSR {
+	if levels < 0 || width < 1 {
+		panic(fmt.Sprintf("graph: bad layered shape levels=%d width=%d", levels, width))
+	}
+	if deg > width {
+		panic("graph: layered degree exceeds layer width")
+	}
+	n := (levels + 1) * width
+	b := NewCSRBuilder(n, levels*width*deg)
+	if 2*deg >= width {
+		// Dense picks: partial Fisher–Yates, O(width) per vertex.
+		perm := make([]int, width)
+		for lvl := 1; lvl <= levels; lvl++ {
+			base := lvl * width
+			below := (lvl - 1) * width
+			for i := 0; i < width; i++ {
+				for k := range perm {
+					perm[k] = k
+				}
+				for k := 0; k < deg; k++ {
+					j := k + rng.Intn(width-k)
+					perm[k], perm[j] = perm[j], perm[k]
+					b.AddEdge(base+i, below+perm[k])
+				}
+			}
+		}
+		return b.Build()
+	}
+	stamp := make([]int32, width)
+	gen := int32(0)
+	for lvl := 1; lvl <= levels; lvl++ {
+		base := lvl * width
+		below := (lvl - 1) * width
+		for i := 0; i < width; i++ {
+			gen++
+			for k := 0; k < deg; k++ {
+				j := rng.Intn(width)
+				for stamp[j] == gen {
+					j = rng.Intn(width)
+				}
+				stamp[j] = gen
+				b.AddEdge(base+i, below+j)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// CSRLayeredGrid builds a diagonal lattice of rows layers × cols columns:
+// vertex (r, c) is r*cols+c and connects to (r+1, c) and (r+1, (c+1) mod
+// cols). Every edge joins adjacent rows, so with level(v) = row(v) the
+// lattice is a valid token dropping arena of height rows-1 with Δ = 4; the
+// wraparound keeps interior degrees uniform. cols must be at least 2.
+func CSRLayeredGrid(rows, cols int) *CSR {
+	if rows < 1 || cols < 2 {
+		panic(fmt.Sprintf("graph: bad grid shape %dx%d (needs rows >= 1, cols >= 2)", rows, cols))
+	}
+	b := NewCSRBuilder(rows*cols, 2*(rows-1)*cols)
+	for r := 0; r+1 < rows; r++ {
+		base := r * cols
+		up := (r + 1) * cols
+		for c := 0; c < cols; c++ {
+			b.AddEdge(up+c, base+c)
+			b.AddEdge(up+c, base+(c+1)%cols)
+		}
+	}
+	return b.Build()
+}
+
+// CSRPowerLawBipartite builds a bipartite customer/server graph with left
+// vertices 0..nl-1 and right vertices nl..nl+nr-1, where each left vertex
+// draws its degree from a truncated power law P(d) ∝ d^(-alpha) on
+// 1..maxDeg and attaches to that many distinct uniformly random servers.
+// This is the skewed-demand regime of the load-balancing evaluations
+// (a few hot customers with many connections, a heavy tail of singletons).
+// maxDeg must not exceed nr.
+func CSRPowerLawBipartite(nl, nr int, alpha float64, maxDeg int, rng *rand.Rand) *CSR {
+	if nl < 0 || nr < 1 {
+		panic(fmt.Sprintf("graph: bad bipartite shape nl=%d nr=%d", nl, nr))
+	}
+	if maxDeg < 1 || maxDeg > nr {
+		panic(fmt.Sprintf("graph: maxDeg=%d out of range (nr=%d)", maxDeg, nr))
+	}
+	// Cumulative distribution over degrees 1..maxDeg.
+	cdf := make([]float64, maxDeg)
+	sum := 0.0
+	for d := 1; d <= maxDeg; d++ {
+		sum += math.Pow(float64(d), -alpha)
+		cdf[d-1] = sum
+	}
+	drawDeg := func() int {
+		x := rng.Float64() * sum
+		lo, hi := 0, maxDeg-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo + 1
+	}
+	b := NewCSRBuilder(nl+nr, nl*2)
+	stamp := make([]int32, nr)
+	gen := int32(0)
+	var perm []int // allocated only when a dense draw needs Fisher–Yates
+	for u := 0; u < nl; u++ {
+		d := drawDeg()
+		if 2*d >= nr {
+			if perm == nil {
+				perm = make([]int, nr)
+			}
+			for k := range perm {
+				perm[k] = k
+			}
+			for k := 0; k < d; k++ {
+				j := k + rng.Intn(nr-k)
+				perm[k], perm[j] = perm[j], perm[k]
+				b.AddEdge(u, nl+perm[k])
+			}
+			continue
+		}
+		gen++
+		for k := 0; k < d; k++ {
+			j := rng.Intn(nr)
+			for stamp[j] == gen {
+				j = rng.Intn(nr)
+			}
+			stamp[j] = gen
+			b.AddEdge(u, nl+j)
+		}
+	}
+	return b.Build()
+}

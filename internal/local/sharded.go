@@ -1,0 +1,254 @@
+package local
+
+import (
+	"fmt"
+	"runtime"
+
+	"tokendrop/internal/graph"
+)
+
+// This file implements the sharded flat engine, the second LOCAL runtime of
+// the package. The goroutine-per-round Network above is the faithful,
+// fully general simulator (arbitrary Go payloads); the sharded engine
+// trades payload generality for throughput so that million-node games are
+// practical:
+//
+//   - the topology is a graph.CSR, so adjacency is three flat arrays,
+//   - messages are single bytes (Word; 0 means "no message") in two flat
+//     arc-indexed buffers that alternate roles every round (double
+//     buffering). Buffers are receiver-indexed: slot i is the inbox slot
+//     of arc i's tail vertex, and the sender behind arc i writes it as
+//     send[Rev[i]]. Receivers therefore scan their inbox sequentially and
+//     the one unavoidable random memory access per message is a store,
+//     which does not stall the pipeline the way a dependent load does.
+//     There is no separate delivery phase,
+//   - vertices are partitioned into arc-balanced shards, each owned by one
+//     persistent worker goroutine; a round is one channel-synchronized
+//     barrier, with no goroutine spawns and no allocations inside a round,
+//   - node state lives in the FlatProgram as struct-of-arrays, not in
+//     per-node machine objects.
+//
+// Determinism holds for the same reason as in Network: within a round a
+// worker writes only the state and out-arcs of its own vertices and reads
+// only the previous round's buffer, so the outcome is independent of
+// scheduling and of the shard count.
+
+// Word is a one-byte message payload of the sharded engine. Zero means "no
+// message"; protocols encode their message alphabet in the remaining
+// values. Every game protocol in this repository uses an alphabet of a few
+// constant symbols (they are O(1)-bit CONGEST protocols), so a byte is not
+// a restriction here — and the width matters: both round buffers of a
+// million-node, degree-7 instance then fit in ~14 MB, so the one random
+// access per delivered message usually hits the last-level cache.
+type Word uint8
+
+// FlatProgram is a distributed algorithm in struct-of-arrays form, stepped
+// shard-by-shard by RunSharded. Implementations must be deterministic
+// functions of their inputs, must only touch per-vertex state of vertices
+// in the [lo, hi) range they are given, and must not retain the buffer
+// slices across calls.
+type FlatProgram interface {
+	// InitShards is called once before round 1 with the vertex partition:
+	// shard s owns vertices [bounds[s], bounds[s+1]). Programs size any
+	// per-shard accumulators (move logs, counters) here.
+	InitShards(bounds []int)
+
+	// StepShard executes one synchronous round for the given awake
+	// vertices (ascending, all owned by this shard; the engine removes
+	// halted vertices from the list between rounds).
+	//
+	// For vertex v and port p (arc index i = Row[v]+p), the word received
+	// this round is recv[i] (0 = nothing), and the program must store the
+	// outgoing word for port i into send[Rev[i]] — for every port of
+	// every stepped vertex, including explicit zeroes, since the slots
+	// hold the vertex's words from two rounds ago. (A program that can
+	// prove its words are unchanged since two rounds ago may skip the
+	// stores; see the quiescence optimization in core's flat programs.)
+	// Setting halted[v] = true halts v after this round; its final send
+	// words are still delivered next round, and it is never stepped
+	// again.
+	StepShard(round, shard int, verts []int32, recv, send []Word, halted []bool)
+}
+
+// ShardedOptions configure a RunSharded execution.
+type ShardedOptions struct {
+	// MaxRounds aborts the run if some vertex is still awake after this
+	// many rounds. Zero means 1<<20, as in Options.
+	MaxRounds int
+	// Shards is the number of worker goroutines (and state partitions).
+	// Zero means runtime.GOMAXPROCS(0). The result does not depend on it.
+	Shards int
+	// OnRound, if non-nil, runs on the coordinating goroutine after every
+	// round with the round number and how many vertices are still awake.
+	OnRound func(round, awake int)
+	// Stop, if non-nil, is consulted after every round; returning true
+	// ends the run even though vertices are still awake (used by
+	// throughput benchmarks and simulation-side termination oracles).
+	Stop func(round int) bool
+}
+
+// ShardedStats summarizes a RunSharded execution.
+type ShardedStats struct {
+	Rounds int // rounds executed
+	Shards int // shard count actually used
+	Halted int // vertices halted when the run ended
+}
+
+// shardBounds partitions vertices 0..n-1 into contiguous shards balanced
+// by arc count (vertex count alone would starve shards on skewed-degree
+// graphs such as power-law workloads).
+func shardBounds(csr *graph.CSR, shards int) []int {
+	n := csr.N()
+	bounds := make([]int, shards+1)
+	total := csr.NumArcs()
+	v := 0
+	for s := 1; s < shards; s++ {
+		target := int32(total * s / shards)
+		for v < n && csr.Row[v] < target {
+			v++
+		}
+		bounds[s] = v
+	}
+	bounds[shards] = n
+	return bounds
+}
+
+// RunSharded initializes prog and executes synchronous rounds until every
+// vertex has halted, MaxRounds is exceeded (an error), or Stop says so.
+func RunSharded(csr *graph.CSR, prog FlatProgram, opt ShardedOptions) (ShardedStats, error) {
+	n := csr.N()
+	maxRounds := opt.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 1 << 20
+	}
+	shards := opt.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > n {
+		shards = n
+	}
+	var stats ShardedStats
+	if n == 0 {
+		prog.InitShards([]int{0})
+		return stats, nil
+	}
+	stats.Shards = shards
+	bounds := shardBounds(csr, shards)
+	prog.InitShards(bounds)
+
+	arcs := csr.NumArcs()
+	bufA := make([]Word, arcs)
+	bufB := make([]Word, arcs)
+	halted := make([]bool, n)
+
+	// Each worker owns its shard's awake-vertex list (compacted as
+	// vertices halt, so a round costs O(awake), not O(n)) and a scrub
+	// ring of recently halted vertices whose two stale out-buffers must
+	// be zeroed before they can be left alone for good.
+	type scrubEntry struct {
+		v         int32
+		haltRound int32
+	}
+	awakeLists := make([][]int32, shards)
+	scrubs := make([][]scrubEntry, shards)
+	for s := 0; s < shards; s++ {
+		list := make([]int32, bounds[s+1]-bounds[s])
+		for k := range list {
+			list[k] = int32(bounds[s] + k)
+		}
+		awakeLists[s] = list
+	}
+
+	type roundWork struct {
+		round      int
+		recv, send []Word
+	}
+	start := make([]chan roundWork, shards)
+	done := make(chan int, shards)
+	for s := 0; s < shards; s++ {
+		start[s] = make(chan roundWork)
+		go func(s int) {
+			for w := range start[s] {
+				// Scrub outboxes of recently halted vertices: a vertex that
+				// halted in round r left words in both buffers (rounds r-1
+				// and r); they become stale at rounds r+1 and r+2
+				// respectively, which is exactly when this pass visits them.
+				// The vertex's out-slots live at Rev[i] (receiver-indexed
+				// buffers, possibly in other shards' vertex ranges); the
+				// write is still exclusive because slot Rev[i] is only ever
+				// written by the sender behind arc i — the halted vertex
+				// this worker owns — and its neighbor only reads it.
+				scrub := scrubs[s][:0]
+				for _, e := range scrubs[s] {
+					if int32(w.round)-e.haltRound > 2 {
+						continue // both buffers scrubbed; drop the entry
+					}
+					a0, a1 := csr.ArcRange(int(e.v))
+					for i := a0; i < a1; i++ {
+						w.send[csr.Rev[i]] = 0
+					}
+					scrub = append(scrub, e)
+				}
+				scrubs[s] = scrub
+
+				prog.StepShard(w.round, s, awakeLists[s], w.recv, w.send, halted)
+
+				// Compact the awake list; newly halted vertices enter the
+				// scrub ring.
+				list := awakeLists[s][:0]
+				for _, v := range awakeLists[s] {
+					if halted[v] {
+						scrubs[s] = append(scrubs[s], scrubEntry{v: v, haltRound: int32(w.round)})
+					} else {
+						list = append(list, v)
+					}
+				}
+				awakeLists[s] = list
+				done <- len(list)
+			}
+		}(s)
+	}
+	shutdown := func() {
+		for s := 0; s < shards; s++ {
+			close(start[s])
+		}
+	}
+
+	recv, send := bufA, bufB
+	for round := 1; ; round++ {
+		if round > maxRounds {
+			shutdown()
+			awake := 0
+			for _, h := range halted {
+				if !h {
+					awake++
+				}
+			}
+			return stats, fmt.Errorf("local: %d vertices still awake after %d rounds", awake, maxRounds)
+		}
+		work := roundWork{round: round, recv: recv, send: send}
+		for s := 0; s < shards; s++ {
+			start[s] <- work
+		}
+		awake := 0
+		for s := 0; s < shards; s++ {
+			awake += <-done
+		}
+		stats.Rounds = round
+		if opt.OnRound != nil {
+			opt.OnRound(round, awake)
+		}
+		if awake == 0 || (opt.Stop != nil && opt.Stop(round)) {
+			break
+		}
+		recv, send = send, recv
+	}
+	shutdown()
+	for _, h := range halted {
+		if h {
+			stats.Halted++
+		}
+	}
+	return stats, nil
+}

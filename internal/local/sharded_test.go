@@ -1,0 +1,246 @@
+package local
+
+import (
+	"testing"
+
+	"tokendrop/internal/graph"
+)
+
+// flatCountdown mirrors countdownMachine for the sharded engine: every
+// vertex broadcasts its remaining count and halts when it reaches zero.
+type flatCountdown struct {
+	csr        *graph.CSR
+	left       []int
+	seen       [][]Word // per vertex: received words, rounds concatenated
+	shardTotal []int64
+}
+
+func newFlatCountdown(csr *graph.CSR, left int) *flatCountdown {
+	p := &flatCountdown{csr: csr, left: make([]int, csr.N()), seen: make([][]Word, csr.N())}
+	for v := range p.left {
+		p.left[v] = left
+	}
+	return p
+}
+
+func (p *flatCountdown) InitShards(bounds []int) {
+	p.shardTotal = make([]int64, len(bounds)-1)
+}
+
+func (p *flatCountdown) total() int64 {
+	var t int64
+	for _, s := range p.shardTotal {
+		t += s
+	}
+	return t
+}
+
+func (p *flatCountdown) StepShard(round, shard int, verts []int32, recv, send []Word, halted []bool) {
+	for _, v32 := range verts {
+		v := int(v32)
+		a0, a1 := p.csr.ArcRange(v)
+		for i := a0; i < a1; i++ {
+			w := recv[i]
+			p.seen[v] = append(p.seen[v], w)
+			if w != 0 {
+				p.shardTotal[shard]++
+			}
+		}
+		for i := a0; i < a1; i++ {
+			send[p.csr.Rev[i]] = Word(p.left[v])
+		}
+		p.left[v]--
+		if p.left[v] <= 0 {
+			halted[v] = true
+		}
+	}
+}
+
+func TestShardedHaltsAndCountsRounds(t *testing.T) {
+	csr := graph.NewCSRFromGraph(graph.Cycle(5))
+	p := newFlatCountdown(csr, 3)
+	stats, err := RunSharded(csr, p, ShardedOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != 3 {
+		t.Fatalf("rounds = %d, want 3", stats.Rounds)
+	}
+	if stats.Halted != 5 {
+		t.Fatalf("halted = %d, want 5", stats.Halted)
+	}
+	// As in TestRunHaltsAndCountsRounds: everyone halts together in round
+	// 3, so only the broadcasts of rounds 1 and 2 are observed.
+	if got := p.total(); got != 5*2*2 {
+		t.Fatalf("delivered = %d, want 20", got)
+	}
+}
+
+// flatFinalWord: vertex 0 sends once in round 1 and halts; vertex 1 stays
+// awake four rounds and must see exactly one non-zero word — the final
+// message is delivered, and nothing stale is ever redelivered.
+type flatFinalWord struct {
+	csr      *graph.CSR
+	lifetime int
+	nonZero  int
+}
+
+func (p *flatFinalWord) InitShards(bounds []int) {}
+
+func (p *flatFinalWord) StepShard(round, shard int, verts []int32, recv, send []Word, halted []bool) {
+	for _, v32 := range verts {
+		v := int(v32)
+		a0, a1 := p.csr.ArcRange(v)
+		if v == 0 {
+			for i := a0; i < a1; i++ {
+				send[p.csr.Rev[i]] = 42
+			}
+			halted[v] = true
+			continue
+		}
+		for i := a0; i < a1; i++ {
+			if recv[i] != 0 {
+				p.nonZero++
+			}
+			send[p.csr.Rev[i]] = 0
+		}
+		p.lifetime++
+		if p.lifetime >= 4 {
+			halted[v] = true
+		}
+	}
+}
+
+func TestShardedFinalWordNoStaleRedelivery(t *testing.T) {
+	csr := graph.NewCSRFromGraph(graph.Path(2))
+	p := &flatFinalWord{csr: csr}
+	if _, err := RunSharded(csr, p, ShardedOptions{Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if p.nonZero != 1 {
+		t.Fatalf("receiver saw %d non-zero words, want exactly 1", p.nonZero)
+	}
+}
+
+// flatDigest mirrors schedulerProbe: each vertex sums its id with the
+// received words and broadcasts the sum, recording the per-round digests.
+type flatDigest struct {
+	csr    *graph.CSR
+	rounds int
+	digest [][]Word
+}
+
+func (p *flatDigest) InitShards(bounds []int) {}
+
+func (p *flatDigest) StepShard(round, shard int, verts []int32, recv, send []Word, halted []bool) {
+	for _, v32 := range verts {
+		v := int(v32)
+		a0, a1 := p.csr.ArcRange(v)
+		sum := Word(v)
+		for i := a0; i < a1; i++ {
+			sum += recv[i]
+		}
+		p.digest[v] = append(p.digest[v], sum)
+		for i := a0; i < a1; i++ {
+			send[p.csr.Rev[i]] = sum
+		}
+		if round >= p.rounds {
+			halted[v] = true
+		}
+	}
+}
+
+func TestShardedDeterminismAcrossShardCounts(t *testing.T) {
+	csr := graph.NewCSRFromGraph(graph.Torus2D(6, 6))
+	run := func(shards int) [][]Word {
+		p := &flatDigest{csr: csr, rounds: 8, digest: make([][]Word, csr.N())}
+		if _, err := RunSharded(csr, p, ShardedOptions{Shards: shards}); err != nil {
+			t.Fatal(err)
+		}
+		return p.digest
+	}
+	seq := run(1)
+	for _, shards := range []int{2, 3, 4, 16, 100} {
+		par := run(shards)
+		for v := range seq {
+			for r := range seq[v] {
+				if seq[v][r] != par[v][r] {
+					t.Fatalf("shards=%d: vertex %d round %d digest %d != %d",
+						shards, v, r, par[v][r], seq[v][r])
+				}
+			}
+		}
+	}
+}
+
+func TestShardedMaxRoundsGuard(t *testing.T) {
+	csr := graph.NewCSRFromGraph(graph.Path(3))
+	p := newFlatCountdown(csr, 1<<30)
+	if _, err := RunSharded(csr, p, ShardedOptions{MaxRounds: 10}); err == nil {
+		t.Fatal("runaway protocol not caught")
+	}
+}
+
+func TestShardedEmptyGraph(t *testing.T) {
+	csr := graph.NewCSRFromGraph(graph.New(0))
+	stats, err := RunSharded(csr, newFlatCountdown(csr, 1), ShardedOptions{})
+	if err != nil || stats.Rounds != 0 {
+		t.Fatalf("empty graph: %v %+v", err, stats)
+	}
+}
+
+func TestShardedStopCallback(t *testing.T) {
+	csr := graph.NewCSRFromGraph(graph.Cycle(4))
+	p := newFlatCountdown(csr, 1<<20)
+	var rounds []int
+	stats, err := RunSharded(csr, p, ShardedOptions{
+		Shards:  2,
+		OnRound: func(round, awake int) { rounds = append(rounds, round) },
+		Stop:    func(round int) bool { return round >= 5 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != 5 || len(rounds) != 5 {
+		t.Fatalf("stats %+v, callbacks %v", stats, rounds)
+	}
+}
+
+// TestShardedStressBarrier runs many tiny graphs with shard counts above
+// the vertex count and assorted halting patterns; under -race this
+// flushes synchronization bugs in the persistent-worker barrier.
+func TestShardedStressBarrier(t *testing.T) {
+	for n := 1; n <= 24; n++ {
+		var g *graph.Graph
+		switch n % 3 {
+		case 0:
+			g = graph.Path(n)
+		case 1:
+			g = graph.Star(n)
+		default:
+			g = graph.Complete(n%6 + 2)
+		}
+		csr := graph.NewCSRFromGraph(g)
+		p := newFlatCountdown(csr, n%5+1)
+		if _, err := RunSharded(csr, p, ShardedOptions{Shards: 16}); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// TestShardBoundsCoverAndBalance checks the arc-balanced partition is a
+// partition (monotone, covering) on a skewed-degree graph.
+func TestShardBoundsCoverAndBalance(t *testing.T) {
+	csr := graph.NewCSRFromGraph(graph.Star(1000))
+	for _, shards := range []int{1, 2, 3, 7, 16} {
+		bounds := shardBounds(csr, shards)
+		if bounds[0] != 0 || bounds[shards] != csr.N() {
+			t.Fatalf("shards=%d: bounds %v do not cover", shards, bounds)
+		}
+		for s := 0; s < shards; s++ {
+			if bounds[s] > bounds[s+1] {
+				t.Fatalf("shards=%d: bounds %v not monotone", shards, bounds)
+			}
+		}
+	}
+}

@@ -43,6 +43,15 @@ type (
 	LayeredConfig = core.LayeredConfig
 	// SequentialPolicy selects the centralized scheduler's next move.
 	SequentialPolicy = core.SequentialPolicy
+
+	// FlatGame is a token dropping game over a CSR graph — the
+	// representation of the sharded engine, sized for 10⁶+ vertices.
+	FlatGame = core.FlatInstance
+	// FlatGameResult is the outcome of a sharded solve (final placement,
+	// move log, stats); attach an instance with Solution() to verify it.
+	FlatGameResult = core.FlatResult
+	// ShardedGameOptions configure the sharded solvers.
+	ShardedGameOptions = core.ShardedSolveOptions
 )
 
 // Tie-breaking rules for the distributed solvers.
@@ -112,4 +121,41 @@ func RandomLayeredGame(cfg LayeredConfig, rng *rand.Rand) *GameInstance {
 // matchings.
 func BipartiteGame(g *Graph, numLeft int) *GameInstance {
 	return core.FromBipartite(g, numLeft)
+}
+
+// NewFlatGame converts an instance to the flat CSR representation of the
+// sharded engine, preserving port numbering (deterministic runs are
+// bit-identical across the two representations).
+func NewFlatGame(inst *GameInstance) *FlatGame { return core.NewFlatInstance(inst) }
+
+// SolveGameSharded runs the Theorem 4.1 proposal algorithm on the sharded
+// flat engine — the runtime for million-node games. Under TieFirstPort the
+// run is bit-identical to SolveGame on the same game.
+func SolveGameSharded(fi *FlatGame, opt ShardedGameOptions) (*FlatGameResult, error) {
+	return core.SolveProposalSharded(fi, opt)
+}
+
+// SolveGame3LevelSharded runs the Theorem 4.7 three-level algorithm on the
+// sharded flat engine; it errors on games of height greater than 2.
+func SolveGame3LevelSharded(fi *FlatGame, opt ShardedGameOptions) (*FlatGameResult, error) {
+	return core.SolveThreeLevelSharded(fi, opt)
+}
+
+// RandomLayeredFlatGame builds a random layered instance directly in CSR
+// form — the million-node counterpart of RandomLayeredGame.
+func RandomLayeredFlatGame(cfg LayeredConfig, rng *rand.Rand) *FlatGame {
+	return core.FlatRandomLayered(cfg, rng)
+}
+
+// LayeredGridGame builds the diagonal-lattice workload: rows layers of
+// cols vertices (level = row), tokens on the top tokenRows rows.
+func LayeredGridGame(rows, cols, tokenRows int) *FlatGame {
+	return core.FlatLayeredGrid(rows, cols, tokenRows)
+}
+
+// PowerLawBipartiteGame builds the height-2 skewed-demand workload: nl
+// customers on level 1 with power-law degrees (exponent alpha, max maxDeg),
+// nr servers on level 0.
+func PowerLawBipartiteGame(nl, nr int, alpha float64, maxDeg int, rng *rand.Rand) *FlatGame {
+	return core.FlatPowerLawBipartite(nl, nr, alpha, maxDeg, rng)
 }
