@@ -159,6 +159,12 @@ func BenchmarkE22ShardedEngine(b *testing.B) {
 	}
 }
 
+func BenchmarkE23OrientSharded(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.E23OrientSharded(quick())
+	}
+}
+
 func BenchmarkFixedScheduleOrientation(b *testing.B) {
 	g := tokendrop.CycleGraph(10)
 	for i := 0; i < b.N; i++ {

@@ -71,11 +71,7 @@ func main() {
 			TokenProb: *tokens, FreeBottom: true,
 		}, rng)
 	case "topheavy":
-		cfg := tokendrop.LayeredConfig{Levels: *levels, Width: *width, ParentDeg: *deg}
-		inst = tokendrop.RandomLayeredGame(cfg, rng)
-		// RandomLayeredGame with TokenProb 0 then manual top fill is what
-		// core.TopHeavy does; reuse the layered instance with all top
-		// tokens via the bipartite trick is overkill — just regenerate:
+		// A tokenless layered graph whose top layer is then fully occupied.
 		inst = tokendrop.RandomLayeredGame(tokendrop.LayeredConfig{
 			Levels: *levels, Width: *width, ParentDeg: *deg, TokenProb: 0,
 		}, rng)

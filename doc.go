@@ -44,6 +44,17 @@
 // against the centralized sequential oracle on hundreds of instances
 // (experiment E22 records the same check as a table).
 //
+// The stable-orientation layer runs on both engines too:
+// StableOrientation drives the seed engine, StableOrientationSharded runs
+// the whole Theorem 5.1 phase loop in flat arrays over a FlatGraph (CSR)
+// and plays each phase's token dropping subgame on the sharded engine —
+// ~4–5× the seed engine's throughput at 10⁵–10⁶ vertices on one core
+// (experiment E23; measured numbers in CHANGES.md). The differential
+// suite in internal/orient asserts bit-identical phase logs, round
+// counts, and final orientations under first-port tie-breaking, and
+// RandomRegularFlat / PowerLawFlat generate million-vertex orientation
+// workloads directly in CSR form.
+//
 // # Quick start
 //
 //	g := tokendrop.RandomRegular(24, 4, rand.New(rand.NewSource(1)))

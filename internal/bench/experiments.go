@@ -301,7 +301,7 @@ func E7OrientDeltaSweep(p Profile) *Table {
 		}
 		badOK := true
 		for _, rec := range res.PhaseLog {
-			if rec.MaxBadnessends > 1 {
+			if rec.MaxBadness > 1 {
 				badOK = false
 			}
 		}

@@ -244,5 +244,6 @@ func All(p Profile) []*Table {
 	out = append(out, E20RuntimeScaling(p))
 	out = append(out, E21MessageSizes(p))
 	out = append(out, E22ShardedEngine(p))
+	out = append(out, E23OrientSharded(p))
 	return out
 }

@@ -278,12 +278,13 @@ func arcFlags(fi *FlatInstance) []uint8 {
 	return flags
 }
 
-// splitmix64 is the per-vertex PRNG of the flat TieRandom rule: cheap,
+// SplitMix64 is the per-vertex PRNG of the flat TieRandom rules: cheap,
 // allocation-free, and seedable per vertex. Its draws differ from the
 // math/rand streams of the object machines, so TieRandom runs of the two
 // engines are independent samples of the same protocol (TieFirstPort runs
-// are identical).
-func splitmix64(x uint64) uint64 {
+// are identical). The sharded orientation layer shares it, so all flat
+// TieRandom streams come from one generator.
+func SplitMix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
@@ -297,14 +298,14 @@ func splitmix64(x uint64) uint64 {
 func flatRandSeeds(n int, seed int64) []uint64 {
 	s := make([]uint64, n)
 	for v := range s {
-		s[v] = splitmix64(uint64(seed) ^ uint64(v)*0x9e3779b97f4a7c15)
+		s[v] = SplitMix64(uint64(seed) ^ uint64(v)*0x9e3779b97f4a7c15)
 	}
 	return s
 }
 
-// flatIntn draws a value in [0, n) from the state, advancing it, and
+// SplitMixIntn draws a value in [0, n) from the state, advancing it, and
 // returns the new state.
-func flatIntn(state uint64, n int) (uint64, int) {
-	state = splitmix64(state)
+func SplitMixIntn(state uint64, n int) (uint64, int) {
+	state = SplitMix64(state)
 	return state, int((state >> 32) * uint64(n) >> 32)
 }

@@ -246,7 +246,7 @@ func (pr *flatProposal) StepShard(round, shard int, verts []int32, recv, send []
 					if recv[i] == fRequest {
 						n++
 						var pick int
-						state, pick = flatIntn(state, n)
+						state, pick = SplitMixIntn(state, n)
 						if pick == 0 {
 							grantArc = i
 						}
@@ -289,7 +289,7 @@ func (pr *flatProposal) StepShard(round, shard int, verts []int32, recv, send []
 					if aflags[i]&eligibleMask == eligible {
 						n++
 						var pick int
-						state, pick = flatIntn(state, n)
+						state, pick = SplitMixIntn(state, n)
 						if pick == 0 {
 							reqArc = i
 						}

@@ -83,7 +83,7 @@ func (pr *flatThreeLevel) pickWord(v, a0, a1 int, recv []local.Word, want local.
 		if !pr.portDead[i] && recv[i] == want {
 			cnt++
 			var pick int
-			state, pick = flatIntn(state, cnt)
+			state, pick = SplitMixIntn(state, cnt)
 			if pick == 0 {
 				choice = i
 			}
@@ -316,7 +316,7 @@ func (pr *flatThreeLevel) stepMiddle(round, shard, v int, recv, send []local.Wor
 					}
 				} else {
 					var pick int
-					pr.rngs[v], pick = flatIntn(pr.rngs[v], reqCnt)
+					pr.rngs[v], pick = SplitMixIntn(pr.rngs[v], reqCnt)
 					if pick == 0 {
 						reqArc = i
 					}
@@ -332,7 +332,7 @@ func (pr *flatThreeLevel) stepMiddle(round, shard, v int, recv, send []local.Wor
 					}
 				} else {
 					var pick int
-					pr.rngs[v], pick = flatIntn(pr.rngs[v], propCnt)
+					pr.rngs[v], pick = SplitMixIntn(pr.rngs[v], propCnt)
 					if pick == 0 {
 						propArc = i
 					}

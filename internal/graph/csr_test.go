@@ -198,3 +198,63 @@ func TestCSRPowerLawBipartite(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCSRRandomRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, tc := range []struct{ n, d int }{
+		{10, 0},
+		{10, 3},
+		{50, 4},
+		{101, 6},
+		{400, 7},
+	} {
+		csr := CSRRandomRegular(tc.n, tc.d, rng)
+		if err := csr.Validate(); err != nil {
+			t.Fatalf("n=%d d=%d: %v", tc.n, tc.d, err)
+		}
+		if csr.N() != tc.n || csr.M() != tc.n*tc.d/2 {
+			t.Fatalf("n=%d d=%d: got %d vertices %d edges", tc.n, tc.d, csr.N(), csr.M())
+		}
+		for v := 0; v < csr.N(); v++ {
+			if csr.Degree(v) != tc.d {
+				t.Fatalf("n=%d d=%d: vertex %d has degree %d", tc.n, tc.d, v, csr.Degree(v))
+			}
+		}
+	}
+}
+
+func TestCSRPowerLawGeneral(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n, maxDeg := 500, 20
+	csr := CSRPowerLaw(n, 2.2, maxDeg, rng)
+	if err := csr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if csr.N() != n {
+		t.Fatalf("n=%d", csr.N())
+	}
+	// Every vertex drew at least one edge, so realized degrees are >= 1
+	// unless its rejection budget ran dry (impossible at this density).
+	ones, max := 0, 0
+	for v := 0; v < n; v++ {
+		d := csr.Degree(v)
+		if d < 1 {
+			t.Fatalf("vertex %d is isolated", v)
+		}
+		if d <= 2 {
+			ones++
+		}
+		if d > max {
+			max = d
+		}
+	}
+	// Heavy tail of low-degree vertices, and at least one hub above the
+	// uniform mean (alpha > 2 concentrates draws at degree 1; received
+	// edges add a Poisson-like floor on top).
+	if ones < n/4 {
+		t.Fatalf("only %d/%d low-degree vertices; power law looks wrong", ones, n)
+	}
+	if max < 5 {
+		t.Fatalf("max degree %d; expected at least one hub", max)
+	}
+}

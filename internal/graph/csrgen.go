@@ -88,6 +88,145 @@ func CSRLayeredGrid(rows, cols int) *CSR {
 	return b.Build()
 }
 
+// CSRRandomRegular builds a random d-regular simple graph on n vertices
+// directly in CSR form — the orientation-workload counterpart of the
+// pointer-based RandomRegular, sized for 10⁶+ vertices. It runs the pairing
+// (configuration) model over a flat stub array: stubs are shuffled and
+// paired in order, and a pair that would form a self-loop or duplicate
+// edge is rejected by re-drawing its second stub from the unpaired tail
+// (the sparse-regime analogue of the Steger–Wormald repair swaps). If the
+// tail runs out of compatible stubs — vanishingly rare for d ≪ n — the
+// whole shuffle restarts. n*d must be even and 2*d must be below n (the
+// dense regime belongs to the pointer generator and its complement trick).
+func CSRRandomRegular(n, d int, rng *rand.Rand) *CSR {
+	if n*d%2 != 0 {
+		panic("graph: n*d must be even for a d-regular graph")
+	}
+	if d < 0 || (d > 0 && 2*d >= n) {
+		panic(fmt.Sprintf("graph: CSRRandomRegular needs 0 <= 2d < n, got n=%d d=%d", n, d))
+	}
+	if d == 0 {
+		return NewCSRBuilder(n, 0).Build()
+	}
+	stubs := make([]int32, n*d)
+	seen := make(map[int64]bool, n*d/2)
+	for restart := 0; restart < 100; restart++ {
+		for i := range stubs {
+			stubs[i] = int32(i / d)
+		}
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		clear(seen)
+		b := NewCSRBuilder(n, n*d/2)
+		ok := true
+		for i := 0; ok && i < len(stubs); i += 2 {
+			// Re-draw the partner of stubs[i] until the pair is simple; each
+			// swap keeps the remaining tail a uniform multiset.
+			const tries = 64
+			t := 0
+			for ; t < tries; t++ {
+				u, v := stubs[i], stubs[i+1]
+				if u > v {
+					u, v = v, u
+				}
+				key := int64(u)<<32 | int64(v)
+				if u != v && !seen[key] {
+					seen[key] = true
+					b.AddEdge(int(u), int(v))
+					break
+				}
+				if i+2 >= len(stubs) {
+					t = tries
+					break
+				}
+				j := i + 1 + rng.Intn(len(stubs)-i-1)
+				stubs[i+1], stubs[j] = stubs[j], stubs[i+1]
+			}
+			if t == tries {
+				ok = false
+			}
+		}
+		if ok {
+			return b.Build()
+		}
+	}
+	panic("graph: CSR random regular generation failed to converge")
+}
+
+// CSRPowerLaw builds a general (non-bipartite) power-law graph on n
+// vertices in CSR form: every vertex draws a target degree from a
+// truncated power law P(d) ∝ d^(-alpha) on 1..maxDeg and attaches to that
+// many distinct uniformly random other vertices, with stamp-based
+// rejection for repeats within a vertex's draw and a packed-edge set
+// rejecting the (rare, for maxDeg ≪ n) duplicates across draws. Realized
+// degrees exceed the drawn ones by the edges a vertex receives, exactly
+// like the skewed-demand workloads of the load-balancing evaluations —
+// a few hubs, a heavy tail of near-singletons. maxDeg must be below n.
+func CSRPowerLaw(n int, alpha float64, maxDeg int, rng *rand.Rand) *CSR {
+	if n < 2 {
+		panic(fmt.Sprintf("graph: CSRPowerLaw needs n >= 2, got %d", n))
+	}
+	if maxDeg < 1 || maxDeg >= n {
+		panic(fmt.Sprintf("graph: maxDeg=%d out of range (n=%d)", maxDeg, n))
+	}
+	cdf := make([]float64, maxDeg)
+	sum := 0.0
+	for d := 1; d <= maxDeg; d++ {
+		sum += math.Pow(float64(d), -alpha)
+		cdf[d-1] = sum
+	}
+	drawDeg := func() int {
+		x := rng.Float64() * sum
+		lo, hi := 0, maxDeg-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo + 1
+	}
+	b := NewCSRBuilder(n, n*2)
+	seen := make(map[int64]bool, n*2)
+	stamp := make([]int32, n)
+	for u := 0; u < n; u++ {
+		d := drawDeg()
+		stamp[u] = int32(u) + 1 // never attach to self
+		// Rejection budget: a vertex whose neighborhood is nearly saturated
+		// (a hub that already received most of the graph) stops early with
+		// a smaller realized degree instead of spinning.
+		budget := 16 * (d + 1)
+		for k := 0; k < d && budget > 0; k++ {
+			j := rng.Intn(n)
+			lo, hi := u, j
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			key := int64(lo)<<32 | int64(hi)
+			for stamp[j] == int32(u)+1 || seen[key] {
+				budget--
+				if budget == 0 {
+					break
+				}
+				j = rng.Intn(n)
+				lo, hi = u, j
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				key = int64(lo)<<32 | int64(hi)
+			}
+			if budget == 0 {
+				break
+			}
+			stamp[j] = int32(u) + 1
+			seen[key] = true
+			b.AddEdge(u, j)
+		}
+	}
+	return b.Build()
+}
+
 // CSRPowerLawBipartite builds a bipartite customer/server graph with left
 // vertices 0..nl-1 and right vertices nl..nl+nr-1, where each left vertex
 // draws its degree from a truncated power law P(d) ∝ d^(-alpha) on

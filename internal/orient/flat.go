@@ -1,0 +1,429 @@
+package orient
+
+import (
+	"fmt"
+	"sort"
+
+	"tokendrop/internal/core"
+	"tokendrop/internal/graph"
+)
+
+// This file ports the Theorem 5.1 stable-orientation algorithm to the
+// sharded flat runtime, closing the scale gap with the game layer: the
+// seed-engine Solve above tops out near 10⁵ vertices (per-phase object
+// graphs, goroutine-per-node games), while SolveSharded keeps the whole
+// phase loop in flat arrays over a graph.CSR and plays each phase's token
+// dropping subgame with core.SolveProposalSharded — the struct-of-arrays
+// program with packed per-vertex state and the quiescent-outbox skip.
+//
+// Orientation state is two flat arrays: head[id] (the head vertex of edge
+// id, -1 while unoriented) and load[v] (the indegree). Per phase:
+//
+//   - proposals/accepts are computed directly from the shared load array
+//     (the same simulation shortcut Solve uses: the load broadcast and the
+//     acceptance notification are charged as 2 communication rounds but
+//     evaluated centrally, since both endpoints apply one deterministic
+//     rule to the same broadcast values);
+//   - the phase's virtual token graph — the oriented edges of badness
+//     exactly 1, with levels = loads and tokens at acceptors — is
+//     assembled as a fresh CSR and solved on the sharded engine;
+//   - traversed edges flip, accepted edges orient toward their acceptors.
+//
+// Bit-identical parity with Solve under TieFirstPort rests on one
+// construction detail: Solve builds each phase's game with SortAdjacency,
+// so its port numbering is neighbor-ascending. Inserting the game edges
+// into a CSRBuilder in lexicographic endpoint order (u, v) reproduces
+// exactly that: for any vertex x, edges (p, x) with p < x precede edges
+// (x, q) in the global order and are sorted by p, and the (x, q) edges
+// follow sorted by q — so x's ports run over its neighbors in ascending
+// order. With identical port numbering, levels, and tokens, the sharded
+// subgame run is bit-identical to the object-engine run (the internal/core
+// differential suite's guarantee), and therefore so are the phase log, the
+// round counts, and the final orientation — which the differential suite
+// in this package asserts on ~100 instances.
+
+// ShardedOptions configure a SolveSharded run.
+type ShardedOptions struct {
+	// Tie selects the tie-breaking rule, as in Options. TieFirstPort runs
+	// are bit-identical to Solve; TieRandom draws engine-specific streams
+	// (per-vertex splitmix64 instead of the seed engine's shared
+	// math/rand), so those runs are independent samples of the protocol.
+	Tie core.TieBreak
+	// Seed drives all randomized tie-breaking.
+	Seed int64
+	// Shards is the per-phase subgame worker count (0 = GOMAXPROCS). The
+	// result does not depend on it.
+	Shards int
+	// MaxPhases aborts if the phase count exceeds the Lemma 5.5 bound by a
+	// wide margin; 0 means 4·Δ + 8.
+	MaxPhases int
+	// CheckInvariants replays the Lemma 5.3/5.4 checks, the subgame
+	// potential identity, and a load recount after every phase. Linear per
+	// phase; tests and experiments keep it on.
+	CheckInvariants bool
+	// VerifyGames additionally materializes every phase's subgame in
+	// object form and runs core.Verify on its solution. Quadratic-ish in
+	// allocations at scale — meant for tests, not million-node runs.
+	VerifyGames bool
+}
+
+// ShardedResult is the outcome of SolveSharded: the orientation in flat
+// form plus the same accounting Result carries.
+type ShardedResult struct {
+	// Head holds the head vertex of every edge (-1 never occurs in a
+	// completed run), indexed by CSR edge id.
+	Head []int32
+	// Load holds the final indegree of every vertex.
+	Load   []int32
+	Phases int
+	// Rounds counts communication rounds on the adaptive schedule: two per
+	// phase for the load broadcast and accept notification, plus the token
+	// dropping rounds of each phase.
+	Rounds int
+	// WorstCaseRounds is the fixed-schedule (paper) bound; see
+	// WorstCaseBound.
+	WorstCaseRounds int
+	PhaseLog        []PhaseRecord
+
+	csr    *graph.CSR
+	eu, ev []int32 // per edge: endpoints, eu < ev
+}
+
+// edgeTail returns the tail of oriented edge id.
+func (r *ShardedResult) edgeTail(id int) int32 {
+	if r.Head[id] == r.eu[id] {
+		return r.ev[id]
+	}
+	return r.eu[id]
+}
+
+// MaxBadness returns the maximum badness over oriented edges (0 if there
+// are none).
+func (r *ShardedResult) MaxBadness() int {
+	max := int32(0)
+	for id, h := range r.Head {
+		if h < 0 {
+			continue
+		}
+		if b := r.Load[h] - r.Load[r.edgeTail(id)]; b > max {
+			max = b
+		}
+	}
+	return int(max)
+}
+
+// Stable reports the stable-orientation condition of Section 1.1: every
+// edge is oriented and happy (badness at most 1).
+func (r *ShardedResult) Stable() bool {
+	for id := range r.Head {
+		if r.Head[id] < 0 || r.Load[r.Head[id]]-r.Load[r.edgeTail(id)] > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Potential returns Σ load², the objective of the load-balancing view.
+func (r *ShardedResult) Potential() int64 {
+	var p int64
+	for _, l := range r.Load {
+		p += int64(l) * int64(l)
+	}
+	return p
+}
+
+// SemimatchingCost returns Σ load·(load+1)/2, the semi-matching objective
+// of Section 1.3.
+func (r *ShardedResult) SemimatchingCost() int64 {
+	var c int64
+	for _, l := range r.Load {
+		c += int64(l) * int64(l+1) / 2
+	}
+	return c
+}
+
+// Orientation materializes the pointer-based orientation (same vertex and
+// edge identifiers), for cross-checks against the seed engine and the
+// structural tooling. It is O(n + m) object construction — test-sized.
+func (r *ShardedResult) Orientation() *graph.Orientation {
+	o := graph.NewOrientation(r.csr.ToGraph())
+	for id, h := range r.Head {
+		if h >= 0 {
+			o.Orient(id, int(h))
+		}
+	}
+	return o
+}
+
+// SolveSharded runs the Theorem 5.1 algorithm on c using the sharded flat
+// runtime for every phase's token dropping subgame. Under TieFirstPort the
+// run is bit-identical to Solve on the same graph (same phase log, rounds,
+// and final orientation).
+func SolveSharded(c *graph.CSR, opt ShardedOptions) (*ShardedResult, error) {
+	n, m := c.N(), c.M()
+	delta := c.MaxDegree()
+	maxPhases := opt.MaxPhases
+	if maxPhases == 0 {
+		maxPhases = 4*delta + 8
+	}
+
+	// Per-edge endpoints (eu < ev, matching graph.Edge normalization), and
+	// the edge ids in lexicographic endpoint order — the insertion order
+	// that makes every phase-game CSR neighbor-sorted (see the file
+	// comment).
+	eu := make([]int32, m)
+	ev := make([]int32, m)
+	for v := 0; v < n; v++ {
+		lo, hi := c.ArcRange(v)
+		for i := lo; i < hi; i++ {
+			if w := c.Col[i]; int32(v) < w {
+				eu[c.EID[i]] = int32(v)
+				ev[c.EID[i]] = w
+			}
+		}
+	}
+	lex := make([]int32, m)
+	for id := range lex {
+		lex[id] = int32(id)
+	}
+	sort.Slice(lex, func(i, j int) bool {
+		a, b := lex[i], lex[j]
+		if eu[a] != eu[b] {
+			return eu[a] < eu[b]
+		}
+		return ev[a] < ev[b]
+	})
+
+	head := make([]int32, m)
+	for id := range head {
+		head[id] = -1
+	}
+	load := make([]int32, n)
+	res := &ShardedResult{
+		Head: head, Load: load, WorstCaseRounds: WorstCaseBound(delta),
+		csr: c, eu: eu, ev: ev,
+	}
+
+	var rngs []uint64 // per-vertex TieRandom accept streams (core.SplitMix64)
+	var propCount []int32
+	if opt.Tie == core.TieRandom {
+		rngs = make([]uint64, n)
+		for v := range rngs {
+			rngs[v] = core.SplitMix64(uint64(opt.Seed) ^ uint64(v)*0x9e3779b97f4a7c15)
+		}
+		propCount = make([]int32, n)
+	}
+
+	// Reused per-phase scratch.
+	acceptEdge := make([]int32, n) // vertex -> accepted proposing edge, -1
+	token := make([]bool, n)
+	gameLevel := make([]int32, n)
+	tokOrigin := make([]int32, n) // traversal replay: vertex -> token origin
+	for v := range tokOrigin {
+		tokOrigin[v] = int32(v)
+	}
+	var loadsBefore []int32
+	if opt.CheckInvariants {
+		loadsBefore = make([]int32, n)
+	}
+	gameToOrig := make([]int32, 0, m)
+
+	oriented := 0
+	for phase := 1; oriented < m; phase++ {
+		if phase > maxPhases {
+			return nil, fmt.Errorf("orient: phase %d exceeds the Lemma 5.5 budget (Δ=%d)", phase, delta)
+		}
+		rec := PhaseRecord{Phase: phase}
+
+		// Steps 1 and 2 — every unoriented edge proposes to its smaller-load
+		// endpoint (ties toward the smaller vertex id, which is eu), and
+		// each proposed-to node accepts one edge: the smallest proposing
+		// edge id under TieFirstPort (Solve appends proposals in edge-id
+		// order and picks props[0]), a uniform draw under TieRandom.
+		// 2 communication rounds.
+		for v := range acceptEdge {
+			acceptEdge[v] = -1
+		}
+		if opt.Tie == core.TieRandom {
+			for v := range propCount {
+				propCount[v] = 0
+			}
+		}
+		for id := 0; id < m; id++ {
+			if head[id] >= 0 {
+				continue
+			}
+			rec.Proposals++
+			target := eu[id]
+			if load[ev[id]] < load[eu[id]] {
+				target = ev[id]
+			}
+			if opt.Tie == core.TieRandom {
+				propCount[target]++
+				var pick int
+				rngs[target], pick = core.SplitMixIntn(rngs[target], int(propCount[target]))
+				if pick == 0 {
+					acceptEdge[target] = int32(id)
+				}
+			} else if acceptEdge[target] < 0 {
+				acceptEdge[target] = int32(id)
+			}
+		}
+		for v := range token {
+			token[v] = acceptEdge[v] >= 0
+			if token[v] {
+				rec.Accepted++
+			}
+		}
+		res.Rounds += 2
+
+		// Step 3 — the virtual token graph: levels = loads, edges = the
+		// oriented edges of badness exactly 1, tokens at acceptors
+		// (Lemma 5.2 guarantees validity). Lex insertion order makes the
+		// builder's port numbering neighbor-ascending, as in Solve.
+		b := graph.NewCSRBuilder(n, oriented)
+		gameToOrig = gameToOrig[:0]
+		for _, id := range lex {
+			h := head[id]
+			if h < 0 {
+				continue
+			}
+			if load[h]-load[res.edgeTail(int(id))] != 1 {
+				continue
+			}
+			b.AddEdge(int(eu[id]), int(ev[id]))
+			gameToOrig = append(gameToOrig, id)
+		}
+		game := b.Build()
+		rec.GameEdges = game.M()
+		copy(gameLevel, load)
+		fi, err := core.NewFlatInstanceCSR(game, gameLevel, token)
+		if err != nil {
+			return nil, fmt.Errorf("orient: phase %d produced an invalid game: %w", phase, err)
+		}
+
+		// Step 4 — play the game on the sharded engine.
+		sol, err := core.SolveProposalSharded(fi, core.ShardedSolveOptions{
+			Tie:       opt.Tie,
+			Seed:      opt.Seed + int64(phase)*1_000_003,
+			Shards:    opt.Shards,
+			MaxRounds: 1 << 20,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("orient: phase %d game failed: %w", phase, err)
+		}
+		if opt.VerifyGames {
+			if err := core.Verify(sol.Solution(fi.Instance())); err != nil {
+				return nil, fmt.Errorf("orient: phase %d game unverified: %w", phase, err)
+			}
+		}
+		if opt.CheckInvariants {
+			if got, want := fi.InitialPotential()-int64(len(sol.Moves)), solutionPotentialFlat(fi, sol); got != want {
+				return nil, fmt.Errorf("orient: phase %d potential identity broken: %d != %d", phase, got, want)
+			}
+		}
+		rec.GameRounds = sol.Stats.Rounds
+		res.Rounds += sol.Stats.Rounds
+
+		// Tokens that travelled at least one hop: a move out of a vertex
+		// still holding its original token starts a fresh traversal; every
+		// other move extends one. Moves are chronological (round-major), so
+		// the replay is exact; the scratch map is restored afterwards.
+		for _, mv := range sol.Moves {
+			if tokOrigin[mv.From] == int32(mv.From) {
+				rec.TokensMoved++
+			}
+			tokOrigin[mv.To] = tokOrigin[mv.From]
+		}
+		for _, mv := range sol.Moves {
+			tokOrigin[mv.From] = int32(mv.From)
+			tokOrigin[mv.To] = int32(mv.To)
+		}
+
+		if opt.CheckInvariants {
+			copy(loadsBefore, load)
+		}
+
+		// Step 5 — flip every traversed edge (each consumed edge was
+		// traversed exactly once, and every move consumes its edge).
+		for _, mv := range sol.Moves {
+			id := gameToOrig[mv.Edge]
+			t := res.edgeTail(int(id))
+			load[head[id]]--
+			load[t]++
+			head[id] = t
+		}
+		// Step 6 — orient the accepted edges toward their acceptors.
+		for v := 0; v < n; v++ {
+			if id := acceptEdge[v]; id >= 0 {
+				head[id] = int32(v)
+				load[v]++
+				oriented++
+			}
+		}
+
+		if opt.CheckInvariants {
+			if err := checkFlatPhaseInvariants(res, loadsBefore, sol.Final, oriented); err != nil {
+				return nil, fmt.Errorf("orient: phase %d: %w", phase, err)
+			}
+		}
+		rec.MaxBadness = res.MaxBadness()
+		res.PhaseLog = append(res.PhaseLog, rec)
+		res.Phases = phase
+	}
+	return res, nil
+}
+
+// solutionPotentialFlat returns Σ level over a flat subgame's final token
+// placement.
+func solutionPotentialFlat(fi *core.FlatInstance, sol *core.FlatResult) int64 {
+	var p int64
+	for v, occ := range sol.Final {
+		if occ {
+			p += int64(fi.Level(v))
+		}
+	}
+	return p
+}
+
+// checkFlatPhaseInvariants enforces Lemma 5.3 (the load of v grows by
+// exactly 1 iff v is the destination of a token — equivalently, iff v
+// holds a token when the game ends) and Lemma 5.4 (badness at most 1 after
+// the phase), plus a from-scratch load recount.
+func checkFlatPhaseInvariants(r *ShardedResult, before []int32, finalToken []bool, oriented int) error {
+	for v, b := range before {
+		want := b
+		if finalToken[v] {
+			want++
+		}
+		if r.Load[v] != want {
+			return fmt.Errorf("lemma 5.3 violated at node %d: load %d -> %d, destination=%v",
+				v, b, r.Load[v], finalToken[v])
+		}
+	}
+	fresh := make([]int32, len(r.Load))
+	count := 0
+	for _, h := range r.Head {
+		if h >= 0 {
+			fresh[h]++
+			count++
+		}
+	}
+	if count != oriented {
+		return fmt.Errorf("oriented-edge count drifted: counted %d, cached %d", count, oriented)
+	}
+	for v := range fresh {
+		if fresh[v] != r.Load[v] {
+			return fmt.Errorf("load of %d drifted: recomputed %d, cached %d", v, fresh[v], r.Load[v])
+		}
+	}
+	for id, h := range r.Head {
+		if h < 0 {
+			continue
+		}
+		if b := r.Load[h] - r.Load[r.edgeTail(id)]; b > 1 {
+			return fmt.Errorf("lemma 5.4 violated: edge %d has badness %d after phase", id, b)
+		}
+	}
+	return nil
+}

@@ -44,13 +44,13 @@ type Options struct {
 
 // PhaseRecord captures one phase for experiments and invariant reports.
 type PhaseRecord struct {
-	Phase          int // 1-based
-	Proposals      int // unoriented edges at phase start
-	Accepted       int // edges oriented this phase (= tokens in the game)
-	GameEdges      int // badness-1 edges included in the game
-	GameRounds     int // communication rounds of the token dropping run
-	TokensMoved    int // tokens that travelled at least one hop
-	MaxBadnessends int // max badness after the phase (Lemma 5.4: ≤ 1)
+	Phase       int // 1-based
+	Proposals   int // unoriented edges at phase start
+	Accepted    int // edges oriented this phase (= tokens in the game)
+	GameEdges   int // badness-1 edges included in the game
+	GameRounds  int // communication rounds of the token dropping run
+	TokensMoved int // tokens that travelled at least one hop
+	MaxBadness  int // max badness after the phase (Lemma 5.4: ≤ 1)
 }
 
 // Result is the outcome of Solve.
@@ -205,7 +205,7 @@ func Solve(g *graph.Graph, opt Options) (*Result, error) {
 				return nil, fmt.Errorf("orient: phase %d: %w", phase, err)
 			}
 		}
-		rec.MaxBadnessends = o.MaxBadness()
+		rec.MaxBadness = o.MaxBadness()
 		res.PhaseLog = append(res.PhaseLog, rec)
 		res.Phases = phase
 	}

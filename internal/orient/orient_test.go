@@ -77,8 +77,8 @@ func TestBadnessInvariantOnPhaseLog(t *testing.T) {
 	g := graph.RandomGNM(40, 120, rng)
 	res := solve(t, g, Options{Seed: 1})
 	for _, rec := range res.PhaseLog {
-		if rec.MaxBadnessends > 1 {
-			t.Fatalf("phase %d ended with badness %d", rec.Phase, rec.MaxBadnessends)
+		if rec.MaxBadness > 1 {
+			t.Fatalf("phase %d ended with badness %d", rec.Phase, rec.MaxBadness)
 		}
 	}
 	// Phase progress: accepted ≥ 1 whenever proposals ≥ 1.

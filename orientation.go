@@ -31,6 +31,14 @@ type (
 	FixedOptions = orient.FixedOptions
 	// FixedResult reports a fixed-schedule run.
 	FixedResult = orient.FixedResult
+	// FlatGraph is a CSR-form undirected graph — the input of the sharded
+	// orientation runtime, sized for 10⁶+ vertices.
+	FlatGraph = graph.CSR
+	// OrientShardedOptions configure StableOrientationSharded.
+	OrientShardedOptions = orient.ShardedOptions
+	// OrientShardedResult carries the flat orientation (per-edge heads,
+	// per-vertex loads) plus the phase log and round counts.
+	OrientShardedResult = orient.ShardedResult
 )
 
 // Baseline configuration constants.
@@ -52,6 +60,19 @@ func StableOrientation(g *Graph, opt OrientOptions) (*OrientResult, error) {
 // OrientWorstCaseBound returns the analytic fixed-schedule round bound of
 // the Theorem 5.1 algorithm for maximum degree delta (Θ(Δ⁴)).
 func OrientWorstCaseBound(delta int) int { return orient.WorstCaseBound(delta) }
+
+// StableOrientationSharded computes a stable orientation of a CSR-form
+// graph on the sharded flat runtime — the million-node counterpart of
+// StableOrientation. Under TieFirstPort the run is bit-identical to
+// StableOrientation on the same graph (same phase log, rounds, and final
+// orientation); TieRandom draws engine-specific streams.
+func StableOrientationSharded(c *FlatGraph, opt OrientShardedOptions) (*OrientShardedResult, error) {
+	return orient.SolveSharded(c, opt)
+}
+
+// NewFlatGraph converts a pointer-based graph to CSR form, preserving
+// vertex ids, edge ids, and port order.
+func NewFlatGraph(g *Graph) *FlatGraph { return graph.NewCSRFromGraph(g) }
 
 // StableOrientationFixedSchedule runs the Theorem 5.1 algorithm as a true
 // LOCAL protocol on the paper's fixed worst-case schedule: nodes know Δ,
@@ -107,6 +128,22 @@ func CaterpillarGraph(spine, legs int) *Graph { return graph.Caterpillar(spine, 
 
 // RandomRegular returns a seeded random d-regular simple graph.
 func RandomRegular(n, d int, rng *rand.Rand) *Graph { return graph.RandomRegular(n, d, rng) }
+
+// RandomRegularFlat builds a seeded random d-regular simple graph directly
+// in CSR form — the orientation workload of the load-balancing evaluations
+// at 10⁶+ vertices, where materializing the pointer graph first would
+// dominate the run. Requires 2d < n.
+func RandomRegularFlat(n, d int, rng *rand.Rand) *FlatGraph {
+	return graph.CSRRandomRegular(n, d, rng)
+}
+
+// PowerLawFlat builds a seeded general power-law graph in CSR form: every
+// vertex draws a degree from P(d) ∝ d^(-alpha) on 1..maxDeg and attaches
+// to that many distinct random vertices — the skewed-demand orientation
+// workload (a few hubs, a heavy tail of near-singletons).
+func PowerLawFlat(n int, alpha float64, maxDeg int, rng *rand.Rand) *FlatGraph {
+	return graph.CSRPowerLaw(n, alpha, maxDeg, rng)
+}
 
 // RandomGraph returns a seeded uniform random simple graph with m edges.
 func RandomGraph(n, m int, rng *rand.Rand) *Graph { return graph.RandomGNM(n, m, rng) }
