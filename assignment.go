@@ -24,6 +24,20 @@ type (
 	BoundedResult = bounded.Result
 	// MatchingResult carries a maximal matching and its round count.
 	MatchingResult = matching.Result
+	// FlatBipartite is a CSR-form customer/server network — the input of
+	// the sharded assignment runtime, sized for 10⁶+ customers.
+	FlatBipartite = graph.CSRBipartite
+	// AssignShardedOptions configure StableAssignmentSharded.
+	AssignShardedOptions = assign.ShardedOptions
+	// AssignShardedResult carries the flat assignment (per-customer server
+	// indices, per-server loads) plus the phase log and round counts.
+	AssignShardedResult = assign.ShardedResult
+	// BoundedShardedOptions configure KBoundedAssignmentSharded (K = 0
+	// means 2).
+	BoundedShardedOptions = bounded.ShardedOptions
+	// BoundedShardedResult carries the flat k-bounded assignment and
+	// statistics.
+	BoundedShardedResult = bounded.ShardedResult
 )
 
 // NewBipartite wraps g as a customer/server network: vertices
@@ -58,10 +72,57 @@ func KBoundedAssignment(b *Bipartite, opt BoundedOptions) (*BoundedResult, error
 	return bounded.Solve(b, opt)
 }
 
+// StableAssignmentSharded computes a stable assignment of a CSR-form
+// network on the sharded flat runtime — the million-customer counterpart
+// of StableAssignment. Under TieFirstPort the run is bit-identical to
+// StableAssignment on the same network (same phase log, rounds, and final
+// assignment); TieRandom draws engine-specific streams.
+func StableAssignmentSharded(fb *FlatBipartite, opt AssignShardedOptions) (*AssignShardedResult, error) {
+	return assign.SolveSharded(fb, opt)
+}
+
+// KBoundedAssignmentSharded solves the k-bounded relaxation on the sharded
+// flat runtime; with the default k = 2 each phase's game runs on the
+// specialized three-level flat solver (Theorem 7.5). Under TieFirstPort
+// the run is bit-identical to KBoundedAssignment on the same network.
+func KBoundedAssignmentSharded(fb *FlatBipartite, opt BoundedShardedOptions) (*BoundedShardedResult, error) {
+	return bounded.SolveSharded(fb, opt)
+}
+
+// NewFlatBipartite converts a pointer-based customer/server network to CSR
+// form, preserving vertex ids, edge ids, and port order.
+func NewFlatBipartite(b *Bipartite) *FlatBipartite {
+	return graph.NewCSRBipartiteFromBipartite(b)
+}
+
+// NewFlatBipartiteCSR wraps a CSR graph as a customer/server network:
+// vertices 0..numLeft-1 are customers, the rest servers; every edge must
+// cross.
+func NewFlatBipartiteCSR(c *FlatGraph, numLeft int) (*FlatBipartite, error) {
+	return graph.NewCSRBipartite(c, numLeft)
+}
+
+// PowerLawBipartiteFlat builds a customer/server network directly in CSR
+// form where each of nl customers draws its degree from a truncated power
+// law P(d) ∝ d^(-alpha) on 1..maxDeg and attaches to that many distinct
+// random servers — the skewed-demand assignment workload at 10⁵+
+// customers, where materializing the pointer graph first would dominate
+// the run.
+func PowerLawBipartiteFlat(nl, nr int, alpha float64, maxDeg int, rng *rand.Rand) *FlatBipartite {
+	return graph.MustCSRBipartite(graph.CSRPowerLawBipartite(nl, nr, alpha, maxDeg, rng), nl)
+}
+
 // MatchingFromBounded applies the Theorem 7.4 post-processing: a 2-bounded
 // stable assignment becomes a maximal matching (every server keeps one
 // assigned customer).
 func MatchingFromBounded(a *Assignment) []int { return bounded.ReduceToMatching(a) }
+
+// MatchingFromBoundedSharded is MatchingFromBounded for the flat runtime:
+// it reduces a 2-bounded sharded result to a maximal matching without
+// materializing the object assignment.
+func MatchingFromBoundedSharded(r *BoundedShardedResult) []int {
+	return bounded.ReduceToMatchingSharded(r)
+}
 
 // MaximalMatching computes a maximal matching of b with the distributed
 // proposal algorithm (O(Δ) rounds).

@@ -1,13 +1,13 @@
 package tokendrop_test
 
-// One benchmark per experiment table of DESIGN.md's index (E1–E14): each
-// regenerates its table on the quick profile, so `go test -bench=.`
-// re-derives every figure/theorem check of the paper. Custom metrics
-// report the quantity the corresponding claim is about (rounds, phases,
-// ratios) alongside ns/op.
+// One benchmark per experiment table of the E1–E24 index (see
+// internal/bench): each regenerates its table on the quick profile, so
+// `go test -bench=.` re-derives every figure/theorem check of the paper.
+// Custom metrics report the quantity the corresponding claim is about
+// (rounds, phases, ratios) alongside ns/op.
 //
-// The full-size tables are produced by cmd/td-experiments; see
-// EXPERIMENTS.md for the paper-vs-measured record.
+// The full-size tables are produced by cmd/td-experiments; CHANGES.md
+// records the measured engine-speedup numbers.
 
 import (
 	"math/rand"
@@ -162,6 +162,12 @@ func BenchmarkE22ShardedEngine(b *testing.B) {
 func BenchmarkE23OrientSharded(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		bench.E23OrientSharded(quick())
+	}
+}
+
+func BenchmarkE24AssignSharded(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.E24AssignSharded(quick())
 	}
 }
 

@@ -1,13 +1,16 @@
 // Command td-assign computes stable assignments on customer/server
 // networks (Theorem 7.3), the 2-bounded relaxation (Theorem 7.5), the
 // Theorem 7.4 matching reduction, and the semi-matching approximation
-// ratio.
+// ratio. Both LOCAL runtimes are available: the seed object engine and the
+// sharded flat engine (-engine sharded), which run bit-identical
+// deterministic protocols.
 //
 // Usage examples:
 //
 //	td-assign -customers 60 -servers 20 -cdeg 4
 //	td-assign -customers 40 -servers 8 -cdeg 3 -kbounded -k 2
 //	td-assign -customers 30 -servers 10 -cdeg 3 -optimal
+//	td-assign -customers 200000 -servers 50000 -cdeg 3 -engine sharded
 package main
 
 import (
@@ -29,6 +32,8 @@ func main() {
 		optimal  = flag.Bool("optimal", false, "also compute the exact optimal semi-matching")
 		seed     = flag.Int64("seed", 1, "seed")
 		loads    = flag.Bool("loads", false, "print the server load histogram")
+		engine   = flag.String("engine", "local", "local (goroutine-per-node simulator) | sharded (flat CSR engine)")
+		shards   = flag.Int("shards", 0, "sharded engine workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -38,11 +43,51 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("network: customers=%d servers=%d C=%d S=%d\n",
-		b.NumCustomers(), b.NumServers(), b.MaxCustomerDegree(), b.MaxServerDegree())
+	fmt.Printf("network: customers=%d servers=%d C=%d S=%d engine=%s\n",
+		b.NumCustomers(), b.NumServers(), b.MaxCustomerDegree(), b.MaxServerDegree(), *engine)
 
+	// loadVec collects the per-server loads for -loads; the sharded paths
+	// fill it from the flat result directly, so the histogram never forces
+	// an object-graph materialization (only -optimal does).
 	var a *tokendrop.Assignment
-	if *kbounded {
+	var loadVec []int
+	switch {
+	case *engine == "sharded" && *kbounded:
+		fb := tokendrop.NewFlatBipartite(b)
+		res, err := tokendrop.KBoundedAssignmentSharded(fb, tokendrop.BoundedShardedOptions{
+			K: *k, Seed: *seed, Shards: *shards, CheckInvariants: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d-bounded stable assignment (Thm 7.5, sharded): phases=%d rounds=%d k-stable=%v\n",
+			res.K, res.Phases, res.Rounds, res.KStable())
+		matchOf := tokendrop.MatchingFromBoundedSharded(res)
+		err = tokendrop.VerifyMaximalMatching(b, matchOf)
+		fmt.Printf("Theorem 7.4 reduction to maximal matching: valid=%v\n", err == nil)
+		for _, l := range res.Load {
+			loadVec = append(loadVec, int(l))
+		}
+		if *optimal {
+			a = res.Assignment()
+		}
+	case *engine == "sharded":
+		fb := tokendrop.NewFlatBipartite(b)
+		res, err := tokendrop.StableAssignmentSharded(fb, tokendrop.AssignShardedOptions{
+			Seed: *seed, Shards: *shards, CheckInvariants: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("stable assignment (Thm 7.3, sharded): phases=%d rounds=%d stable=%v cost=%d\n",
+			res.Phases, res.Rounds, res.Stable(), res.SemimatchingCost())
+		for _, l := range res.Load {
+			loadVec = append(loadVec, int(l))
+		}
+		if *optimal {
+			a = res.Assignment()
+		}
+	case *kbounded:
 		res, err := tokendrop.KBoundedAssignment(b, tokendrop.BoundedOptions{K: *k, Seed: *seed, CheckInvariants: true})
 		if err != nil {
 			log.Fatal(err)
@@ -53,7 +98,7 @@ func main() {
 		matchOf := tokendrop.MatchingFromBounded(a)
 		err = tokendrop.VerifyMaximalMatching(b, matchOf)
 		fmt.Printf("Theorem 7.4 reduction to maximal matching: valid=%v\n", err == nil)
-	} else {
+	default:
 		res, err := tokendrop.StableAssignment(b, tokendrop.AssignOptions{Seed: *seed, CheckInvariants: true})
 		if err != nil {
 			log.Fatal(err)
@@ -72,10 +117,14 @@ func main() {
 	}
 
 	if *loads {
+		if loadVec == nil {
+			for _, s := range b.Servers() {
+				loadVec = append(loadVec, a.Load(s))
+			}
+		}
 		hist := map[int]int{}
 		maxLoad := 0
-		for _, s := range b.Servers() {
-			l := a.Load(s)
+		for _, l := range loadVec {
 			hist[l]++
 			if l > maxLoad {
 				maxLoad = l

@@ -1,8 +1,8 @@
 // Command td-experiments regenerates every experiment table of the
-// reproduction (DESIGN.md index E1–E14): one table per theorem/figure of
-// "Efficient Load-Balancing through Distributed Token Dropping"
-// (SPAA 2021). The output of the full profile is the basis of
-// EXPERIMENTS.md.
+// reproduction (index E1–E24 in internal/bench): one table per
+// theorem/figure of "Efficient Load-Balancing through Distributed Token
+// Dropping" (SPAA 2021), plus the ablations and the engine-parity
+// certificates (E22–E24).
 //
 // Usage:
 //

@@ -44,16 +44,28 @@
 // against the centralized sequential oracle on hundreds of instances
 // (experiment E22 records the same check as a table).
 //
-// The stable-orientation layer runs on both engines too:
-// StableOrientation drives the seed engine, StableOrientationSharded runs
-// the whole Theorem 5.1 phase loop in flat arrays over a FlatGraph (CSR)
-// and plays each phase's token dropping subgame on the sharded engine —
-// ~4–5× the seed engine's throughput at 10⁵–10⁶ vertices on one core
-// (experiment E23; measured numbers in CHANGES.md). The differential
-// suite in internal/orient asserts bit-identical phase logs, round
-// counts, and final orientations under first-port tie-breaking, and
-// RandomRegularFlat / PowerLawFlat generate million-vertex orientation
-// workloads directly in CSR form.
+// The higher layers run on both engines too:
+//
+//   - orientation: StableOrientation drives the seed engine,
+//     StableOrientationSharded runs the whole Theorem 5.1 phase loop in
+//     flat arrays over a FlatGraph (CSR) and plays each phase's token
+//     dropping subgame on the sharded engine — ~4–5× the seed engine's
+//     throughput at 10⁵–10⁶ vertices on one core (experiment E23);
+//   - assignment: StableAssignmentSharded and KBoundedAssignmentSharded
+//     run the Theorem 7.3 and 7.5 phase loops over a FlatBipartite (CSR
+//     customer/server network), playing each phase's hypergraph subgame
+//     on the flat ports of the Theorem 7.1/7.5 relay protocols — ~5× the
+//     seed engine at 10⁵ customers (experiment E24), with 10⁶-customer
+//     instances solved in seconds on one core.
+//
+// Per-layer differential suites (internal/orient, internal/assign,
+// internal/bounded, internal/hypergame) assert bit-identical phase logs,
+// round counts, and final outputs under first-port tie-breaking;
+// RandomRegularFlat, PowerLawFlat, and PowerLawBipartiteFlat generate
+// million-vertex workloads directly in CSR form. With the assignment
+// layer ported, every algorithm layer of the paper runs on both engines;
+// ARCHITECTURE.md documents the two-engine design and the lockstep
+// contract.
 //
 // # Quick start
 //
@@ -62,7 +74,9 @@
 //	if err != nil { ... }
 //	fmt.Println(res.Orientation.Stable(), res.Rounds) // true, <rounds>
 //
-// See the examples/ directory for complete programs and DESIGN.md for the
-// experiment index mapping every theorem and figure of the paper to a
-// regenerating benchmark.
+// See the examples/ directory for complete programs, README.md for the
+// quickstart and benchmark summary, and ARCHITECTURE.md for the runtime
+// design; the experiment index mapping every theorem and figure of the
+// paper to a regenerating benchmark lives in internal/bench (cmd/td-experiments
+// prints all tables).
 package tokendrop

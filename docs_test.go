@@ -1,0 +1,58 @@
+package tokendrop_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// TestExportedDocComments is the docs gate run by CI: every exported
+// identifier of the root package — the public facade — must carry a doc
+// comment. Grouped declarations (a const block, a type block) satisfy the
+// requirement with either a group comment or per-spec comments.
+func TestExportedDocComments(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["tokendrop"]
+	if !ok {
+		t.Fatal("root package not found")
+	}
+	var missing []string
+	report := func(kind, name string, pos token.Pos) {
+		missing = append(missing, kind+" "+name+" ("+fset.Position(pos).String()+")")
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc.Text() == "" {
+					report("func", d.Name.Name, d.Pos())
+				}
+			case *ast.GenDecl:
+				groupDoc := d.Doc.Text() != ""
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && !groupDoc && s.Doc.Text() == "" && s.Comment.Text() == "" {
+							report("type", s.Name.Name, s.Pos())
+						}
+					case *ast.ValueSpec:
+						documented := groupDoc || s.Doc.Text() != "" || s.Comment.Text() != ""
+						for _, name := range s.Names {
+							if name.IsExported() && !documented {
+								report("value", name.Name, name.Pos())
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, m := range missing {
+		t.Errorf("exported identifier without doc comment: %s", m)
+	}
+}

@@ -5,7 +5,13 @@
 // stable-orientation scheme of Section 5 — customers become hyperedges,
 // token dropping runs on the hypergraph (package hypergame), and "flipping
 // an edge" becomes moving a hyperedge's head — and runs in O(C·S⁴) rounds
-// for customer degree C and server degree S.
+// for customer degree C and server degree S (doc.go's Theorem 7.3 bound;
+// Lemma 7.2 bounds the phases by C·S + 1).
+//
+// The layer runs on both LOCAL runtimes: Solve on the seed object engine
+// (this file), SolveSharded on the sharded flat engine (flat.go). Under
+// first-port tie-breaking the two produce bit-identical runs, which the
+// differential suite in this package asserts.
 package assign
 
 import (

@@ -1,0 +1,236 @@
+package assign
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"tokendrop/internal/core"
+	"tokendrop/internal/graph"
+)
+
+// The differential suite pins the sharded assignment port to the seed
+// engine: under first-port tie-breaking both run the same deterministic
+// protocol over the same per-phase incidence port numbering, so the phase
+// logs, round counts, and final assignments must agree bit for bit on
+// every instance. TieRandom draws engine-specific streams, so those runs
+// are checked only against the solution-level oracles (hypergame.Verify on
+// every subgame, stability, capacity, and load-recount at the end).
+
+// diffBipartite derives a seeded customer/server network from a case
+// index, cycling through the families the assignment experiments run on.
+func diffBipartite(i int) (*graph.Bipartite, string) {
+	rng := rand.New(rand.NewSource(int64(7000 + i)))
+	switch i % 7 {
+	case 0:
+		nl, nr, c := 12+(i/7)%6*6, 4+(i/7)%4*2, 2+i%3
+		return graph.MustBipartite(graph.RandomBipartite(nl, nr, c, rng), nl),
+			fmt.Sprintf("random nl=%d nr=%d c=%d", nl, nr, c)
+	case 1:
+		nr := 3 + (i/7)%4
+		c := 2 + i%2
+		nl := nr * c * 2
+		s := nl * c / nr
+		return graph.MustBipartite(graph.RandomBipartiteRegular(nl, nr, c, s, rng), nl),
+			fmt.Sprintf("regular nl=%d nr=%d c=%d s=%d", nl, nr, c, s)
+	case 2:
+		a, b := 4+(i/7)%5, 3+(i/7)%3
+		return graph.MustBipartite(graph.CompleteBipartite(a, b), a),
+			fmt.Sprintf("complete %dx%d", a, b)
+	case 3:
+		// Skewed demand: power-law customer degrees, CSR-native adjacency
+		// order (not neighbor-sorted).
+		nl, nr := 20+(i/7)%5*10, 5+(i/7)%5
+		csr := graph.CSRPowerLawBipartite(nl, nr, 2.0, 1+nr/2, rng)
+		return graph.MustBipartite(csr.ToGraph(), nl),
+			fmt.Sprintf("powerlaw nl=%d nr=%d", nl, nr)
+	case 4:
+		// Star contention: every customer sees one shared hub plus one
+		// private server — maximal proposal collisions on the hub.
+		nl := 6 + (i/7)%8
+		g := graph.New(nl + nl + 1)
+		for c := 0; c < nl; c++ {
+			g.AddEdge(c, nl)        // shared hub
+			g.AddEdge(c, nl+1+c%nl) // private-ish server
+		}
+		return graph.MustBipartite(g, nl), fmt.Sprintf("hub nl=%d", nl)
+	case 5:
+		// Chain: customer c sees servers c and c+1 — the propagation
+		// workload where reassignment cascades travel.
+		nl := 8 + (i/7)%10
+		g := graph.New(nl + nl + 1)
+		for c := 0; c < nl; c++ {
+			g.AddEdge(c, nl+c)
+			g.AddEdge(c, nl+c+1)
+		}
+		return graph.MustBipartite(g, nl), fmt.Sprintf("chain nl=%d", nl)
+	default:
+		// Degree-1 customers mixed in: they never join a game but load the
+		// servers the game plays over.
+		nl, nr := 15+(i/7)%6*5, 4+(i/7)%4
+		g := graph.New(nl + nr)
+		for c := 0; c < nl; c++ {
+			if c%3 == 0 {
+				g.AddEdge(c, nl+c%nr)
+				continue
+			}
+			a := c % nr
+			b := (c*7 + 1) % nr
+			if a == b {
+				b = (b + 1) % nr
+			}
+			g.AddEdge(c, nl+a)
+			g.AddEdge(c, nl+b)
+		}
+		return graph.MustBipartite(g, nl), fmt.Sprintf("mixed nl=%d nr=%d", nl, nr)
+	}
+}
+
+func TestDifferentialAssignEngines(t *testing.T) {
+	const cases = 105
+	for i := 0; i < cases; i++ {
+		b, name := diffBipartite(i)
+		seed := int64(400 + i)
+		tag := fmt.Sprintf("case %d (%s)", i, name)
+
+		seedRes, err := Solve(b, Options{Seed: seed, CheckInvariants: true})
+		if err != nil {
+			t.Fatalf("%s: seed engine: %v", tag, err)
+		}
+		fb := graph.NewCSRBipartiteFromBipartite(b)
+		flatRes, err := SolveSharded(fb, ShardedOptions{
+			Tie: core.TieFirstPort, Seed: seed, Shards: 1 + i%5,
+			CheckInvariants: true, VerifyGames: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: sharded engine: %v", tag, err)
+		}
+
+		if flatRes.Phases != seedRes.Phases {
+			t.Fatalf("%s: phases %d (sharded) != %d (seed)", tag, flatRes.Phases, seedRes.Phases)
+		}
+		if flatRes.Rounds != seedRes.Rounds {
+			t.Fatalf("%s: rounds %d (sharded) != %d (seed)", tag, flatRes.Rounds, seedRes.Rounds)
+		}
+		if !slices.Equal(flatRes.PhaseLog, seedRes.PhaseLog) {
+			t.Fatalf("%s: phase logs diverge:\nsharded: %+v\nseed:    %+v", tag, flatRes.PhaseLog, seedRes.PhaseLog)
+		}
+		for c := 0; c < b.NumLeft; c++ {
+			if b.NumLeft+int(flatRes.ServerOf[c]) != seedRes.Assignment.ServerOf[c] {
+				t.Fatalf("%s: customer %d assigned to %d (sharded) != %d (seed)",
+					tag, c, b.NumLeft+int(flatRes.ServerOf[c]), seedRes.Assignment.ServerOf[c])
+			}
+		}
+		for s := 0; s < b.NumServers(); s++ {
+			if int(flatRes.Load[s]) != seedRes.Assignment.Load(b.NumLeft+s) {
+				t.Fatalf("%s: load of server %d diverges", tag, s)
+			}
+		}
+		if !flatRes.Stable() {
+			t.Fatalf("%s: sharded result not stable", tag)
+		}
+	}
+}
+
+// TestDifferentialAssignTieRandom runs the sharded port under TieRandom.
+// Its proposal, accept, and game streams legitimately differ from the
+// seed engine's, so the runs are judged by the oracles alone: every phase
+// subgame passes hypergame.Verify, every phase satisfies the Lemma
+// 5.3/5.4 analogues and the potential identity, and the final assignment
+// is complete, stable, and load-consistent.
+func TestDifferentialAssignTieRandom(t *testing.T) {
+	for i := 0; i < 40; i++ {
+		b, name := diffBipartite(i)
+		tag := fmt.Sprintf("case %d (%s)", i, name)
+		fb := graph.NewCSRBipartiteFromBipartite(b)
+		flatRes, err := SolveSharded(fb, ShardedOptions{
+			Tie: core.TieRandom, Seed: int64(1300 + i), Shards: 1 + i%4,
+			CheckInvariants: true, VerifyGames: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tag, err)
+		}
+		if !flatRes.Stable() {
+			t.Fatalf("%s: not stable", tag)
+		}
+		a := flatRes.Assignment()
+		if !a.Stable() {
+			t.Fatalf("%s: materialized assignment not stable", tag)
+		}
+		if err := a.CheckLoads(); err != nil {
+			t.Fatalf("%s: %v", tag, err)
+		}
+	}
+}
+
+// TestAssignShardCountInvariance pins schedule independence: the same
+// network solved with 1..8 shards produces the same run.
+func TestAssignShardCountInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	b := graph.MustBipartite(graph.RandomBipartite(40, 10, 3, rng), 40)
+	fb := graph.NewCSRBipartiteFromBipartite(b)
+	base, err := SolveSharded(fb, ShardedOptions{Tie: core.TieFirstPort, Seed: 31, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for shards := 2; shards <= 8; shards++ {
+		res, err := SolveSharded(fb, ShardedOptions{Tie: core.TieFirstPort, Seed: 31, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rounds != base.Rounds || !slices.Equal(res.ServerOf, base.ServerOf) ||
+			!slices.Equal(res.PhaseLog, base.PhaseLog) {
+			t.Fatalf("shards=%d diverges from shards=1", shards)
+		}
+	}
+}
+
+// TestSolveShardedCSRNative runs the sharded port on a network built
+// directly in CSR form, cross-checked against the seed engine on the
+// materialized graph (which preserves the port order, so the runs must
+// agree exactly).
+func TestSolveShardedCSRNative(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	csr := graph.CSRPowerLawBipartite(300, 40, 2.2, 12, rng)
+	fb, err := graph.NewCSRBipartite(csr, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveSharded(fb, ShardedOptions{Tie: core.TieFirstPort, Seed: 5, CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stable() {
+		t.Fatal("not stable")
+	}
+	b := fb.ToBipartite()
+	seedRes, err := Solve(b, Options{Seed: 5})
+	if err != nil {
+		t.Fatalf("seed engine: %v", err)
+	}
+	if seedRes.Rounds != res.Rounds || seedRes.Phases != res.Phases {
+		t.Fatalf("runs diverge: rounds %d/%d phases %d/%d",
+			res.Rounds, seedRes.Rounds, res.Phases, seedRes.Phases)
+	}
+	for c := 0; c < fb.NumLeft; c++ {
+		if fb.NumLeft+int(res.ServerOf[c]) != seedRes.Assignment.ServerOf[c] {
+			t.Fatalf("customer %d assignments diverge", c)
+		}
+	}
+}
+
+// TestSolveShardedErrors mirrors Solve's input validation.
+func TestSolveShardedErrors(t *testing.T) {
+	g := graph.New(3) // customer 0 isolated, customer 1 sees server 2
+	g.AddEdge(1, 2)
+	fb := graph.NewCSRBipartiteFromBipartite(graph.MustBipartite(g, 2))
+	if _, err := SolveSharded(fb, ShardedOptions{}); err == nil {
+		t.Fatal("no error for an isolated customer")
+	}
+	rng := rand.New(rand.NewSource(9))
+	b := graph.MustBipartite(graph.RandomBipartite(20, 4, 3, rng), 20)
+	if _, err := SolveSharded(graph.NewCSRBipartiteFromBipartite(b), ShardedOptions{MaxPhases: 1}); err == nil {
+		t.Fatal("no error when the phase budget is exceeded")
+	}
+}

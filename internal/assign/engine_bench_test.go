@@ -1,0 +1,80 @@
+package assign
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"tokendrop/internal/graph"
+)
+
+// Assignment engine benchmarks at the scales the load-balancing
+// evaluations run at (10⁵–10⁶ customers). Both engines execute the same
+// deterministic phase algorithm (first-port ties) on the same random
+// customer/server network — the flat view is converted from the very
+// graph the seed engine consumes, so the runs are bit-identical — and
+// solve the assignment to stability. The rounds/s metric counts adaptive
+// communication rounds of the whole run per wall-clock second; CHANGES.md
+// records measured numbers. Run with
+//
+//	go test ./internal/assign -bench Assign -benchtime 1x
+const benchCdeg = 3
+
+var (
+	benchMu  sync.Mutex
+	benchBs  = map[int]*graph.Bipartite{}
+	benchFbs = map[int]*graph.CSRBipartite{}
+)
+
+func benchNetwork(nl int) (*graph.Bipartite, *graph.CSRBipartite) {
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if benchBs[nl] == nil {
+		rng := rand.New(rand.NewSource(42))
+		benchBs[nl] = graph.MustBipartite(graph.RandomBipartite(nl, nl/4, benchCdeg, rng), nl)
+		benchFbs[nl] = graph.NewCSRBipartiteFromBipartite(benchBs[nl])
+	}
+	return benchBs[nl], benchFbs[nl]
+}
+
+func benchShardedAssign(b *testing.B, nl, shards int) {
+	_, fb := benchNetwork(nl)
+	rounds := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := SolveSharded(fb, ShardedOptions{Shards: shards})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds += res.Rounds
+	}
+	b.ReportMetric(float64(rounds)/b.Elapsed().Seconds(), "rounds/s")
+}
+
+func benchSeedAssign(b *testing.B, nl int) {
+	bb, _ := benchNetwork(nl)
+	rounds := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Solve(bb, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds += res.Rounds
+	}
+	b.ReportMetric(float64(rounds)/b.Elapsed().Seconds(), "rounds/s")
+}
+
+func BenchmarkAssignSharded100k(b *testing.B) { benchShardedAssign(b, 100_000, 0) }
+func BenchmarkAssignSeed100k(b *testing.B)    { benchSeedAssign(b, 100_000) }
+func BenchmarkAssignSharded1M(b *testing.B)   { benchShardedAssign(b, 1_000_000, 0) }
+func BenchmarkAssignSeed1M(b *testing.B)      { benchSeedAssign(b, 1_000_000) }
+
+// Multi-shard scaling of the 10⁶-customer run; the outcome is shard-count
+// independent, only the wall clock changes.
+func BenchmarkAssignShardScaling(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(map[int]string{1: "shards1", 2: "shards2", 4: "shards4", 8: "shards8"}[shards],
+			func(b *testing.B) { benchShardedAssign(b, 1_000_000, shards) })
+	}
+}

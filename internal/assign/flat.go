@@ -1,0 +1,429 @@
+package assign
+
+import (
+	"fmt"
+
+	"tokendrop/internal/core"
+	"tokendrop/internal/graph"
+	"tokendrop/internal/hypergame"
+)
+
+// This file ports the Theorem 7.3 stable-assignment algorithm to the
+// sharded flat runtime, the last paper layer off the fast path: the
+// seed-engine Solve above builds per-phase object hypergraphs and plays
+// them goroutine-per-node, while SolveSharded keeps the whole phase loop in
+// flat arrays over a graph.CSRBipartite and plays each phase's hypergraph
+// token dropping subgame with hypergame.SolveProposalSharded — the
+// struct-of-arrays port of the Theorem 7.1 relay protocol.
+//
+// Assignment state is two flat arrays: serverOf[c] (the assigned server
+// index of customer c, -1 while unassigned) and load[s]. Per phase:
+//
+//   - proposals/accepts are computed directly from the shared load array
+//     (the same simulation shortcut Solve uses: the load broadcast and the
+//     acceptance notification are charged as 2 communication rounds but
+//     evaluated centrally, since both sides apply one deterministic rule to
+//     the same broadcast values);
+//   - the phase's virtual token hypergraph — assigned customers of badness
+//     exactly 1 as hyperedges over the servers, levels = loads, tokens at
+//     acceptors — is assembled as a flat hypergame.FlatInstance with
+//     hyperedges in customer-id order and endpoints in adjacency order,
+//     exactly the insertion order Solve hands hypergame.SolveProposal, so
+//     the incidence network's port numbering matches the object solver's;
+//   - traversed hyperedges reassign their customers, accepted customers
+//     are assigned.
+//
+// With identical port numbering, levels, and tokens, the sharded subgame
+// run is bit-identical to the object-engine run under first-port
+// tie-breaking (the guarantee of the hypergame differential tests), and
+// therefore so are the phase log, the round counts, and the final
+// assignment — which the differential suite in this package asserts on
+// ~100 bipartite instances.
+
+// ShardedOptions configure a SolveSharded run.
+type ShardedOptions struct {
+	// Tie selects the tie-breaking rule. TieFirstPort runs are
+	// bit-identical to Solve with RandomTies false; TieRandom draws
+	// engine-specific streams (per-vertex splitmix64 instead of the seed
+	// engine's shared math/rand), so those runs are independent samples of
+	// the protocol.
+	Tie core.TieBreak
+	// Seed drives all randomized tie-breaking.
+	Seed int64
+	// Shards is the per-phase subgame worker count (0 = GOMAXPROCS). The
+	// result does not depend on it.
+	Shards int
+	// MaxPhases guards against non-termination; 0 means 4·C·S + 8
+	// (Lemma 7.2 gives C·S + 1), as in Options.
+	MaxPhases int
+	// CheckInvariants replays the Section 7.2 analogues of Lemmas 5.3–5.4
+	// (loads grow by exactly one at token destinations, badness at most 1
+	// after every phase), the subgame potential identity, and a load
+	// recount. Linear per phase; tests and experiments keep it on.
+	CheckInvariants bool
+	// VerifyGames additionally materializes every phase's subgame in
+	// object form and runs hypergame.Verify on its solution. Expensive at
+	// scale — meant for tests, not million-customer runs.
+	VerifyGames bool
+}
+
+// ShardedResult is the outcome of SolveSharded: the assignment in flat
+// form plus the same accounting Result carries.
+type ShardedResult struct {
+	// ServerOf holds the assigned server of every customer as an index in
+	// [0, NumServers); -1 never occurs in a completed run.
+	ServerOf []int32
+	// Load holds the final number of customers per server index.
+	Load   []int32
+	Phases int
+	// Rounds counts communication rounds on the adaptive schedule: two per
+	// phase (load broadcast, accept notification) plus the game's rounds
+	// on the customer/server incidence network.
+	Rounds   int
+	PhaseLog []PhaseRecord
+
+	fb *graph.CSRBipartite
+}
+
+// Bipartite returns the flat network the result was computed on.
+func (r *ShardedResult) Bipartite() *graph.CSRBipartite { return r.fb }
+
+// MaxBadness returns the maximum badness over assigned customers.
+func (r *ShardedResult) MaxBadness() int {
+	return int(flatMaxBadness(r.fb, r.ServerOf, r.Load))
+}
+
+// Stable reports the stable assignment condition of Section 7: every
+// customer is assigned and none can lower its server's load by switching.
+func (r *ShardedResult) Stable() bool {
+	for _, s := range r.ServerOf {
+		if s < 0 {
+			return false
+		}
+	}
+	return r.MaxBadness() <= 1
+}
+
+// SemimatchingCost returns Σ_s f(load(s)) with f(x) = x(x+1)/2, the
+// objective of Section 1.3.
+func (r *ShardedResult) SemimatchingCost() int64 {
+	var cost int64
+	for _, l := range r.Load {
+		cost += int64(l) * int64(l+1) / 2
+	}
+	return cost
+}
+
+// Assignment materializes the pointer-based assignment (same vertex
+// identifiers), for cross-checks against the seed engine and the
+// semi-matching tooling. O(n + m) object construction — test-sized.
+func (r *ShardedResult) Assignment() *graph.Assignment {
+	b := r.fb.ToBipartite()
+	a := graph.NewAssignment(b)
+	for c, s := range r.ServerOf {
+		if s >= 0 {
+			a.Assign(c, r.fb.NumLeft+int(s))
+		}
+	}
+	return a
+}
+
+// flatMaxBadness returns the maximum badness over assigned customers
+// (load of the assigned server minus the minimum adjacent load).
+func flatMaxBadness(fb *graph.CSRBipartite, serverOf, load []int32) int32 {
+	csr := fb.C
+	nl := fb.NumLeft
+	max := int32(0)
+	for c := 0; c < nl; c++ {
+		so := serverOf[c]
+		if so < 0 {
+			continue
+		}
+		lo, hi := csr.ArcRange(c)
+		min := int32(-1)
+		for i := lo; i < hi; i++ {
+			if l := load[int(csr.Col[i])-nl]; min < 0 || l < min {
+				min = l
+			}
+		}
+		if b := load[so] - min; b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// SolveSharded runs the Theorem 7.3 algorithm on fb using the sharded flat
+// runtime for every phase's hypergraph token dropping subgame. Under
+// TieFirstPort the run is bit-identical to Solve on the same network (same
+// phase log, rounds, and final assignment).
+func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, error) {
+	csr := fb.C
+	nl, ns := fb.NumLeft, fb.NumServers()
+	for c := 0; c < nl; c++ {
+		if csr.Degree(c) == 0 {
+			return nil, fmt.Errorf("assign: customer %d has no adjacent server", c)
+		}
+	}
+	cs := fb.MaxCustomerDegree() * fb.MaxServerDegree()
+	maxPhases := opt.MaxPhases
+	if maxPhases == 0 {
+		maxPhases = 4*cs + 8
+	}
+
+	serverOf := make([]int32, nl)
+	unassigned := make([]int32, nl)
+	for c := range serverOf {
+		serverOf[c] = -1
+		unassigned[c] = int32(c)
+	}
+	res := &ShardedResult{
+		ServerOf: serverOf,
+		Load:     make([]int32, ns),
+		fb:       fb,
+	}
+	load := res.Load
+
+	var custRng, servRng []uint64 // engine-specific TieRandom streams
+	var propCount []int32
+	if opt.Tie == core.TieRandom {
+		custRng = make([]uint64, nl)
+		for c := range custRng {
+			custRng[c] = core.SplitMix64(uint64(opt.Seed) ^ uint64(c)*0x9e3779b97f4a7c15)
+		}
+		servRng = make([]uint64, ns)
+		for s := range servRng {
+			servRng[s] = core.SplitMix64(uint64(opt.Seed) ^ uint64(nl+s)*0x9e3779b97f4a7c15)
+		}
+		propCount = make([]int32, ns)
+	}
+
+	// Reused per-phase scratch.
+	acceptCust := make([]int32, ns)
+	token := make([]bool, ns)
+	gameLevel := make([]int32, ns)
+	eptr := make([]int32, 0, nl+1)
+	ends := make([]int32, 0, csr.M())
+	heads := make([]int32, 0, nl)
+	gameCustomer := make([]int32, 0, nl)
+	var loadsBefore []int32
+	if opt.CheckInvariants {
+		loadsBefore = make([]int32, ns)
+	}
+
+	for phase := 1; len(unassigned) > 0; phase++ {
+		if phase > maxPhases {
+			return nil, fmt.Errorf("assign: phase %d exceeds the Lemma 7.2 budget (C·S=%d)", phase, cs)
+		}
+		rec := PhaseRecord{Phase: phase, Proposals: len(unassigned)}
+
+		// Steps 1 and 2 — every unassigned customer proposes to the
+		// adjacent server with the smallest load (ties to the smaller id,
+		// or seeded-random), and each proposed-to server accepts one
+		// customer: the smallest proposing id under TieFirstPort (Solve
+		// appends proposals in customer order and picks props[0]), a
+		// uniform draw under TieRandom. 2 communication rounds.
+		for s := range acceptCust {
+			acceptCust[s] = -1
+		}
+		if opt.Tie == core.TieRandom {
+			for s := range propCount {
+				propCount[s] = 0
+			}
+		}
+		for _, c := range unassigned {
+			lo, hi := csr.ArcRange(int(c))
+			best := int32(-1)
+			bestLoad := int32(0)
+			for i := lo; i < hi; i++ {
+				s := csr.Col[i] - int32(nl)
+				if l := load[s]; best < 0 || l < bestLoad || (l == bestLoad && s < best) {
+					best, bestLoad = s, l
+				}
+			}
+			if opt.Tie == core.TieRandom {
+				state := custRng[c]
+				count := 0
+				for i := lo; i < hi; i++ {
+					s := csr.Col[i] - int32(nl)
+					if load[s] != bestLoad {
+						continue
+					}
+					count++
+					var pick int
+					state, pick = core.SplitMixIntn(state, count)
+					if pick == 0 {
+						best = s
+					}
+				}
+				custRng[c] = state
+
+				propCount[best]++
+				var pick int
+				servRng[best], pick = core.SplitMixIntn(servRng[best], int(propCount[best]))
+				if pick == 0 {
+					acceptCust[best] = c
+				}
+			} else if acceptCust[best] < 0 {
+				acceptCust[best] = c
+			}
+		}
+		for s := range token {
+			token[s] = acceptCust[s] >= 0
+			if token[s] {
+				rec.Accepted++
+			}
+		}
+		res.Rounds += 2
+
+		// Step 3 — the virtual token hypergraph: server levels = loads,
+		// hyperedges = the assigned customers of badness exactly 1 (heads =
+		// their servers), tokens at acceptors. Customer-id insertion order
+		// with adjacency-order endpoints reproduces the object network's
+		// port numbering (see the file comment).
+		copy(gameLevel, load)
+		eptr = append(eptr[:0], 0)
+		ends = ends[:0]
+		heads = heads[:0]
+		gameCustomer = gameCustomer[:0]
+		for c := 0; c < nl; c++ {
+			so := serverOf[c]
+			if so < 0 {
+				continue
+			}
+			lo, hi := csr.ArcRange(c)
+			if hi-lo < 2 {
+				continue
+			}
+			min := int32(-1)
+			for i := lo; i < hi; i++ {
+				if l := load[int(csr.Col[i])-nl]; min < 0 || l < min {
+					min = l
+				}
+			}
+			if load[so]-min != 1 {
+				continue
+			}
+			for i := lo; i < hi; i++ {
+				ends = append(ends, csr.Col[i]-int32(nl))
+			}
+			eptr = append(eptr, int32(len(ends)))
+			heads = append(heads, so)
+			gameCustomer = append(gameCustomer, int32(c))
+		}
+		fi, err := hypergame.NewFlatInstance(gameLevel, token, eptr, ends, heads)
+		if err != nil {
+			return nil, fmt.Errorf("assign: phase %d produced an invalid game: %w", phase, err)
+		}
+		rec.GameEdges = len(heads)
+
+		// Step 4 — play the game on the sharded engine.
+		sol, err := hypergame.SolveProposalSharded(fi, hypergame.ShardedSolveOptions{
+			RandomTies: opt.Tie == core.TieRandom,
+			Seed:       opt.Seed + int64(phase)*1_000_003,
+			Shards:     opt.Shards,
+			MaxRounds:  1 << 20,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("assign: phase %d game failed: %w", phase, err)
+		}
+		if opt.VerifyGames {
+			if err := hypergame.Verify(sol.Solution(fi.Instance())); err != nil {
+				return nil, fmt.Errorf("assign: phase %d game unverified: %w", phase, err)
+			}
+		}
+		if opt.CheckInvariants {
+			var finalPot int64
+			for s, occ := range sol.Final {
+				if occ {
+					finalPot += int64(fi.Level(s))
+				}
+			}
+			if got := fi.InitialPotential() - int64(len(sol.Moves)); got != finalPot {
+				return nil, fmt.Errorf("assign: phase %d potential identity broken: %d != %d", phase, got, finalPot)
+			}
+			copy(loadsBefore, load)
+		}
+		rec.GameRounds = sol.Stats.Rounds
+		res.Rounds += sol.Stats.Rounds
+
+		// Step 5 — apply the moves: a token passed from u to v through
+		// customer e moves e's head from u to v (reassignment).
+		for _, mv := range sol.Moves {
+			c := gameCustomer[mv.Edge]
+			load[serverOf[c]]--
+			serverOf[c] = int32(mv.To)
+			load[mv.To]++
+			rec.TokensMoved++
+		}
+		// Step 6 — assign the accepted customers.
+		for s := 0; s < ns; s++ {
+			if c := acceptCust[s]; c >= 0 {
+				serverOf[c] = int32(s)
+				load[s]++
+			}
+		}
+		kept := unassigned[:0]
+		for _, c := range unassigned {
+			if serverOf[c] < 0 {
+				kept = append(kept, c)
+			}
+		}
+		unassigned = kept
+
+		if opt.CheckInvariants {
+			if err := checkFlatPhaseInvariants(fb, serverOf, load, loadsBefore, sol.Final); err != nil {
+				return nil, fmt.Errorf("assign: phase %d: %w", phase, err)
+			}
+		}
+		rec.MaxBadness = int(flatMaxBadness(fb, serverOf, load))
+		res.PhaseLog = append(res.PhaseLog, rec)
+		res.Phases = phase
+	}
+	return res, nil
+}
+
+// checkFlatPhaseInvariants enforces the Section 7.2 analogues of Lemmas
+// 5.3 and 5.4: server loads grow by exactly one at token destinations
+// (equivalently, where a token rests when the game ends) and stay put
+// elsewhere, no assigned customer has badness above 1 at the end of a
+// phase, and the cached loads match a from-scratch recount.
+func checkFlatPhaseInvariants(fb *graph.CSRBipartite, serverOf, load, before []int32, finalToken []bool) error {
+	for s, b := range before {
+		want := b
+		if finalToken[s] {
+			want++
+		}
+		if load[s] != want {
+			return fmt.Errorf("lemma 5.3 analogue violated at server %d: load %d -> %d, destination=%v",
+				fb.NumLeft+s, b, load[s], finalToken[s])
+		}
+	}
+	fresh := make([]int32, len(load))
+	for c, so := range serverOf {
+		if so < 0 {
+			continue
+		}
+		found := false
+		lo, hi := fb.C.ArcRange(c)
+		for i := lo; i < hi; i++ {
+			if int(fb.C.Col[i])-fb.NumLeft == int(so) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("customer %d assigned to non-adjacent server %d", c, so)
+		}
+		fresh[so]++
+	}
+	for s := range fresh {
+		if fresh[s] != load[s] {
+			return fmt.Errorf("load of server %d drifted: recomputed %d, cached %d", s, fresh[s], load[s])
+		}
+	}
+	if mb := flatMaxBadness(fb, serverOf, load); mb > 1 {
+		return fmt.Errorf("lemma 5.4 analogue violated: max badness %d", mb)
+	}
+	return nil
+}

@@ -216,9 +216,11 @@ func E14SequentialGreedy(p Profile) *Table {
 	return t
 }
 
-// All runs every experiment and returns the tables in DESIGN.md order:
-// E1–E14 reproduce the paper's figures and theorems, E15–E20 are the
-// ablations and open-question probes.
+// All runs every experiment and returns the tables in index order:
+// E1–E14 reproduce the paper's figures and theorems, E15–E21 are the
+// ablations and open-question probes, and E22–E24 certify seed-vs-sharded
+// engine parity and speedups for the game, orientation, and assignment
+// layers.
 func All(p Profile) []*Table {
 	var out []*Table
 	out = append(out, E1StableOrientationExamples(p))
@@ -245,5 +247,6 @@ func All(p Profile) []*Table {
 	out = append(out, E21MessageSizes(p))
 	out = append(out, E22ShardedEngine(p))
 	out = append(out, E23OrientSharded(p))
+	out = append(out, E24AssignSharded(p))
 	return out
 }

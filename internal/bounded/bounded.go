@@ -6,7 +6,12 @@
 // token dropping games of height 2 with three levels {0, 1, 2}, which the
 // specialized hypergraph solver (hypergame.SolveThreeLevel) finishes in
 // O(S) rounds, giving the Theorem 7.5 total of O(C·S²) — a factor-S²
-// improvement over the general problem's O(C·S⁴).
+// improvement over the general problem's O(C·S⁴) (Theorem 7.3).
+//
+// The layer runs on both LOCAL runtimes: Solve on the seed object engine
+// (this file), SolveSharded on the sharded flat engine (flat.go). Under
+// first-port tie-breaking the two produce bit-identical runs, which the
+// differential suite in this package asserts.
 package bounded
 
 import (

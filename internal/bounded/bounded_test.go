@@ -212,3 +212,82 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// TestReduceToMatchingDegenerate covers the Theorem 7.4 post-processing on
+// degenerate inputs: an empty network, a network with no customers, and
+// servers that end a run with zero assigned customers (zero capacity used)
+// must all produce valid (possibly empty) matchings without panicking.
+func TestReduceToMatchingDegenerate(t *testing.T) {
+	t.Run("empty graph", func(t *testing.T) {
+		b := bip(t, graph.New(0), 0)
+		matchOf := ReduceToMatching(graph.NewAssignment(b))
+		if len(matchOf) != 0 {
+			t.Fatalf("expected an empty matching, got %v", matchOf)
+		}
+		if err := matching.VerifyMaximal(b, matchOf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("servers only", func(t *testing.T) {
+		b := bip(t, graph.New(3), 0) // three isolated servers, no customers
+		matchOf := ReduceToMatching(graph.NewAssignment(b))
+		for v, m := range matchOf {
+			if m != -1 {
+				t.Fatalf("vertex %d matched to %d in a customer-free network", v, m)
+			}
+		}
+		if err := matching.VerifyMaximal(b, matchOf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("unassigned customers are skipped", func(t *testing.T) {
+		g := graph.New(4)
+		g.AddEdge(0, 2)
+		g.AddEdge(1, 2)
+		g.AddEdge(1, 3)
+		b := bip(t, g, 2)
+		a := graph.NewAssignment(b)
+		a.Assign(1, 2) // customer 0 left unassigned; server 3 keeps load 0
+		matchOf := ReduceToMatching(a)
+		if matchOf[0] != -1 || matchOf[3] != -1 {
+			t.Fatalf("unassigned customer or empty server matched: %v", matchOf)
+		}
+		if matchOf[1] != 2 || matchOf[2] != 1 {
+			t.Fatalf("expected 1-2 matched, got %v", matchOf)
+		}
+	})
+	t.Run("zero-capacity servers", func(t *testing.T) {
+		// Both customers pile on server 2; server 3 ends with load 0. The
+		// reduction keeps the smallest customer and leaves 3 unmatched.
+		g := graph.New(4)
+		g.AddEdge(0, 2)
+		g.AddEdge(1, 2)
+		g.AddEdge(0, 3)
+		g.AddEdge(1, 3)
+		b := bip(t, g, 2)
+		a := graph.NewAssignment(b)
+		a.Assign(0, 2)
+		a.Assign(1, 2)
+		matchOf := ReduceToMatching(a)
+		if matchOf[2] != 0 || matchOf[0] != 2 {
+			t.Fatalf("server 2 should keep customer 0: %v", matchOf)
+		}
+		if matchOf[1] != -1 || matchOf[3] != -1 {
+			t.Fatalf("customer 1 and server 3 should stay unmatched: %v", matchOf)
+		}
+	})
+	t.Run("flat reduction agrees on degenerate shapes", func(t *testing.T) {
+		b := bip(t, graph.New(2), 0) // no customers
+		fb := graph.NewCSRBipartiteFromBipartite(b)
+		res, err := SolveSharded(fb, ShardedOptions{K: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		matchOf := ReduceToMatchingSharded(res)
+		for v, m := range matchOf {
+			if m != -1 {
+				t.Fatalf("vertex %d matched to %d", v, m)
+			}
+		}
+	})
+}

@@ -1,0 +1,148 @@
+package bounded
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"tokendrop/internal/core"
+	"tokendrop/internal/graph"
+	"tokendrop/internal/matching"
+)
+
+// The differential suite pins the sharded k-bounded port to the seed
+// engine, exactly as internal/assign's does for the general problem —
+// including the k = 2 three-level fast path and the k > 2 generic
+// fallback.
+
+func diffBoundedBipartite(i int) (*graph.Bipartite, string) {
+	rng := rand.New(rand.NewSource(int64(9000 + i)))
+	switch i % 4 {
+	case 0:
+		nl, nr, c := 12+(i/4)%6*6, 4+(i/4)%4*2, 2+i%3
+		return graph.MustBipartite(graph.RandomBipartite(nl, nr, c, rng), nl),
+			fmt.Sprintf("random nl=%d nr=%d c=%d", nl, nr, c)
+	case 1:
+		a, b := 4+(i/4)%5, 3+(i/4)%3
+		return graph.MustBipartite(graph.CompleteBipartite(a, b), a),
+			fmt.Sprintf("complete %dx%d", a, b)
+	case 2:
+		nl, nr := 20+(i/4)%5*10, 5+(i/4)%5
+		csr := graph.CSRPowerLawBipartite(nl, nr, 2.0, 1+nr/2, rng)
+		return graph.MustBipartite(csr.ToGraph(), nl),
+			fmt.Sprintf("powerlaw nl=%d nr=%d", nl, nr)
+	default:
+		nl := 6 + (i/4)%8
+		g := graph.New(2*nl + 1)
+		for c := 0; c < nl; c++ {
+			g.AddEdge(c, nl)
+			g.AddEdge(c, nl+1+c%nl)
+		}
+		return graph.MustBipartite(g, nl), fmt.Sprintf("hub nl=%d", nl)
+	}
+}
+
+func TestDifferentialBoundedEngines(t *testing.T) {
+	const cases = 60
+	for i := 0; i < cases; i++ {
+		b, name := diffBoundedBipartite(i)
+		k := 2 + i%3 // k = 2 exercises the three-level path, k > 2 the generic one
+		seed := int64(600 + i)
+		tag := fmt.Sprintf("case %d (%s, k=%d)", i, name, k)
+
+		seedRes, err := Solve(b, Options{K: k, Seed: seed, CheckInvariants: true})
+		if err != nil {
+			t.Fatalf("%s: seed engine: %v", tag, err)
+		}
+		fb := graph.NewCSRBipartiteFromBipartite(b)
+		flatRes, err := SolveSharded(fb, ShardedOptions{
+			K: k, Tie: core.TieFirstPort, Seed: seed, Shards: 1 + i%5,
+			CheckInvariants: true, VerifyGames: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: sharded engine: %v", tag, err)
+		}
+
+		if flatRes.Phases != seedRes.Phases || flatRes.Rounds != seedRes.Rounds {
+			t.Fatalf("%s: run diverges: phases %d/%d rounds %d/%d",
+				tag, flatRes.Phases, seedRes.Phases, flatRes.Rounds, seedRes.Rounds)
+		}
+		if !slices.Equal(flatRes.PhaseLog, seedRes.PhaseLog) {
+			t.Fatalf("%s: phase logs diverge:\nsharded: %+v\nseed:    %+v", tag, flatRes.PhaseLog, seedRes.PhaseLog)
+		}
+		for c := 0; c < b.NumLeft; c++ {
+			if b.NumLeft+int(flatRes.ServerOf[c]) != seedRes.Assignment.ServerOf[c] {
+				t.Fatalf("%s: customer %d assignments diverge", tag, c)
+			}
+		}
+		if !flatRes.KStable() {
+			t.Fatalf("%s: sharded result not k-stable", tag)
+		}
+		if !seedRes.Assignment.KStable(k) {
+			t.Fatalf("%s: seed result not k-stable", tag)
+		}
+	}
+}
+
+func TestDifferentialBoundedTieRandom(t *testing.T) {
+	for i := 0; i < 30; i++ {
+		b, name := diffBoundedBipartite(i)
+		k := 2 + i%2
+		tag := fmt.Sprintf("case %d (%s, k=%d)", i, name, k)
+		fb := graph.NewCSRBipartiteFromBipartite(b)
+		flatRes, err := SolveSharded(fb, ShardedOptions{
+			K: k, Tie: core.TieRandom, Seed: int64(1700 + i), Shards: 1 + i%4,
+			CheckInvariants: true, VerifyGames: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tag, err)
+		}
+		if !flatRes.KStable() {
+			t.Fatalf("%s: not k-stable", tag)
+		}
+		a := flatRes.Assignment()
+		if !a.KStable(k) {
+			t.Fatalf("%s: materialized assignment not k-stable", tag)
+		}
+		if err := a.CheckLoads(); err != nil {
+			t.Fatalf("%s: %v", tag, err)
+		}
+	}
+}
+
+// TestShardedMatchingReduction checks the Theorem 7.4 pipeline on the flat
+// runtime: a 2-bounded sharded run reduces to a maximal matching, and the
+// flat reduction agrees with the object one.
+func TestShardedMatchingReduction(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		b, name := diffBoundedBipartite(i)
+		fb := graph.NewCSRBipartiteFromBipartite(b)
+		flatRes, err := SolveSharded(fb, ShardedOptions{K: 2, Tie: core.TieFirstPort, Seed: int64(i)})
+		if err != nil {
+			t.Fatalf("case %d (%s): %v", i, name, err)
+		}
+		matchOf := ReduceToMatchingSharded(flatRes)
+		if err := matching.VerifyMaximal(b, matchOf); err != nil {
+			t.Fatalf("case %d (%s): flat reduction not maximal: %v", i, name, err)
+		}
+		if want := ReduceToMatching(flatRes.Assignment()); !slices.Equal(matchOf, want) {
+			t.Fatalf("case %d (%s): flat and object reductions diverge", i, name)
+		}
+	}
+}
+
+func TestBoundedShardedErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := graph.MustBipartite(graph.RandomBipartite(10, 3, 2, rng), 10)
+	fb := graph.NewCSRBipartiteFromBipartite(b)
+	if _, err := SolveSharded(fb, ShardedOptions{K: 1}); err == nil {
+		t.Fatal("no error for k = 1")
+	}
+	g := graph.New(3)
+	g.AddEdge(1, 2)
+	lone := graph.NewCSRBipartiteFromBipartite(graph.MustBipartite(g, 2))
+	if _, err := SolveSharded(lone, ShardedOptions{}); err == nil {
+		t.Fatal("no error for an isolated customer")
+	}
+}

@@ -1,0 +1,427 @@
+package bounded
+
+import (
+	"fmt"
+
+	"tokendrop/internal/core"
+	"tokendrop/internal/graph"
+	"tokendrop/internal/hypergame"
+)
+
+// This file ports the Theorem 7.5 k-bounded assignment algorithm to the
+// sharded flat runtime, mirroring internal/assign/flat.go with effective
+// (k-truncated) loads throughout: proposals chase the smallest effective
+// load, the per-phase token hypergraphs live on levels min(load, k), and —
+// as in Solve — games of height at most hypergame.ThreeLevelMaxLevel run
+// on the specialized three-level flat solver (the k = 2 case, where the
+// O(S)-round bound comes from) while taller games fall back to the generic
+// flat proposal solver. Hyperedges are inserted in customer-id order with
+// adjacency-order endpoints, so the incidence port numbering matches the
+// object solvers' and first-port runs are bit-identical to Solve, which
+// the differential suite in this package asserts.
+
+// ShardedOptions configure a SolveSharded run.
+type ShardedOptions struct {
+	// K is the load threshold; 0 means 2 (the 0–1–many version). Values
+	// below 2 are invalid (the problem degenerates).
+	K int
+	// Tie selects the tie-breaking rule. TieFirstPort runs are
+	// bit-identical to Solve with RandomTies false; TieRandom draws
+	// engine-specific streams.
+	Tie core.TieBreak
+	// Seed drives all randomized tie-breaking.
+	Seed int64
+	// Shards is the per-phase subgame worker count (0 = GOMAXPROCS).
+	Shards int
+	// MaxPhases guards non-termination; 0 means 4·C·S + 8.
+	MaxPhases int
+	// CheckInvariants verifies the k-badness bound, the subgame potential
+	// identity, and a load recount after every phase.
+	CheckInvariants bool
+	// VerifyGames materializes every phase's subgame in object form and
+	// runs hypergame.Verify on its solution (test-sized).
+	VerifyGames bool
+}
+
+// ShardedResult is the outcome of SolveSharded: the assignment in flat
+// form plus the same accounting Result carries.
+type ShardedResult struct {
+	// ServerOf holds the assigned server of every customer as an index in
+	// [0, NumServers); -1 never occurs in a completed run.
+	ServerOf []int32
+	// Load holds the final (true, untruncated) load per server index.
+	Load     []int32
+	K        int
+	Phases   int
+	Rounds   int
+	PhaseLog []PhaseRecord
+
+	fb *graph.CSRBipartite
+}
+
+// Bipartite returns the flat network the result was computed on.
+func (r *ShardedResult) Bipartite() *graph.CSRBipartite { return r.fb }
+
+// KStable reports whether the assignment solves the k-bounded stable
+// assignment problem: complete, and no customer on a server of true load ℓ
+// has a neighbor of load at most min(k, ℓ) - 2 (Section 7.3).
+func (r *ShardedResult) KStable() bool {
+	csr := r.fb.C
+	nl := r.fb.NumLeft
+	for c := 0; c < nl; c++ {
+		so := r.ServerOf[c]
+		if so < 0 {
+			return false
+		}
+		threshold := r.Load[so]
+		if int32(r.K) < threshold {
+			threshold = int32(r.K)
+		}
+		lo, hi := csr.ArcRange(c)
+		for i := lo; i < hi; i++ {
+			if r.Load[int(csr.Col[i])-nl] <= threshold-2 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Assignment materializes the pointer-based assignment (same vertex
+// identifiers), for the Theorem 7.4 matching reduction and cross-checks
+// against the seed engine. O(n + m) object construction — test-sized.
+func (r *ShardedResult) Assignment() *graph.Assignment {
+	b := r.fb.ToBipartite()
+	a := graph.NewAssignment(b)
+	for c, s := range r.ServerOf {
+		if s >= 0 {
+			a.Assign(c, r.fb.NumLeft+int(s))
+		}
+	}
+	return a
+}
+
+// ReduceToMatchingSharded applies the Theorem 7.4 post-processing to a
+// flat 2-bounded stable assignment: every server with assigned customers
+// keeps exactly the smallest-numbered one. matchOf maps every vertex
+// (customers first, then servers at NumLeft+s) to its partner or -1,
+// matching ReduceToMatching's convention.
+func ReduceToMatchingSharded(r *ShardedResult) (matchOf []int) {
+	nl := r.fb.NumLeft
+	matchOf = make([]int, r.fb.C.N())
+	for v := range matchOf {
+		matchOf[v] = -1
+	}
+	for c, s := range r.ServerOf {
+		if s < 0 {
+			continue
+		}
+		if matchOf[nl+int(s)] < 0 { // server keeps its first (smallest) customer
+			matchOf[nl+int(s)] = c
+			matchOf[c] = nl + int(s)
+		}
+	}
+	return matchOf
+}
+
+// SolveSharded runs the Theorem 7.5 algorithm on fb using the sharded flat
+// runtime for every phase's subgame. Under TieFirstPort the run is
+// bit-identical to Solve on the same network (same phase log, rounds, and
+// final assignment).
+func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, error) {
+	k := opt.K
+	if k == 0 {
+		k = 2
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("bounded: threshold k = %d below 2", k)
+	}
+	csr := fb.C
+	nl, ns := fb.NumLeft, fb.NumServers()
+	for c := 0; c < nl; c++ {
+		if csr.Degree(c) == 0 {
+			return nil, fmt.Errorf("bounded: customer %d has no adjacent server", c)
+		}
+	}
+	cs := fb.MaxCustomerDegree() * fb.MaxServerDegree()
+	maxPhases := opt.MaxPhases
+	if maxPhases == 0 {
+		maxPhases = 4*cs + 8
+	}
+
+	// eff[l] = min(l, k): a lookup table over the only loads that can occur
+	// (at most nl customers land on one server).
+	eff := make([]int32, nl+2)
+	for l := range eff {
+		if l < k {
+			eff[l] = int32(l)
+		} else {
+			eff[l] = int32(k)
+		}
+	}
+
+	serverOf := make([]int32, nl)
+	unassigned := make([]int32, nl)
+	for c := range serverOf {
+		serverOf[c] = -1
+		unassigned[c] = int32(c)
+	}
+	res := &ShardedResult{
+		ServerOf: serverOf,
+		Load:     make([]int32, ns),
+		K:        k,
+		fb:       fb,
+	}
+	load := res.Load
+
+	var custRng, servRng []uint64
+	var propCount []int32
+	if opt.Tie == core.TieRandom {
+		custRng = make([]uint64, nl)
+		for c := range custRng {
+			custRng[c] = core.SplitMix64(uint64(opt.Seed) ^ uint64(c)*0x9e3779b97f4a7c15)
+		}
+		servRng = make([]uint64, ns)
+		for s := range servRng {
+			servRng[s] = core.SplitMix64(uint64(opt.Seed) ^ uint64(nl+s)*0x9e3779b97f4a7c15)
+		}
+		propCount = make([]int32, ns)
+	}
+
+	acceptCust := make([]int32, ns)
+	token := make([]bool, ns)
+	gameLevel := make([]int32, ns)
+	eptr := make([]int32, 0, nl+1)
+	ends := make([]int32, 0, csr.M())
+	heads := make([]int32, 0, nl)
+	gameCustomer := make([]int32, 0, nl)
+
+	for phase := 1; len(unassigned) > 0; phase++ {
+		if phase > maxPhases {
+			return nil, fmt.Errorf("bounded: phase %d exceeds the Lemma 7.2 budget", phase)
+		}
+		rec := PhaseRecord{Phase: phase, Proposals: len(unassigned)}
+
+		// Steps 1 and 2 — proposals chase the smallest effective load,
+		// each proposed-to server accepts one customer.
+		for s := range acceptCust {
+			acceptCust[s] = -1
+		}
+		if opt.Tie == core.TieRandom {
+			for s := range propCount {
+				propCount[s] = 0
+			}
+		}
+		for _, c := range unassigned {
+			lo, hi := csr.ArcRange(int(c))
+			best := int32(-1)
+			bestLoad := int32(0)
+			for i := lo; i < hi; i++ {
+				s := csr.Col[i] - int32(nl)
+				if l := eff[load[s]]; best < 0 || l < bestLoad || (l == bestLoad && s < best) {
+					best, bestLoad = s, l
+				}
+			}
+			if opt.Tie == core.TieRandom {
+				state := custRng[c]
+				count := 0
+				for i := lo; i < hi; i++ {
+					s := csr.Col[i] - int32(nl)
+					if eff[load[s]] != bestLoad {
+						continue
+					}
+					count++
+					var pick int
+					state, pick = core.SplitMixIntn(state, count)
+					if pick == 0 {
+						best = s
+					}
+				}
+				custRng[c] = state
+
+				propCount[best]++
+				var pick int
+				servRng[best], pick = core.SplitMixIntn(servRng[best], int(propCount[best]))
+				if pick == 0 {
+					acceptCust[best] = c
+				}
+			} else if acceptCust[best] < 0 {
+				acceptCust[best] = c
+			}
+		}
+		for s := range token {
+			token[s] = acceptCust[s] >= 0
+			if token[s] {
+				rec.Accepted++
+			}
+		}
+		res.Rounds += 2
+
+		// Step 3 — the game over effective loads: levels = min(load, k),
+		// hyperedges = assigned customers with k-badness exactly 1.
+		for s := range gameLevel {
+			gameLevel[s] = eff[load[s]]
+		}
+		eptr = append(eptr[:0], 0)
+		ends = ends[:0]
+		heads = heads[:0]
+		gameCustomer = gameCustomer[:0]
+		for c := 0; c < nl; c++ {
+			so := serverOf[c]
+			if so < 0 {
+				continue
+			}
+			lo, hi := csr.ArcRange(c)
+			if hi-lo < 2 {
+				continue
+			}
+			min := int32(-1)
+			for i := lo; i < hi; i++ {
+				if l := gameLevel[int(csr.Col[i])-nl]; min < 0 || l < min {
+					min = l
+				}
+			}
+			if gameLevel[so]-min != 1 {
+				continue
+			}
+			for i := lo; i < hi; i++ {
+				ends = append(ends, csr.Col[i]-int32(nl))
+			}
+			eptr = append(eptr, int32(len(ends)))
+			heads = append(heads, so)
+			gameCustomer = append(gameCustomer, int32(c))
+		}
+		fi, err := hypergame.NewFlatInstance(gameLevel, token, eptr, ends, heads)
+		if err != nil {
+			return nil, fmt.Errorf("bounded: phase %d produced an invalid game: %w", phase, err)
+		}
+		rec.GameEdges = len(heads)
+
+		// Step 4 — play the game. For k = 2 the game has three levels and
+		// the specialized O(S)-round solver applies (Theorem 7.5); taller
+		// games (k > 2) fall back to the generic solver, as in Solve.
+		gameOpt := hypergame.ShardedSolveOptions{
+			RandomTies: opt.Tie == core.TieRandom,
+			Seed:       opt.Seed + int64(phase)*1_000_003,
+			Shards:     opt.Shards,
+			MaxRounds:  1 << 20,
+		}
+		var sol *hypergame.FlatResult
+		if fi.Height() <= hypergame.ThreeLevelMaxLevel {
+			sol, err = hypergame.SolveThreeLevelSharded(fi, gameOpt)
+		} else {
+			sol, err = hypergame.SolveProposalSharded(fi, gameOpt)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bounded: phase %d game failed: %w", phase, err)
+		}
+		if opt.VerifyGames {
+			if err := hypergame.Verify(sol.Solution(fi.Instance())); err != nil {
+				return nil, fmt.Errorf("bounded: phase %d game unverified: %w", phase, err)
+			}
+		}
+		if opt.CheckInvariants {
+			var finalPot int64
+			for s, occ := range sol.Final {
+				if occ {
+					finalPot += int64(fi.Level(s))
+				}
+			}
+			if got := fi.InitialPotential() - int64(len(sol.Moves)); got != finalPot {
+				return nil, fmt.Errorf("bounded: phase %d potential identity broken: %d != %d", phase, got, finalPot)
+			}
+		}
+		rec.GameRounds = sol.Stats.Rounds
+		res.Rounds += sol.Stats.Rounds
+
+		// Step 5 — apply moves as reassignments, then assign acceptors.
+		for _, mv := range sol.Moves {
+			c := gameCustomer[mv.Edge]
+			load[serverOf[c]]--
+			serverOf[c] = int32(mv.To)
+			load[mv.To]++
+		}
+		for s := 0; s < ns; s++ {
+			if c := acceptCust[s]; c >= 0 {
+				serverOf[c] = int32(s)
+				load[s]++
+			}
+		}
+		kept := unassigned[:0]
+		for _, c := range unassigned {
+			if serverOf[c] < 0 {
+				kept = append(kept, c)
+			}
+		}
+		unassigned = kept
+
+		rec.MaxKBadness = int(maxKBadnessFlat(fb, serverOf, load, eff))
+		if opt.CheckInvariants {
+			if rec.MaxKBadness > 1 {
+				return nil, fmt.Errorf("bounded: phase %d ended with k-badness %d", phase, rec.MaxKBadness)
+			}
+			if err := recountLoadsFlat(fb, serverOf, load); err != nil {
+				return nil, fmt.Errorf("bounded: phase %d: %w", phase, err)
+			}
+		}
+		res.PhaseLog = append(res.PhaseLog, rec)
+		res.Phases = phase
+	}
+	return res, nil
+}
+
+// maxKBadnessFlat returns the maximum k-badness (badness on effective
+// loads) over assigned customers.
+func maxKBadnessFlat(fb *graph.CSRBipartite, serverOf, load, eff []int32) int32 {
+	csr := fb.C
+	nl := fb.NumLeft
+	max := int32(0)
+	for c := 0; c < nl; c++ {
+		so := serverOf[c]
+		if so < 0 {
+			continue
+		}
+		lo, hi := csr.ArcRange(c)
+		min := int32(-1)
+		for i := lo; i < hi; i++ {
+			if l := eff[load[int(csr.Col[i])-nl]]; min < 0 || l < min {
+				min = l
+			}
+		}
+		if b := eff[load[so]] - min; b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// recountLoadsFlat checks the cached loads against a from-scratch recount
+// and every assignment against the adjacency.
+func recountLoadsFlat(fb *graph.CSRBipartite, serverOf, load []int32) error {
+	csr := fb.C
+	nl := fb.NumLeft
+	fresh := make([]int32, len(load))
+	for c, so := range serverOf {
+		if so < 0 {
+			continue
+		}
+		found := false
+		lo, hi := csr.ArcRange(c)
+		for i := lo; i < hi; i++ {
+			if int(csr.Col[i])-nl == int(so) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("customer %d assigned to non-adjacent server %d", c, so)
+		}
+		fresh[so]++
+	}
+	for s := range fresh {
+		if fresh[s] != load[s] {
+			return fmt.Errorf("load of server %d drifted: recomputed %d, cached %d", s, fresh[s], load[s])
+		}
+	}
+	return nil
+}

@@ -282,8 +282,8 @@ func arcFlags(fi *FlatInstance) []uint8 {
 // allocation-free, and seedable per vertex. Its draws differ from the
 // math/rand streams of the object machines, so TieRandom runs of the two
 // engines are independent samples of the same protocol (TieFirstPort runs
-// are identical). The sharded orientation layer shares it, so all flat
-// TieRandom streams come from one generator.
+// are identical). The sharded orientation, assignment, and hypergame
+// layers share it, so all flat TieRandom streams come from one generator.
 func SplitMix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x ^= x >> 30

@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewBipartiteErrors(t *testing.T) {
+	cross := New(4)
+	cross.AddEdge(0, 1) // both sides of the split at 1... depends on numLeft
+	t.Run("non-crossing edge", func(t *testing.T) {
+		g := New(4)
+		g.AddEdge(0, 1) // two customers
+		g.AddEdge(1, 2)
+		if _, err := NewBipartite(g, 2); err == nil {
+			t.Fatal("no error for a customer-customer edge")
+		}
+		h := New(4)
+		h.AddEdge(2, 3) // two servers
+		if _, err := NewBipartite(h, 2); err == nil {
+			t.Fatal("no error for a server-server edge")
+		}
+	})
+	t.Run("bad numLeft", func(t *testing.T) {
+		g := New(3)
+		if _, err := NewBipartite(g, -1); err == nil {
+			t.Fatal("no error for numLeft = -1")
+		}
+		if _, err := NewBipartite(g, 4); err == nil {
+			t.Fatal("no error for numLeft > n")
+		}
+	})
+	t.Run("boundary splits are valid", func(t *testing.T) {
+		g := New(3) // no edges: any split works, including the empty sides
+		for _, nl := range []int{0, 3} {
+			if _, err := NewBipartite(g, nl); err != nil {
+				t.Fatalf("numLeft=%d rejected on an edgeless graph: %v", nl, err)
+			}
+		}
+		if _, err := NewBipartite(cross, 1); err != nil {
+			t.Fatalf("crossing edge rejected: %v", err)
+		}
+	})
+}
+
+func TestNewCSRBipartiteErrors(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	csr := NewCSRFromGraph(g)
+	if _, err := NewCSRBipartite(csr, 2); err == nil {
+		t.Fatal("no error for a customer-customer edge")
+	}
+	h := New(4)
+	h.AddEdge(2, 3)
+	if _, err := NewCSRBipartite(NewCSRFromGraph(h), 2); err == nil {
+		t.Fatal("no error for a server-server edge")
+	}
+	if _, err := NewCSRBipartite(csr, -1); err == nil {
+		t.Fatal("no error for numLeft = -1")
+	}
+	if _, err := NewCSRBipartite(csr, 5); err == nil {
+		t.Fatal("no error for numLeft > n")
+	}
+}
+
+// TestCSRBipartiteRoundTrip pins the flat view to the object view: degrees
+// and side statistics agree, and ToBipartite preserves ids and port order.
+func TestCSRBipartiteRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := RandomBipartite(30, 8, 3, rng)
+	b := MustBipartite(g, 30)
+	fb := NewCSRBipartiteFromBipartite(b)
+
+	if fb.NumCustomers() != b.NumCustomers() || fb.NumServers() != b.NumServers() {
+		t.Fatal("side sizes diverge")
+	}
+	if fb.MaxCustomerDegree() != b.MaxCustomerDegree() || fb.MaxServerDegree() != b.MaxServerDegree() {
+		t.Fatal("degree statistics diverge")
+	}
+	if !fb.IsCustomer(0) || fb.IsCustomer(30) {
+		t.Fatal("side predicate diverges")
+	}
+	back := fb.ToBipartite()
+	if back.NumLeft != b.NumLeft || back.G.N() != b.G.N() || back.G.M() != b.G.M() {
+		t.Fatal("round trip changed the shape")
+	}
+	for v := 0; v < b.G.N(); v++ {
+		av, bv := b.G.Adj(v), back.G.Adj(v)
+		if len(av) != len(bv) {
+			t.Fatalf("vertex %d degree changed", v)
+		}
+		for p := range av {
+			if av[p] != bv[p] {
+				t.Fatalf("vertex %d port %d changed: %v -> %v", v, p, av[p], bv[p])
+			}
+		}
+	}
+	if err := fb.C.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMustCSRBipartitePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCSRBipartite did not panic on an invalid split")
+		}
+	}()
+	g := New(4)
+	g.AddEdge(0, 1)
+	MustCSRBipartite(NewCSRFromGraph(g), 2)
+}

@@ -1,0 +1,101 @@
+package graph
+
+import "fmt"
+
+// CSRBipartite views a CSR graph as a two-sided customer/server network —
+// the flat counterpart of Bipartite, and the input of the sharded
+// assignment runtime (internal/assign.SolveSharded). Vertices 0..NumLeft-1
+// are customers ("left"), the rest are servers ("right"), and every edge
+// must cross the bipartition. Because customers occupy a prefix of the
+// vertex range, the customer adjacency is the packed prefix
+// Col[0:Row[NumLeft]] of the arc arrays and the server adjacency is the
+// packed suffix — phase loops scan each side with strictly sequential
+// reads and index per-server state as Col[i]-NumLeft with no indirection.
+type CSRBipartite struct {
+	C       *CSR
+	NumLeft int
+}
+
+// NewCSRBipartite validates that every edge of c crosses the split at
+// numLeft and returns the wrapped view.
+func NewCSRBipartite(c *CSR, numLeft int) (*CSRBipartite, error) {
+	if numLeft < 0 || numLeft > c.N() {
+		return nil, fmt.Errorf("graph: bipartition at %d outside [0,%d]", numLeft, c.N())
+	}
+	for v := 0; v < numLeft; v++ {
+		lo, hi := c.ArcRange(v)
+		for i := lo; i < hi; i++ {
+			if int(c.Col[i]) < numLeft {
+				return nil, fmt.Errorf("graph: edge %d = {%d,%d} does not cross the bipartition at %d",
+					c.EID[i], v, c.Col[i], numLeft)
+			}
+		}
+	}
+	for v := numLeft; v < c.N(); v++ {
+		lo, hi := c.ArcRange(v)
+		for i := lo; i < hi; i++ {
+			if int(c.Col[i]) >= numLeft {
+				return nil, fmt.Errorf("graph: edge %d = {%d,%d} does not cross the bipartition at %d",
+					c.EID[i], v, c.Col[i], numLeft)
+			}
+		}
+	}
+	return &CSRBipartite{C: c, NumLeft: numLeft}, nil
+}
+
+// MustCSRBipartite is NewCSRBipartite that panics on error; for generators
+// whose construction guarantees a crossing edge set.
+func MustCSRBipartite(c *CSR, numLeft int) *CSRBipartite {
+	b, err := NewCSRBipartite(c, numLeft)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// NewCSRBipartiteFromBipartite converts a pointer-based Bipartite to flat
+// form, preserving vertex ids, edge ids, and port order — deterministic
+// algorithms behave identically on either view, which is what lets the
+// differential suite compare assign.Solve with assign.SolveSharded bit for
+// bit.
+func NewCSRBipartiteFromBipartite(b *Bipartite) *CSRBipartite {
+	return &CSRBipartite{C: NewCSRFromGraph(b.G), NumLeft: b.NumLeft}
+}
+
+// ToBipartite materializes the pointer-based view (same vertex and edge
+// identifiers, same port order), for cross-checks against the seed engine
+// and the structural tooling. O(n + m) object construction — test-sized.
+func (b *CSRBipartite) ToBipartite() *Bipartite {
+	return &Bipartite{G: b.C.ToGraph(), NumLeft: b.NumLeft}
+}
+
+// NumCustomers returns the number of customers.
+func (b *CSRBipartite) NumCustomers() int { return b.NumLeft }
+
+// NumServers returns the number of servers.
+func (b *CSRBipartite) NumServers() int { return b.C.N() - b.NumLeft }
+
+// IsCustomer reports whether vertex v is on the left (customer) side.
+func (b *CSRBipartite) IsCustomer(v int) bool { return v < b.NumLeft }
+
+// MaxCustomerDegree returns C, the maximum degree over customers.
+func (b *CSRBipartite) MaxCustomerDegree() int {
+	c := int32(0)
+	for v := 0; v < b.NumLeft; v++ {
+		if d := b.C.Row[v+1] - b.C.Row[v]; d > c {
+			c = d
+		}
+	}
+	return int(c)
+}
+
+// MaxServerDegree returns S, the maximum degree over servers.
+func (b *CSRBipartite) MaxServerDegree() int {
+	s := int32(0)
+	for v := b.NumLeft; v < b.C.N(); v++ {
+		if d := b.C.Row[v+1] - b.C.Row[v]; d > s {
+			s = d
+		}
+	}
+	return int(s)
+}

@@ -10,6 +10,13 @@
 // LOCAL communication network of the assignment problem: the bipartite
 // incidence graph in which every hyperedge is a relay node between its
 // endpoint servers.
+//
+// Both solvers (the generic Theorem 7.1 proposal protocol and the
+// specialized Theorem 7.5 three-level protocol) exist on both LOCAL
+// runtimes: SolveProposal/SolveThreeLevel step object machines on the
+// seed engine, SolveProposalSharded/SolveThreeLevelSharded run the same
+// protocols as flat programs on the sharded engine, bit-identically under
+// first-port tie-breaking (flat_test.go asserts this exactly).
 package hypergame
 
 import (
