@@ -33,7 +33,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "seed")
 		loads    = flag.Bool("loads", false, "print the server load histogram")
 		engine   = flag.String("engine", "local", "local (goroutine-per-node simulator) | sharded (flat CSR engine)")
-		shards   = flag.Int("shards", 0, "sharded engine workers (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 0, "sharded engine worker count (0 = runtime.GOMAXPROCS(0), i.e. one worker per core)")
 	)
 	flag.Parse()
 

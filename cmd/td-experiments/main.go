@@ -1,12 +1,17 @@
 // Command td-experiments regenerates every experiment table of the
-// reproduction (index E1–E24 in internal/bench): one table per
+// reproduction (index E1–E25 in internal/bench): one table per
 // theorem/figure of "Efficient Load-Balancing through Distributed Token
-// Dropping" (SPAA 2021), plus the ablations and the engine-parity
-// certificates (E22–E24).
+// Dropping" (SPAA 2021), plus the ablations, the engine-parity
+// certificates (E22–E24), and the shard-scaling sweep (E25).
+//
+// With -shardedjson FILE it additionally measures the machine-readable
+// engine benchmark report (rounds/s and allocs/round for E22–E25; see
+// bench.ShardedBench) and writes it to FILE — the BENCH_sharded.json
+// format the repository records a full-profile snapshot of.
 //
 // Usage:
 //
-//	td-experiments [-quick] [-seed N] [-only E7]
+//	td-experiments [-quick] [-seed N] [-only E7] [-shardedjson FILE]
 package main
 
 import (
@@ -22,6 +27,7 @@ func main() {
 	quick := flag.Bool("quick", false, "small instance sizes (sub-second total)")
 	seed := flag.Int64("seed", 42, "base seed for all workloads")
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E4a,E7); empty = all")
+	shardedJSON := flag.String("shardedjson", "", "write the machine-readable engine benchmark report (E22–E25) to this file")
 	flag.Parse()
 
 	p := bench.Profile{Quick: *quick, Seed: *seed}
@@ -50,5 +56,22 @@ func main() {
 	if violations > 0 {
 		fmt.Fprintf(os.Stderr, "%d claim violations detected\n", violations)
 		os.Exit(1)
+	}
+	if *shardedJSON != "" {
+		f, err := os.Create(*shardedJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sharded benchmark report: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteShardedBenchJSON(f, p); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "sharded benchmark report: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "sharded benchmark report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote engine benchmark report to %s\n", *shardedJSON)
 	}
 }

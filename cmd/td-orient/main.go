@@ -47,7 +47,7 @@ func main() {
 		depth     = flag.Int("depth", 4, "tree depth (tree)")
 		alpha     = flag.Float64("alpha", 2.0, "power-law degree exponent (powerlaw)")
 		engine    = flag.String("engine", "local", "local (goroutine-per-node simulator) | sharded (flat CSR engine)")
-		shards    = flag.Int("shards", 0, "sharded engine worker count (0 = GOMAXPROCS)")
+		shards    = flag.Int("shards", 0, "sharded engine worker count (0 = runtime.GOMAXPROCS(0), i.e. one worker per core)")
 		seed      = flag.Int64("seed", 1, "seed")
 		random    = flag.Bool("random-ties", false, "randomized tie-breaking")
 		phases    = flag.Bool("phases", false, "print the per-phase log")

@@ -31,7 +31,7 @@ func main() {
 		tokens   = flag.Float64("tokens", 0.6, "token density (layered)")
 		solver   = flag.String("solver", "proposal", "proposal | threelevel | sequential | parallel")
 		engine   = flag.String("engine", "local", "local (goroutine-per-node simulator) | sharded (flat CSR engine)")
-		shards   = flag.Int("shards", 0, "sharded engine worker count (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 0, "sharded engine worker count (0 = runtime.GOMAXPROCS(0), i.e. one worker per core)")
 		alpha    = flag.Float64("alpha", 2.0, "power-law degree exponent (powerlaw)")
 		seed     = flag.Int64("seed", 1, "workload and tie-break seed")
 		random   = flag.Bool("random-ties", false, "randomized tie-breaking")

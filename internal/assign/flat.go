@@ -6,6 +6,7 @@ import (
 	"tokendrop/internal/core"
 	"tokendrop/internal/graph"
 	"tokendrop/internal/hypergame"
+	"tokendrop/internal/local"
 )
 
 // This file ports the Theorem 7.3 stable-assignment algorithm to the
@@ -50,8 +51,9 @@ type ShardedOptions struct {
 	Tie core.TieBreak
 	// Seed drives all randomized tie-breaking.
 	Seed int64
-	// Shards is the per-phase subgame worker count (0 = GOMAXPROCS). The
-	// result does not depend on it.
+	// Shards is the worker count of the engine session that plays every
+	// phase's subgame; 0 means runtime.GOMAXPROCS(0). The result does
+	// not depend on it.
 	Shards int
 	// MaxPhases guards against non-termination; 0 means 4·C·S + 8
 	// (Lemma 7.2 gives C·S + 1), as in Options.
@@ -211,6 +213,15 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 		loadsBefore = make([]int32, ns)
 	}
 
+	// The reusable execution layer: one engine session (persistent worker
+	// pool and message buffers) plays every phase's hypergame, and one
+	// workspace rebuilds the incidence network and the flat program state
+	// in place per phase, so the steady-state phase loop performs no
+	// engine or program allocations.
+	sess := local.NewSession(opt.Shards)
+	defer sess.Close()
+	gws := hypergame.NewWorkspace()
+
 	for phase := 1; len(unassigned) > 0; phase++ {
 		if phase > maxPhases {
 			return nil, fmt.Errorf("assign: phase %d exceeds the Lemma 7.2 budget (C·S=%d)", phase, cs)
@@ -311,7 +322,7 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 			heads = append(heads, so)
 			gameCustomer = append(gameCustomer, int32(c))
 		}
-		fi, err := hypergame.NewFlatInstance(gameLevel, token, eptr, ends, heads)
+		fi, err := gws.NewFlatInstance(gameLevel, token, eptr, ends, heads)
 		if err != nil {
 			return nil, fmt.Errorf("assign: phase %d produced an invalid game: %w", phase, err)
 		}
@@ -321,8 +332,9 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 		sol, err := hypergame.SolveProposalSharded(fi, hypergame.ShardedSolveOptions{
 			RandomTies: opt.Tie == core.TieRandom,
 			Seed:       opt.Seed + int64(phase)*1_000_003,
-			Shards:     opt.Shards,
 			MaxRounds:  1 << 20,
+			Session:    sess,
+			Workspace:  gws,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("assign: phase %d game failed: %w", phase, err)

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -49,6 +50,48 @@ func TestFitPowerLaw(t *testing.T) {
 	}
 }
 
+// TestShardedBenchQuick measures the machine-readable engine report on
+// the quick profile and checks its shape: every experiment present, a
+// seed/sharded pair per layer, a multi-point scaling sweep, and valid
+// JSON out of the writer.
+func TestShardedBenchQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteShardedBenchJSON(&buf, Profile{Quick: true, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	var rep ShardedBenchReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if !rep.Quick || rep.Seed != 7 || rep.GoMaxProcs < 1 {
+		t.Fatalf("report header %+v malformed", rep)
+	}
+	byExp := map[string][]ShardedBenchEntry{}
+	for _, e := range rep.Entries {
+		byExp[e.Experiment] = append(byExp[e.Experiment], e)
+		if e.Rounds <= 0 || e.Seconds < 0 {
+			t.Fatalf("entry %+v has no rounds", e)
+		}
+	}
+	for _, exp := range []string{"E22", "E23", "E24"} {
+		pair := byExp[exp]
+		if len(pair) != 2 || pair[0].Engine != "seed" || pair[1].Engine != "sharded" {
+			t.Fatalf("%s: want a seed/sharded pair, got %+v", exp, pair)
+		}
+		if pair[0].Rounds != pair[1].Rounds {
+			t.Fatalf("%s: engines disagree on rounds: %d != %d", exp, pair[0].Rounds, pair[1].Rounds)
+		}
+	}
+	if len(byExp["E25"]) < 2 {
+		t.Fatalf("E25: want a multi-point scaling sweep, got %+v", byExp["E25"])
+	}
+	for _, e := range byExp["E25"] {
+		if e.Shards < 1 || e.Rounds != byExp["E25"][0].Rounds {
+			t.Fatalf("E25 entry %+v malformed or shard-variant", e)
+		}
+	}
+}
+
 // TestAllExperimentsQuick runs every experiment on the quick profile and
 // checks each produced a populated table with no invariant violations.
 // This is the end-to-end smoke test of the whole reproduction.
@@ -78,6 +121,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 		"E1", "E2", "E3", "E4a", "E4b", "E5", "E6", "E7", "E8a", "E8b", "E9",
 		"E10a", "E10b", "E11", "E12", "E13", "E14",
 		"E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22",
+		"E23", "E24", "E25",
 	} {
 		if !seen[id] {
 			t.Fatalf("experiment %s missing", id)

@@ -218,9 +218,9 @@ func E14SequentialGreedy(p Profile) *Table {
 
 // All runs every experiment and returns the tables in index order:
 // E1–E14 reproduce the paper's figures and theorems, E15–E21 are the
-// ablations and open-question probes, and E22–E24 certify seed-vs-sharded
+// ablations and open-question probes, E22–E24 certify seed-vs-sharded
 // engine parity and speedups for the game, orientation, and assignment
-// layers.
+// layers, and E25 sweeps the sharded engine's worker count.
 func All(p Profile) []*Table {
 	var out []*Table
 	out = append(out, E1StableOrientationExamples(p))
@@ -248,5 +248,6 @@ func All(p Profile) []*Table {
 	out = append(out, E22ShardedEngine(p))
 	out = append(out, E23OrientSharded(p))
 	out = append(out, E24AssignSharded(p))
+	out = append(out, E25ShardScaling(p))
 	return out
 }

@@ -1,0 +1,257 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"tokendrop/internal/assign"
+	"tokendrop/internal/core"
+	"tokendrop/internal/graph"
+	"tokendrop/internal/local"
+	"tokendrop/internal/orient"
+)
+
+// This file produces BENCH_sharded.json, the machine-readable companion
+// of the engine experiments E22–E25: rounds/s and allocs/round for the
+// seed and sharded runtimes of every paper layer, plus the shard-scaling
+// sweep. CI regenerates it on the quick profile each run and the repo
+// records a full-profile snapshot, so future PRs have a perf trajectory
+// to diff against instead of prose numbers in CHANGES.md alone.
+
+// ShardedBenchEntry is one measured run.
+type ShardedBenchEntry struct {
+	Experiment     string  `json:"experiment"`       // E22–E25
+	Layer          string  `json:"layer"`            // game | orientation | assignment
+	Engine         string  `json:"engine"`           // seed | sharded
+	Workload       string  `json:"workload"`         // generator description
+	N              int     `json:"n"`                // vertices (or customers)
+	M              int     `json:"m"`                // edges
+	Shards         int     `json:"shards,omitempty"` // 0 = GOMAXPROCS default
+	Rounds         int     `json:"rounds"`
+	Seconds        float64 `json:"seconds"`
+	RoundsPerSec   float64 `json:"rounds_per_sec"`
+	AllocsPerRound float64 `json:"allocs_per_round"`
+	BytesPerRound  float64 `json:"bytes_per_round"`
+	SpeedupVsSeed  float64 `json:"speedup_vs_seed,omitempty"`
+}
+
+// ShardedBenchReport is the full report.
+type ShardedBenchReport struct {
+	GeneratedUnix int64               `json:"generated_unix"`
+	GoVersion     string              `json:"go_version"`
+	GoMaxProcs    int                 `json:"go_maxprocs"`
+	Quick         bool                `json:"quick"`
+	Seed          int64               `json:"seed"`
+	Entries       []ShardedBenchEntry `json:"entries"`
+}
+
+// measured wraps one run with wall-clock and heap accounting. The
+// ReadMemStats pair counts every allocation the run performs (including
+// its worker goroutines), which is exactly the churn the reusable
+// execution layer is meant to eliminate.
+func measured(run func() (rounds int, err error)) (ShardedBenchEntry, error) {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	rounds, err := run()
+	sec := time.Since(t0).Seconds()
+	runtime.ReadMemStats(&m1)
+	e := ShardedBenchEntry{Rounds: rounds, Seconds: sec}
+	if err != nil {
+		return e, err
+	}
+	if sec > 0 {
+		e.RoundsPerSec = float64(rounds) / sec
+	}
+	if rounds > 0 {
+		e.AllocsPerRound = float64(m1.Mallocs-m0.Mallocs) / float64(rounds)
+		e.BytesPerRound = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(rounds)
+	}
+	return e, nil
+}
+
+// ShardedBench measures every entry of the report. Sharded game runs are
+// measured twice and the warmed second run is recorded, since the
+// steady-state contract (0 allocs/round on a warmed session) is the
+// quantity under regression watch; the orientation and assignment runs
+// are single end-to-end solves, construction included.
+func ShardedBench(p Profile) (*ShardedBenchReport, error) {
+	rep := &ShardedBenchReport{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Quick:         p.Quick,
+		Seed:          p.Seed,
+	}
+	add := func(e ShardedBenchEntry, err error) error {
+		if err != nil {
+			return fmt.Errorf("bench: %s %s %s: %w", e.Experiment, e.Layer, e.Engine, err)
+		}
+		rep.Entries = append(rep.Entries, e)
+		return nil
+	}
+	finishEntry := func(e *ShardedBenchEntry, exp, layer, engine, workload string, n, m int) {
+		e.Experiment, e.Layer, e.Engine, e.Workload, e.N, e.M = exp, layer, engine, workload, n, m
+	}
+
+	// E22 — the Theorem 4.1 game layer.
+	rng := rand.New(rand.NewSource(p.Seed))
+	gcfg := core.LayeredConfig{Levels: 5, Width: 20_000, ParentDeg: 4, TokenProb: 0.6, FreeBottom: true}
+	if p.Quick {
+		gcfg.Width = 60
+	}
+	fi := core.FlatRandomLayered(gcfg, rng)
+	gameWorkload := fmt.Sprintf("random layered L=%d w=%d d=%d", gcfg.Levels, gcfg.Width, gcfg.ParentDeg)
+	inst := fi.Instance()
+	var seedSec float64
+	{
+		e, err := measured(func() (int, error) {
+			_, stats, err := core.SolveProposal(inst, core.SolveOptions{Tie: core.TieFirstPort, MaxRounds: 1 << 20})
+			return stats.Rounds, err
+		})
+		finishEntry(&e, "E22", "game", "seed", gameWorkload, fi.N(), fi.M())
+		seedSec = e.Seconds
+		if err := add(e, err); err != nil {
+			return nil, err
+		}
+	}
+	{
+		sess := local.NewSession(0)
+		ws := core.NewSolverWorkspace()
+		opt := core.ShardedSolveOptions{Tie: core.TieFirstPort, MaxRounds: 1 << 20, Session: sess, Workspace: ws}
+		solve := func() (int, error) {
+			res, err := core.SolveProposalSharded(fi, opt)
+			if err != nil {
+				return 0, err
+			}
+			return res.Stats.Rounds, nil
+		}
+		if _, err := solve(); err != nil { // warm the session and workspace
+			sess.Close()
+			return nil, fmt.Errorf("bench: E22 sharded warm-up: %w", err)
+		}
+		e, err := measured(solve)
+		sess.Close()
+		finishEntry(&e, "E22", "game", "sharded", gameWorkload, fi.N(), fi.M())
+		if e.Seconds > 0 && seedSec > 0 {
+			e.SpeedupVsSeed = seedSec / e.Seconds
+		}
+		if err := add(e, err); err != nil {
+			return nil, err
+		}
+	}
+
+	// E23 — the Theorem 5.1 orientation layer.
+	on, od := 60_000, 4
+	if p.Quick {
+		on = 2_000
+	}
+	og := graph.RandomRegular(on, od, rng)
+	ocsr := graph.NewCSRFromGraph(og)
+	orientWorkload := fmt.Sprintf("random %d-regular", od)
+	{
+		e, err := measured(func() (int, error) {
+			res, err := orient.Solve(og, orient.Options{Seed: p.Seed})
+			if err != nil {
+				return 0, err
+			}
+			return res.Rounds, nil
+		})
+		finishEntry(&e, "E23", "orientation", "seed", orientWorkload, on, og.M())
+		seedSec = e.Seconds
+		if err := add(e, err); err != nil {
+			return nil, err
+		}
+	}
+	{
+		e, err := measured(func() (int, error) {
+			res, err := orient.SolveSharded(ocsr, orient.ShardedOptions{Seed: p.Seed})
+			if err != nil {
+				return 0, err
+			}
+			return res.Rounds, nil
+		})
+		finishEntry(&e, "E23", "orientation", "sharded", orientWorkload, on, ocsr.M())
+		if e.Seconds > 0 && seedSec > 0 {
+			e.SpeedupVsSeed = seedSec / e.Seconds
+		}
+		if err := add(e, err); err != nil {
+			return nil, err
+		}
+	}
+
+	// E24 — the Theorem 7.3 assignment layer.
+	nl, nr, cdeg := 100_000, 25_000, 3
+	if p.Quick {
+		nl, nr = 4_000, 1_000
+	}
+	ab := graph.MustBipartite(graph.RandomBipartite(nl, nr, cdeg, rng), nl)
+	afb := graph.NewCSRBipartiteFromBipartite(ab)
+	assignWorkload := fmt.Sprintf("random bipartite cdeg=%d", cdeg)
+	{
+		e, err := measured(func() (int, error) {
+			res, err := assign.Solve(ab, assign.Options{Seed: p.Seed})
+			if err != nil {
+				return 0, err
+			}
+			return res.Rounds, nil
+		})
+		finishEntry(&e, "E24", "assignment", "seed", assignWorkload, nl, ab.G.M())
+		seedSec = e.Seconds
+		if err := add(e, err); err != nil {
+			return nil, err
+		}
+	}
+	{
+		e, err := measured(func() (int, error) {
+			res, err := assign.SolveSharded(afb, assign.ShardedOptions{Seed: p.Seed})
+			if err != nil {
+				return 0, err
+			}
+			return res.Rounds, nil
+		})
+		finishEntry(&e, "E24", "assignment", "sharded", assignWorkload, nl, afb.C.M())
+		if e.Seconds > 0 && seedSec > 0 {
+			e.SpeedupVsSeed = seedSec / e.Seconds
+		}
+		if err := add(e, err); err != nil {
+			return nil, err
+		}
+	}
+
+	// E25 — shard scaling on the game layer.
+	for _, shards := range e25ShardCounts() {
+		shards := shards
+		e, err := measured(func() (int, error) {
+			res, err := core.SolveProposalSharded(fi, core.ShardedSolveOptions{
+				Tie: core.TieFirstPort, Shards: shards, MaxRounds: 1 << 20,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.Stats.Rounds, nil
+		})
+		finishEntry(&e, "E25", "game", "sharded", gameWorkload, fi.N(), fi.M())
+		e.Shards = shards
+		if err := add(e, err); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// WriteShardedBenchJSON measures the report and writes it as indented
+// JSON (the BENCH_sharded.json format).
+func WriteShardedBenchJSON(w io.Writer, p Profile) error {
+	rep, err := ShardedBench(p)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

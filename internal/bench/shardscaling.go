@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"time"
+
+	"tokendrop/internal/core"
+)
+
+// e25ShardCounts returns the worker counts the scaling experiment sweeps:
+// powers of two through GOMAXPROCS, always extending past it (to 2× on a
+// single-core box) so the table shows where oversubscription starts.
+func e25ShardCounts() []int {
+	procs := runtime.GOMAXPROCS(0)
+	var counts []int
+	for s := 1; s <= procs; s *= 2 {
+		counts = append(counts, s)
+	}
+	if last := counts[len(counts)-1]; last < 2*procs {
+		counts = append(counts, last*2)
+	}
+	return counts
+}
+
+// E25: shard scaling of the flat engine. One proposal game is solved to
+// completion at increasing worker counts; by the engine's determinism
+// contract every run must be bit-identical (same rounds and moves), so
+// the sweep isolates the pure throughput effect of adding workers. On a
+// single hardware thread the curve is expected to be flat (the barrier
+// costs what the compute saves); on multi-core hardware rounds/s should
+// climb until the shard count passes the core count.
+func E25ShardScaling(p Profile) *Table {
+	t := &Table{
+		ID:    "E25",
+		Title: "Sharded engine shard scaling (proposal algorithm)",
+		Claim: "results are shard-count invariant; throughput scales with workers up to the core count",
+		Columns: []string{"shards", "n", "m", "rounds", "moves", "ms", "rounds/s",
+			"speedup vs 1", "agrees with 1"},
+		Notes: []string{fmt.Sprintf("GOMAXPROCS = %d", runtime.GOMAXPROCS(0))},
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	cfg := core.LayeredConfig{Levels: 5, Width: 4000, ParentDeg: 4, TokenProb: 0.6, FreeBottom: true}
+	if p.Quick {
+		cfg.Width = 60
+	}
+	fi := core.FlatRandomLayered(cfg, rng)
+
+	var baseMS float64
+	var baseRounds int
+	var baseMoves []core.Move
+	for _, shards := range e25ShardCounts() {
+		t0 := time.Now()
+		res, err := core.SolveProposalSharded(fi, core.ShardedSolveOptions{
+			Tie: core.TieFirstPort, Shards: shards, MaxRounds: 1 << 20,
+		})
+		ms := time.Since(t0).Seconds() * 1000
+		if err != nil {
+			t.AddRow(shards, fi.N(), fi.M(), "error", err.Error(), "", "", "", mark(false))
+			return t
+		}
+		if shards == 1 {
+			baseMS, baseRounds, baseMoves = ms, res.Stats.Rounds, res.Moves
+		}
+		agree := res.Stats.Rounds == baseRounds && reflect.DeepEqual(res.Moves, baseMoves)
+		rps, speed := "-", "-"
+		if ms > 0 {
+			rps = fmt.Sprintf("%.0f", float64(res.Stats.Rounds)/(ms/1000))
+			if baseMS > 0 {
+				speed = fmt.Sprintf("%.2f", baseMS/ms)
+			}
+		}
+		t.AddRow(shards, fi.N(), fi.M(), res.Stats.Rounds, len(res.Moves), ms, rps, speed, mark(agree))
+	}
+	return t
+}

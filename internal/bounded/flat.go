@@ -6,6 +6,7 @@ import (
 	"tokendrop/internal/core"
 	"tokendrop/internal/graph"
 	"tokendrop/internal/hypergame"
+	"tokendrop/internal/local"
 )
 
 // This file ports the Theorem 7.5 k-bounded assignment algorithm to the
@@ -31,7 +32,9 @@ type ShardedOptions struct {
 	Tie core.TieBreak
 	// Seed drives all randomized tie-breaking.
 	Seed int64
-	// Shards is the per-phase subgame worker count (0 = GOMAXPROCS).
+	// Shards is the worker count of the engine session that plays every
+	// phase's subgame; 0 means runtime.GOMAXPROCS(0). The result does
+	// not depend on it.
 	Shards int
 	// MaxPhases guards non-termination; 0 means 4·C·S + 8.
 	MaxPhases int
@@ -196,6 +199,14 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 	heads := make([]int32, 0, nl)
 	gameCustomer := make([]int32, 0, nl)
 
+	// The reusable execution layer: one engine session plays every
+	// phase's hypergame, and one workspace rebuilds the incidence
+	// network and the flat program state (of both the three-level and
+	// the generic program) in place per phase; see assign.SolveSharded.
+	sess := local.NewSession(opt.Shards)
+	defer sess.Close()
+	gws := hypergame.NewWorkspace()
+
 	for phase := 1; len(unassigned) > 0; phase++ {
 		if phase > maxPhases {
 			return nil, fmt.Errorf("bounded: phase %d exceeds the Lemma 7.2 budget", phase)
@@ -291,7 +302,7 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 			heads = append(heads, so)
 			gameCustomer = append(gameCustomer, int32(c))
 		}
-		fi, err := hypergame.NewFlatInstance(gameLevel, token, eptr, ends, heads)
+		fi, err := gws.NewFlatInstance(gameLevel, token, eptr, ends, heads)
 		if err != nil {
 			return nil, fmt.Errorf("bounded: phase %d produced an invalid game: %w", phase, err)
 		}
@@ -303,8 +314,9 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 		gameOpt := hypergame.ShardedSolveOptions{
 			RandomTies: opt.Tie == core.TieRandom,
 			Seed:       opt.Seed + int64(phase)*1_000_003,
-			Shards:     opt.Shards,
 			MaxRounds:  1 << 20,
+			Session:    sess,
+			Workspace:  gws,
 		}
 		var sol *hypergame.FlatResult
 		if fi.Height() <= hypergame.ThreeLevelMaxLevel {

@@ -66,6 +66,30 @@ func BenchmarkShardedEngine(b *testing.B) {
 	b.ReportMetric(float64(rounds)/b.Elapsed().Seconds(), "rounds/s")
 }
 
+// BenchmarkShardedEngineWarmSession measures the reusable execution
+// layer: every solve after the first reuses one session's worker pool
+// and buffers plus one workspace's program state, so iterations b.N ≥ 2
+// run the steady state the phase loops live in (0 allocs per round;
+// -benchmem shows the amortized construction cost vanishing).
+func BenchmarkShardedEngineWarmSession(b *testing.B) {
+	fi, _ := millionInstance()
+	sess := local.NewSession(0)
+	defer sess.Close()
+	ws := NewSolverWorkspace()
+	rounds := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := SolveProposalSharded(fi, ShardedSolveOptions{
+			Tie: TieFirstPort, MaxRounds: 1 << 20, Session: sess, Workspace: ws,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds += res.Stats.Rounds
+	}
+	b.ReportMetric(float64(rounds)/b.Elapsed().Seconds(), "rounds/s")
+}
+
 func BenchmarkSeedEngine(b *testing.B) {
 	_, inst := millionInstance()
 	rounds := 0

@@ -6,6 +6,7 @@ import (
 
 	"tokendrop/internal/graph"
 	"tokendrop/internal/local"
+	"tokendrop/internal/reuse"
 )
 
 // This file defines the flat-encoded side of the package: a CSR-backed
@@ -183,10 +184,49 @@ type ShardedSolveOptions struct {
 	Tie       TieBreak
 	Seed      int64 // feeds the per-vertex PRNG streams of TieRandom
 	MaxRounds int
-	Shards    int // worker count; 0 = GOMAXPROCS
+	Shards    int // worker count; 0 = runtime.GOMAXPROCS(0)
 	// Stop, if non-nil, ends the run after the round for which it returns
 	// true even though the game is unfinished (throughput measurement).
 	Stop func(round int) bool
+	// Session, if non-nil, plays the game on this persistent engine
+	// session instead of a one-shot engine; its worker count overrides
+	// Shards. The phase loops keep one session alive across all their
+	// subgames so the worker pool and message buffers are built once.
+	Session *local.Session
+	// Workspace, if non-nil, rebuilds the program's struct-of-arrays
+	// state in place instead of allocating it per solve. A workspace
+	// must not be shared by concurrent solves.
+	Workspace *SolverWorkspace
+}
+
+// SolverWorkspace holds the reusable program state of the sharded
+// solvers (SolveProposalSharded, SolveThreeLevelSharded): every
+// per-vertex and per-arc array is grown monotonically and rebuilt in
+// place, so a loop solving many games through one workspace — the
+// orientation phase loop, the allocation-regression benchmarks — stops
+// allocating once the largest game has been seen. Pair it with a
+// local.Session (ShardedSolveOptions.Session) to make whole repeat
+// solves allocation-free up to the result assembly.
+type SolverWorkspace struct {
+	prop  flatProposal
+	three flatThreeLevel
+}
+
+// NewSolverWorkspace returns an empty workspace; the first solve sizes it.
+func NewSolverWorkspace() *SolverWorkspace { return &SolverWorkspace{} }
+
+// runFlat executes prog on the options' session when one is set, else on
+// a one-shot engine.
+func runFlat(csr *graph.CSR, prog local.FlatProgram, opt ShardedSolveOptions) (local.ShardedStats, error) {
+	sopt := local.ShardedOptions{
+		MaxRounds: opt.MaxRounds,
+		Shards:    opt.Shards,
+		Stop:      opt.Stop,
+	}
+	if opt.Session != nil {
+		return opt.Session.Run(csr, prog, sopt)
+	}
+	return local.RunSharded(csr, prog, sopt)
 }
 
 // FlatResult is the outcome of a sharded solve: the final token placement
@@ -247,12 +287,13 @@ func assembleFlatResult(fi *FlatInstance, stats local.ShardedStats, occupied []b
 	}
 }
 
-// arcIsParent computes the per-arc "head is one level above the tail"
-// table the flat programs branch on. Materializing it turns the hot
-// loops' random level[Col[i]] lookups into one sequential byte read.
-func arcIsParent(fi *FlatInstance) []bool {
+// arcIsParentInto computes the per-arc "head is one level above the
+// tail" table the flat programs branch on, filling isParent in place and
+// growing it only when needed. Materializing it turns the hot loops'
+// random level[Col[i]] lookups into one sequential byte read.
+func arcIsParentInto(isParent []bool, fi *FlatInstance) []bool {
 	csr := fi.csr
-	isParent := make([]bool, csr.NumArcs())
+	isParent = reuse.Grown(isParent, csr.NumArcs())
 	for v := 0; v < csr.N(); v++ {
 		lo, hi := csr.ArcRange(v)
 		for i := lo; i < hi; i++ {
@@ -262,16 +303,19 @@ func arcIsParent(fi *FlatInstance) []bool {
 	return isParent
 }
 
-// arcFlags is arcIsParent packed into the aParent bit of the per-arc flag
-// bytes (aDead and aPOcc start clear).
-func arcFlags(fi *FlatInstance) []uint8 {
+// arcFlagsInto is arcIsParent packed into the aParent bit of the per-arc
+// flag bytes (aDead and aPOcc start clear), filling flags in place and
+// growing it only when needed.
+func arcFlagsInto(flags []uint8, fi *FlatInstance) []uint8 {
 	csr := fi.csr
-	flags := make([]uint8, csr.NumArcs())
+	flags = reuse.Grown(flags, csr.NumArcs())
 	for v := 0; v < csr.N(); v++ {
 		lo, hi := csr.ArcRange(v)
 		for i := lo; i < hi; i++ {
 			if fi.level[csr.Col[i]] > fi.level[v] {
 				flags[i] = aParent
+			} else {
+				flags[i] = 0
 			}
 		}
 	}
@@ -296,7 +340,12 @@ func SplitMix64(x uint64) uint64 {
 
 // flatRandSeeds fills one PRNG state per vertex.
 func flatRandSeeds(n int, seed int64) []uint64 {
-	s := make([]uint64, n)
+	return flatRandSeedsInto(nil, n, seed)
+}
+
+// flatRandSeedsInto is flatRandSeeds into a reusable slice.
+func flatRandSeedsInto(s []uint64, n int, seed int64) []uint64 {
+	s = reuse.Grown(s, n)
 	for v := range s {
 		s[v] = SplitMix64(uint64(seed) ^ uint64(v)*0x9e3779b97f4a7c15)
 	}

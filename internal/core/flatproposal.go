@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tokendrop/internal/local"
+	"tokendrop/internal/reuse"
 )
 
 // Per-arc state flags of the flat programs, packed into one byte so the
@@ -82,16 +83,25 @@ type flatProposal struct {
 }
 
 func newFlatProposal(fi *FlatInstance, tie TieBreak, seed int64) *flatProposal {
+	pr := &flatProposal{}
+	pr.reset(fi, tie, seed)
+	return pr
+}
+
+// reset rebuilds the program state for a fresh solve of fi in place,
+// growing the arrays only when fi outgrows them — a warmed program
+// (same-sized or shrinking games) resets without allocating. Used by the
+// per-solve workspaces of the phase loops.
+func (pr *flatProposal) reset(fi *FlatInstance, tie TieBreak, seed int64) {
 	n := fi.N()
-	pr := &flatProposal{
-		fi:       fi,
-		tie:      tie,
-		vstate:   make([]uint8, n),
-		counters: make([]uint64, n),
-		active:   make([]int32, n),
-		aflags:   arcFlags(fi),
-		childEnd: make([]int32, n),
-	}
+	pr.fi = fi
+	pr.tie = tie
+	pr.vstate = reuse.Grown(pr.vstate, n)
+	pr.counters = reuse.Grown(pr.counters, n)
+	pr.active = reuse.Grown(pr.active, n)
+	clear(pr.active)
+	pr.aflags = arcFlagsInto(pr.aflags, fi)
+	pr.childEnd = reuse.Grown(pr.childEnd, n)
 	csr := fi.csr
 	for v := 0; v < n; v++ {
 		// unchanged = -1 (stored as un+1 = 0), waiting = 0, and the event
@@ -123,17 +133,24 @@ func newFlatProposal(fi *FlatInstance, tie TieBreak, seed int64) *flatProposal {
 		pr.counters[v] = c
 	}
 	if tie == TieRandom {
-		pr.rngs = flatRandSeeds(n, seed)
+		pr.rngs = flatRandSeedsInto(pr.rngs, n, seed)
+	} else {
+		pr.rngs = nil
 	}
-	return pr
 }
 
-// InitShards implements local.FlatProgram.
+// InitShards implements local.FlatProgram. The per-shard logs are grown
+// in place, so repeat solves on a warmed program allocate nothing.
 func (pr *flatProposal) InitShards(bounds []int) {
 	shards := len(bounds) - 1
-	pr.shardGrants = make([][]int64, shards)
-	pr.shardMsgs = make([]int64, shards)
+	if cap(pr.shardGrants) < shards {
+		pr.shardGrants = make([][]int64, shards)
+	} else {
+		pr.shardGrants = pr.shardGrants[:shards]
+	}
+	pr.shardMsgs = reuse.Grown(pr.shardMsgs, shards)
 	for s := 0; s < shards; s++ {
+		pr.shardMsgs[s] = 0
 		// Every move grants a token away, and each vertex holds at most
 		// one token at a time, so tokens-in-shard is a good starting
 		// capacity for the shard's grant log.
@@ -143,7 +160,11 @@ func (pr *flatProposal) InitShards(bounds []int) {
 				tokens++
 			}
 		}
-		pr.shardGrants[s] = make([]int64, 0, tokens)
+		if g := pr.shardGrants[s]; cap(g) >= tokens {
+			pr.shardGrants[s] = g[:0]
+		} else {
+			pr.shardGrants[s] = make([]int64, 0, tokens)
+		}
 	}
 }
 
@@ -426,14 +447,16 @@ var _ local.FlatProgram = (*flatProposal)(nil)
 // Theorem 4.1 on the sharded flat engine. Under TieFirstPort the run is
 // bit-identical to SolveProposal on the same game (same rounds, messages,
 // moves, and final placement); under TieRandom the tie-break streams are
-// engine-specific. Use FlatResult.Solution to verify the outcome.
+// engine-specific. Use FlatResult.Solution to verify the outcome. With
+// opt.Session and opt.Workspace set, the engine and the program state are
+// rebuilt in place across solves (see SolverWorkspace).
 func SolveProposalSharded(fi *FlatInstance, opt ShardedSolveOptions) (*FlatResult, error) {
-	pr := newFlatProposal(fi, opt.Tie, opt.Seed)
-	stats, err := local.RunSharded(fi.csr, pr, local.ShardedOptions{
-		MaxRounds: opt.MaxRounds,
-		Shards:    opt.Shards,
-		Stop:      opt.Stop,
-	})
+	pr := &flatProposal{}
+	if opt.Workspace != nil {
+		pr = &opt.Workspace.prop
+	}
+	pr.reset(fi, opt.Tie, opt.Seed)
+	stats, err := runFlat(fi.csr, pr, opt)
 	if err != nil {
 		return nil, err
 	}

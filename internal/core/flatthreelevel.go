@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tokendrop/internal/local"
+	"tokendrop/internal/reuse"
 )
 
 // flatThreeLevel is the Theorem 4.7 algorithm (threelevel.go) in
@@ -32,36 +33,58 @@ type flatThreeLevel struct {
 }
 
 func newFlatThreeLevel(fi *FlatInstance, tie TieBreak, seed int64) *flatThreeLevel {
-	n := fi.N()
-	arcs := fi.csr.NumArcs()
-	pr := &flatThreeLevel{
-		fi:          fi,
-		tie:         tie,
-		occupied:    make([]bool, n),
-		waitGrant:   make([]uint8, n),
-		waitAccept:  make([]uint8, n),
-		requestedTo: make([]int32, n),
-		proposedTo:  make([]int32, n),
-		active:      make([]int32, n),
-		isParent:    arcIsParent(fi),
-		portDead:    make([]bool, arcs),
-		parentOcc:   make([]bool, arcs),
-	}
-	copy(pr.occupied, fi.token)
-	for v := range pr.requestedTo {
-		pr.requestedTo[v] = -1
-		pr.proposedTo[v] = -1
-	}
-	if tie == TieRandom {
-		pr.rngs = flatRandSeeds(n, seed)
-	}
+	pr := &flatThreeLevel{}
+	pr.reset(fi, tie, seed)
 	return pr
 }
 
-// InitShards implements local.FlatProgram.
+// reset rebuilds the program state for a fresh solve of fi in place,
+// growing the arrays only when fi outgrows them (see flatProposal.reset).
+func (pr *flatThreeLevel) reset(fi *FlatInstance, tie TieBreak, seed int64) {
+	n := fi.N()
+	arcs := fi.csr.NumArcs()
+	pr.fi = fi
+	pr.tie = tie
+	pr.occupied = reuse.Grown(pr.occupied, n)
+	copy(pr.occupied, fi.token)
+	pr.waitGrant = reuse.Grown(pr.waitGrant, n)
+	pr.waitAccept = reuse.Grown(pr.waitAccept, n)
+	pr.requestedTo = reuse.Grown(pr.requestedTo, n)
+	pr.proposedTo = reuse.Grown(pr.proposedTo, n)
+	pr.active = reuse.Grown(pr.active, n)
+	clear(pr.waitGrant)
+	clear(pr.waitAccept)
+	clear(pr.active)
+	for v := 0; v < n; v++ {
+		pr.requestedTo[v] = -1
+		pr.proposedTo[v] = -1
+	}
+	pr.isParent = arcIsParentInto(pr.isParent, fi)
+	pr.portDead = reuse.Grown(pr.portDead, arcs)
+	pr.parentOcc = reuse.Grown(pr.parentOcc, arcs)
+	clear(pr.portDead)
+	clear(pr.parentOcc)
+	if tie == TieRandom {
+		pr.rngs = flatRandSeedsInto(pr.rngs, n, seed)
+	} else {
+		pr.rngs = nil
+	}
+}
+
+// InitShards implements local.FlatProgram. The per-shard logs are grown
+// in place, so repeat solves on a warmed program allocate nothing.
 func (pr *flatThreeLevel) InitShards(bounds []int) {
-	pr.shardMoves = make([][]Move, len(bounds)-1)
-	pr.shardMsgs = make([]int64, len(bounds)-1)
+	shards := len(bounds) - 1
+	if cap(pr.shardMoves) < shards {
+		pr.shardMoves = make([][]Move, shards)
+	} else {
+		pr.shardMoves = pr.shardMoves[:shards]
+	}
+	for s := range pr.shardMoves {
+		pr.shardMoves[s] = pr.shardMoves[s][:0]
+	}
+	pr.shardMsgs = reuse.Grown(pr.shardMsgs, shards)
+	clear(pr.shardMsgs)
 }
 
 // pickWord selects among the arcs of [a0, a1) whose incoming word equals
@@ -391,17 +414,19 @@ var _ local.FlatProgram = (*flatThreeLevel)(nil)
 // SolveThreeLevelSharded runs the Theorem 4.7 algorithm on the sharded
 // flat engine; it errors on games of height greater than
 // ThreeLevelMaxLevel. Under TieFirstPort the run is bit-identical to
-// SolveThreeLevel on the same game.
+// SolveThreeLevel on the same game. With opt.Session and opt.Workspace
+// set, the engine and the program state are rebuilt in place across
+// solves (see SolverWorkspace).
 func SolveThreeLevelSharded(fi *FlatInstance, opt ShardedSolveOptions) (*FlatResult, error) {
 	if h := fi.Height(); h > ThreeLevelMaxLevel {
 		return nil, fmt.Errorf("core: three-level solver got height %d > %d", h, ThreeLevelMaxLevel)
 	}
-	pr := newFlatThreeLevel(fi, opt.Tie, opt.Seed)
-	stats, err := local.RunSharded(fi.csr, pr, local.ShardedOptions{
-		MaxRounds: opt.MaxRounds,
-		Shards:    opt.Shards,
-		Stop:      opt.Stop,
-	})
+	pr := &flatThreeLevel{}
+	if opt.Workspace != nil {
+		pr = &opt.Workspace.three
+	}
+	pr.reset(fi, opt.Tie, opt.Seed)
+	stats, err := runFlat(fi.csr, pr, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,10 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+
+	"tokendrop/internal/reuse"
+)
 
 // CSR is a compressed sparse row view of an undirected graph: flat arrays
 // instead of per-vertex slices, so million-vertex instances fit in a few
@@ -196,9 +200,15 @@ func (c *CSR) ToGraph() *Graph {
 // catches violations in tests. Edge identifiers are assigned in insertion
 // order, and the port order of each vertex is the order in which its edges
 // were inserted.
+//
+// A builder is reusable: Reset clears the edge list (retaining capacity)
+// and BuildInto assembles the graph into caller-owned arrays, so loops
+// that build one subgame CSR per phase — the orientation and assignment
+// runtimes — allocate nothing once warmed.
 type CSRBuilder struct {
 	n      int
 	us, vs []int32
+	deg    []int32 // scratch of BuildInto: degree counts, then fill cursor
 }
 
 // NewCSRBuilder returns a builder for a graph on n vertices, preallocating
@@ -236,21 +246,44 @@ func (b *CSRBuilder) AddEdge(u, v int) int {
 	return len(b.us) - 1
 }
 
-// Build assembles the CSR. The builder can be reused afterwards (its edge
-// buffer is retained).
-func (b *CSRBuilder) Build() *CSR {
-	m := len(b.us)
-	c := &CSR{
-		Row: make([]int32, b.n+1),
-		Col: make([]int32, 2*m),
-		EID: make([]int32, 2*m),
-		Rev: make([]int32, 2*m),
+// Reset clears the builder for reuse on a graph with n vertices,
+// retaining the edge buffer's capacity (and the scratch of BuildInto).
+func (b *CSRBuilder) Reset(n int) {
+	if n < 0 {
+		panic("graph: negative vertex count")
 	}
-	deg := make([]int32, b.n)
+	b.n = n
+	b.us = b.us[:0]
+	b.vs = b.vs[:0]
+}
+
+// Build assembles the CSR into fresh arrays. The builder can be reused
+// afterwards (its edge buffer is retained); the returned CSR is
+// independent of the builder and of any later BuildInto targets.
+func (b *CSRBuilder) Build() *CSR {
+	c := &CSR{}
+	b.BuildInto(c)
+	return c
+}
+
+// BuildInto assembles the CSR into c, growing c's arrays only when the
+// graph outgrows their capacity — repeated Reset/AddEdge/BuildInto cycles
+// over same-sized or shrinking graphs allocate nothing. Any previous
+// contents of c (and anything aliasing its arrays) are overwritten.
+func (b *CSRBuilder) BuildInto(c *CSR) {
+	m := len(b.us)
+	c.Row = reuse.Grown(c.Row, b.n+1)
+	c.Col = reuse.Grown(c.Col, 2*m)
+	c.EID = reuse.Grown(c.EID, 2*m)
+	c.Rev = reuse.Grown(c.Rev, 2*m)
+	deg := reuse.Grown(b.deg, b.n)
+	b.deg = deg
+	clear(deg)
 	for i := 0; i < m; i++ {
 		deg[b.us[i]]++
 		deg[b.vs[i]]++
 	}
+	c.Row[0] = 0
 	for v := 0; v < b.n; v++ {
 		c.Row[v+1] = c.Row[v] + deg[v]
 	}
@@ -269,5 +302,4 @@ func (b *CSRBuilder) Build() *CSR {
 		c.Rev[au] = av
 		c.Rev[av] = au
 	}
-	return c
 }

@@ -95,6 +95,54 @@ func TestCSRBuilderMatchesGraph(t *testing.T) {
 	}
 }
 
+// TestCSRBuilderResetBuildInto drives one builder through a sequence of
+// graphs of varying sizes via Reset/BuildInto and checks every assembly
+// against a fresh builder's Build, then asserts the warmed rebuild cycle
+// performs no heap allocations — the contract the per-phase subgame
+// construction of the orientation and assignment runtimes relies on.
+func TestCSRBuilderResetBuildInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	b := NewCSRBuilder(0, 0)
+	var c CSR
+	sizes := []int{8, 40, 12, 100, 5, 64}
+	for _, n := range sizes {
+		b.Reset(n)
+		fresh := NewCSRBuilder(n, 0)
+		for u := 1; u < n; u++ {
+			v := rng.Intn(u)
+			if idA, idB := b.AddEdge(u, v), fresh.AddEdge(u, v); idA != idB {
+				t.Fatalf("n=%d: edge ids diverge: %d != %d", n, idA, idB)
+			}
+		}
+		b.BuildInto(&c)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		ref := fresh.Build()
+		if len(c.Col) != len(ref.Col) || c.N() != ref.N() {
+			t.Fatalf("n=%d: shapes differ", n)
+		}
+		for i := range c.Col {
+			if c.Col[i] != ref.Col[i] || c.EID[i] != ref.EID[i] || c.Rev[i] != ref.Rev[i] {
+				t.Fatalf("n=%d: arc %d differs", n, i)
+			}
+		}
+	}
+	// Warmed rebuild of the largest graph: no allocations.
+	n := 100
+	rebuild := func() {
+		b.Reset(n)
+		for u := 1; u < n; u++ {
+			b.AddEdge(u, u-1)
+		}
+		b.BuildInto(&c)
+	}
+	rebuild()
+	if allocs := testing.AllocsPerRun(5, rebuild); allocs != 0 {
+		t.Errorf("warmed Reset/BuildInto cycle allocated %.1f objects; want 0", allocs)
+	}
+}
+
 func TestCSRRandomLayered(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for _, tc := range []struct{ levels, width, deg int }{

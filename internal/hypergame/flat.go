@@ -7,6 +7,7 @@ import (
 	"tokendrop/internal/core"
 	"tokendrop/internal/graph"
 	"tokendrop/internal/local"
+	"tokendrop/internal/reuse"
 )
 
 // This file defines the flat-encoded side of the package: a flat hypergraph
@@ -87,38 +88,54 @@ type FlatInstance struct {
 // endpoints with ℓ(head) = min over other endpoints + 1, and no negative
 // level — and builds the incidence network. The slices are retained, not
 // copied; callers must not mutate them while the instance is in use.
+// Loops building one instance per phase should use Workspace.NewFlatInstance,
+// which rebuilds the incidence network and the instance shell in place.
 func NewFlatInstance(level []int32, token []bool, eptr, ends, head []int32) (*FlatInstance, error) {
+	if err := validateFlatInstance(level, token, eptr, ends, head, make([]int32, len(level))); err != nil {
+		return nil, err
+	}
+	b := graph.NewCSRBuilder(len(level)+len(head), len(ends))
+	addIncidence(b, len(level), eptr, ends)
+	inc := b.Build()
+	if err := checkIncidenceDegree(inc); err != nil {
+		return nil, err
+	}
+	return &FlatInstance{level: level, token: token, eptr: eptr, ends: ends, head: head, inc: inc}, nil
+}
+
+// validateFlatInstance runs NewFlatInstance's structural checks. stamp is
+// endpoint-duplicate scratch: len(level) entries, all zero on entry.
+func validateFlatInstance(level []int32, token []bool, eptr, ends, head, stamp []int32) error {
 	if len(level) != len(token) {
-		return nil, fmt.Errorf("hypergame: %d levels for %d token slots", len(level), len(token))
+		return fmt.Errorf("hypergame: %d levels for %d token slots", len(level), len(token))
 	}
 	m := len(head)
 	if len(eptr) != m+1 {
-		return nil, fmt.Errorf("hypergame: %d hyperedge offsets for %d heads", len(eptr), m)
+		return fmt.Errorf("hypergame: %d hyperedge offsets for %d heads", len(eptr), m)
 	}
 	if m > 0 && (eptr[0] != 0 || int(eptr[m]) != len(ends)) {
-		return nil, fmt.Errorf("hypergame: hyperedge offsets do not cover the endpoint array")
+		return fmt.Errorf("hypergame: hyperedge offsets do not cover the endpoint array")
 	}
 	n := len(level)
 	for v, l := range level {
 		if l < 0 {
-			return nil, fmt.Errorf("hypergame: vertex %d has negative level", v)
+			return fmt.Errorf("hypergame: vertex %d has negative level", v)
 		}
 	}
-	stamp := make([]int32, n)
 	for id := 0; id < m; id++ {
 		lo, hi := eptr[id], eptr[id+1]
 		if hi-lo < 2 {
-			return nil, fmt.Errorf("hypergame: hyperedge %d has rank %d < 2", id, hi-lo)
+			return fmt.Errorf("hypergame: hyperedge %d has rank %d < 2", id, hi-lo)
 		}
 		headSeen := false
 		minOther := int32(-1)
 		for k := lo; k < hi; k++ {
 			v := ends[k]
 			if v < 0 || int(v) >= n {
-				return nil, fmt.Errorf("hypergame: hyperedge %d endpoint %d out of range", id, v)
+				return fmt.Errorf("hypergame: hyperedge %d endpoint %d out of range", id, v)
 			}
 			if stamp[v] == int32(id)+1 {
-				return nil, fmt.Errorf("hypergame: hyperedge %d repeats endpoint %d", id, v)
+				return fmt.Errorf("hypergame: hyperedge %d repeats endpoint %d", id, v)
 			}
 			stamp[v] = int32(id) + 1
 			if v == head[id] {
@@ -130,31 +147,85 @@ func NewFlatInstance(level []int32, token []bool, eptr, ends, head []int32) (*Fl
 			}
 		}
 		if !headSeen {
-			return nil, fmt.Errorf("hypergame: head %d of hyperedge %d is not an endpoint", head[id], id)
+			return fmt.Errorf("hypergame: head %d of hyperedge %d is not an endpoint", head[id], id)
 		}
 		if level[head[id]] != minOther+1 {
-			return nil, fmt.Errorf("hypergame: hyperedge %d head level %d != min other %d + 1",
+			return fmt.Errorf("hypergame: hyperedge %d head level %d != min other %d + 1",
 				id, level[head[id]], minOther)
 		}
 	}
-	// The incidence network, inserted exactly as SolveProposal builds it:
-	// hyperedges in id order, endpoints in hyperedge order — which makes
-	// the CSR's port numbering identical to the object network's.
-	b := graph.NewCSRBuilder(n+m, len(ends))
-	for id := 0; id < m; id++ {
+	return nil
+}
+
+// addIncidence inserts the incidence network exactly as SolveProposal
+// builds it: hyperedges in id order, endpoints in hyperedge order — which
+// makes the CSR's port numbering identical to the object network's.
+func addIncidence(b *graph.CSRBuilder, n int, eptr, ends []int32) {
+	for id := 0; id+1 < len(eptr); id++ {
 		for k := eptr[id]; k < eptr[id+1]; k++ {
 			b.AddEdge(int(ends[k]), n+id)
 		}
 	}
-	inc := b.Build()
-	// The flat programs pack their live-channel counts into 21-bit fields;
-	// reject incidence degrees that would silently overflow them (a server
-	// in two million hyperedges, or a hyperedge of two million endpoints).
+}
+
+// checkIncidenceDegree rejects incidence degrees that would silently
+// overflow the flat programs' packed 21-bit live-channel counts (a server
+// in two million hyperedges, or a hyperedge of two million endpoints).
+func checkIncidenceDegree(inc *graph.CSR) error {
 	if d := inc.MaxDegree(); d >= 1<<hcntBits {
-		return nil, fmt.Errorf("hypergame: incidence degree %d exceeds the flat solver's counter range (2^%d - 1)",
+		return fmt.Errorf("hypergame: incidence degree %d exceeds the flat solver's counter range (2^%d - 1)",
 			d, hcntBits)
 	}
-	return &FlatInstance{level: level, token: token, eptr: eptr, ends: ends, head: head, inc: inc}, nil
+	return nil
+}
+
+// Workspace holds the reusable per-solve state of the sharded hypergame
+// solvers: the incidence builder and CSR, the FlatInstance shell, the
+// validation scratch, and the struct-of-arrays program state of both the
+// proposal and the three-level programs. Everything is grown
+// monotonically and rebuilt in place, so a phase loop that assembles and
+// solves one hypergraph game per phase through a single workspace — the
+// sharded assignment runtimes — stops allocating once its largest game
+// has been seen. A workspace must not be shared by concurrent solves.
+type Workspace struct {
+	b     *graph.CSRBuilder
+	inc   graph.CSR
+	fi    FlatInstance
+	stamp []int32
+	st    flatHyperState
+	prop  flatHyperProposal
+	p3    flatHyper3
+}
+
+// NewWorkspace returns an empty workspace; the first instance sizes it.
+func NewWorkspace() *Workspace {
+	w := &Workspace{b: graph.NewCSRBuilder(0, 0)}
+	w.prop.flatHyperState = &w.st
+	w.p3.flatHyperState = &w.st
+	return w
+}
+
+// NewFlatInstance is NewFlatInstance rebuilt in the workspace: the
+// incidence network, the duplicate-endpoint scratch, and the instance
+// shell are reused in place. As with the package function the input
+// slices are retained, not copied. The returned instance — and any solve
+// result whose construction borrows it — is valid only until the next
+// NewFlatInstance call on the same workspace.
+func (w *Workspace) NewFlatInstance(level []int32, token []bool, eptr, ends, head []int32) (*FlatInstance, error) {
+	n, m := len(level), len(head)
+	w.stamp = reuse.Grown(w.stamp, n)
+	clear(w.stamp)
+	if err := validateFlatInstance(level, token, eptr, ends, head, w.stamp); err != nil {
+		return nil, err
+	}
+	w.b.Reset(n + m)
+	addIncidence(w.b, n, eptr, ends)
+	w.b.BuildInto(&w.inc)
+	if err := checkIncidenceDegree(&w.inc); err != nil {
+		return nil, err
+	}
+	w.fi = FlatInstance{level: level, token: token, eptr: eptr, ends: ends, head: head, inc: &w.inc}
+	return &w.fi, nil
 }
 
 // NewFlatInstanceFromInstance converts a pointer-based Instance to flat
@@ -255,7 +326,26 @@ type ShardedSolveOptions struct {
 	RandomTies bool
 	Seed       int64
 	MaxRounds  int
-	Shards     int // worker count; 0 = GOMAXPROCS
+	Shards     int // worker count; 0 = runtime.GOMAXPROCS(0)
+	// Session, if non-nil, plays the game on this persistent engine
+	// session instead of a one-shot engine; its worker count overrides
+	// Shards. The assignment phase loops keep one session alive across
+	// all their subgames so the worker pool and message buffers are
+	// built once.
+	Session *local.Session
+	// Workspace, if non-nil, rebuilds the program's struct-of-arrays
+	// state in place instead of allocating it per solve (see Workspace).
+	Workspace *Workspace
+}
+
+// runFlatHyper executes prog on the options' session when one is set,
+// else on a one-shot engine.
+func runFlatHyper(inc *graph.CSR, prog local.FlatProgram, opt ShardedSolveOptions) (local.ShardedStats, error) {
+	sopt := local.ShardedOptions{MaxRounds: opt.MaxRounds, Shards: opt.Shards}
+	if opt.Session != nil {
+		return opt.Session.Run(inc, prog, sopt)
+	}
+	return local.RunSharded(inc, prog, sopt)
 }
 
 // FlatResult is the outcome of a sharded hypergame solve: the final token
@@ -298,32 +388,58 @@ type flatHyperState struct {
 	active   []int32  // servers: request attempts (Lemma 4.4 analogue)
 	aflags   []uint8  // per arc: role | hDead | hChanOcc
 
+	// unch[v] counts consecutive outbox-event-free rounds of v, -1 after
+	// an event: the quiescent-outbox skip of core's flat programs,
+	// ported to the relay protocols. A vertex whose outgoing words are
+	// provably what the double buffer already holds (no outbox-relevant
+	// event for two consecutive rounds, so outbox(r) == outbox(r-2))
+	// skips its stores entirely. In steady state most servers and relays
+	// repeat the same announcement, so this removes the bulk of the
+	// scattered stores; receivers still read the retained words, so runs
+	// are bit-identical with the skip on or off.
+	unch []int8
+
 	shardMoves [][]Move
 	shardMsgs  []int64
 }
 
 func newFlatHyperState(fi *FlatInstance, opt ShardedSolveOptions) *flatHyperState {
+	st := &flatHyperState{}
+	st.reset(fi, opt)
+	return st
+}
+
+// reset rebuilds the shared program state for a fresh solve of fi in
+// place, growing the arrays only when fi outgrows them — a warmed state
+// (same-sized or shrinking games) resets without allocating. Used by the
+// per-solve Workspace of the assignment phase loops.
+func (st *flatHyperState) reset(fi *FlatInstance, opt ShardedSolveOptions) {
 	n, m := fi.N(), fi.M()
 	inc := fi.inc
-	st := &flatHyperState{
-		fi:       fi,
-		occ:      make([]bool, n+m),
-		reqArc:   make([]int32, n+m),
-		counters: make([]uint64, n+m),
-		headArc:  make([]int32, n+m),
-		active:   make([]int32, n),
-		aflags:   make([]uint8, inc.NumArcs()),
-	}
+	st.fi = fi
+	st.occ = reuse.Grown(st.occ, n+m)
+	st.reqArc = reuse.Grown(st.reqArc, n+m)
+	st.counters = reuse.Grown(st.counters, n+m)
+	st.headArc = reuse.Grown(st.headArc, n+m)
+	st.active = reuse.Grown(st.active, n)
+	st.aflags = reuse.Grown(st.aflags, inc.NumArcs())
+	st.unch = reuse.Grown(st.unch, n+m)
 	if opt.RandomTies {
 		st.tie = 1
-		st.rngs = make([]uint64, n+m)
+		st.rngs = reuse.Grown(st.rngs, n+m)
 		for v := range st.rngs {
 			st.rngs[v] = core.SplitMix64(uint64(opt.Seed) ^ uint64(v)*0x9e3779b97f4a7c15)
 		}
+	} else {
+		st.tie = 0
+		st.rngs = nil
 	}
+	clear(st.active)
+	clear(st.occ)
 	for v := range st.reqArc {
 		st.reqArc[v] = -1
 		st.headArc[v] = -1
+		st.unch[v] = -1
 	}
 	copy(st.occ, fi.token)
 	// Arc roles. For a server arc the relay behind it identifies the
@@ -371,14 +487,22 @@ func newFlatHyperState(fi *FlatInstance, opt ShardedSolveOptions) *flatHyperStat
 		}
 		st.counters[r] = cnt
 	}
-	return st
 }
 
-// InitShards implements local.FlatProgram.
+// InitShards implements local.FlatProgram. The per-shard logs are grown
+// in place, so repeat solves on a warmed program allocate nothing.
 func (st *flatHyperState) InitShards(bounds []int) {
 	shards := len(bounds) - 1
-	st.shardMoves = make([][]Move, shards)
-	st.shardMsgs = make([]int64, shards)
+	if cap(st.shardMoves) < shards {
+		st.shardMoves = make([][]Move, shards)
+	} else {
+		st.shardMoves = st.shardMoves[:shards]
+	}
+	for s := range st.shardMoves {
+		st.shardMoves[s] = st.shardMoves[s][:0]
+	}
+	st.shardMsgs = reuse.Grown(st.shardMsgs, shards)
+	clear(st.shardMsgs)
 }
 
 // killArc marks arc i dead and updates the tail vertex's packed counters,
@@ -503,6 +627,7 @@ func (pr *flatHyperProposal) stepServer(round, v int, recv, send []local.Word, h
 	cnt := pr.counters[v]
 	req := int(pr.reqArc[v])
 	var delivered int64
+	portDied := false
 	reqFirst, reqSeen := -1, 0
 	for i := a0; i < a1; i++ {
 		msg := recv[i]
@@ -513,6 +638,9 @@ func (pr *flatHyperProposal) stepServer(round, v int, recv, send []local.Word, h
 		f := aflags[i]
 		switch msg {
 		case hwLeave:
+			if f&hDead == 0 {
+				portDied = true
+			}
 			cnt = pr.killArc(i, cnt)
 		case hwAnnFree, hwAnnOcc:
 			if f&hRoleMask != hRoleChild {
@@ -538,6 +666,9 @@ func (pr *flatHyperProposal) stepServer(round, v int, recv, send []local.Word, h
 				panic(fmt.Sprintf("hypergame: server %d granted through a channel it never requested", v))
 			}
 			occ = true
+			if aflags[i]&hDead == 0 {
+				portDied = true
+			}
 			cnt = pr.killArc(i, cnt)
 		case hwRequest:
 			if f&hRoleMask != hRoleHead {
@@ -609,27 +740,41 @@ func (pr *flatHyperProposal) stepServer(round, v int, recv, send []local.Word, h
 	liveChild := (cnt >> hcntBits) & hcntMask
 	halt := (occ && liveHead == 0) || (!occ && liveChild == 0 && req < 0)
 
-	rev := inc.Rev
-	for i := a0; i < a1; i++ {
-		var word local.Word
-		switch {
-		case i == grantArc:
-			word = hwGrant
-		case aflags[i]&hDead != 0:
-			// dead channel: nothing
-		case halt:
-			word = hwLeave
-		case i == requestArc:
-			word = hwRequest
-		case aflags[i]&hRoleMask == hRoleHead:
-			if occ {
-				word = hwAnnOcc
-			} else {
-				word = hwAnnFree
-			}
-		}
-		send[rev[i]] = word
+	// Quiescent-outbox skip (see flatHyperState.unch): the outbox is a
+	// function of (occ, halt, grantArc, requestArc, dead ports); an
+	// event-free round whose two predecessors were also event-free finds
+	// its words already in the double buffer and skips the stores.
+	changed := grantArc >= 0 || requestArc >= 0 || halt || occ != wasOcc || portDied
+	un := pr.unch[v]
+	if changed {
+		un = -1
+	} else if un < 2 {
+		un++
 	}
+	if un < 2 {
+		rev := inc.Rev
+		for i := a0; i < a1; i++ {
+			var word local.Word
+			switch {
+			case i == grantArc:
+				word = hwGrant
+			case aflags[i]&hDead != 0:
+				// dead channel: nothing
+			case halt:
+				word = hwLeave
+			case i == requestArc:
+				word = hwRequest
+			case aflags[i]&hRoleMask == hRoleHead:
+				if occ {
+					word = hwAnnOcc
+				} else {
+					word = hwAnnFree
+				}
+			}
+			send[rev[i]] = word
+		}
+	}
+	pr.unch[v] = un
 
 	pr.occ[v] = occ
 	pr.reqArc[v] = int32(req)
@@ -647,10 +792,13 @@ func (pr *flatHyperProposal) stepRelay(round, v int, recv, send []local.Word, ha
 	aflags := pr.aflags
 	hArc := int(pr.headArc[v])
 	headOcc := pr.occ[v]
+	wasOcc := headOcc
 	pend := int(pr.reqArc[v])
+	hadPend := pend >= 0
 	cnt := pr.counters[v]
 	var delivered int64
 	granted := false
+	portDied := false
 	for i := a0; i < a1; i++ {
 		msg := recv[i]
 		if msg == 0 {
@@ -659,6 +807,9 @@ func (pr *flatHyperProposal) stepRelay(round, v int, recv, send []local.Word, ha
 		delivered++
 		switch msg {
 		case hwLeave:
+			if pr.aflags[i]&hDead == 0 {
+				portDied = true
+			}
 			cnt = pr.killArc(i, cnt)
 		case hwAnnFree, hwAnnOcc:
 			if i != hArc {
@@ -720,25 +871,38 @@ func (pr *flatHyperProposal) stepRelay(round, v int, recv, send []local.Word, ha
 
 	liveChildren := (cnt >> hcntBits) & hcntMask
 	halt := aflags[hArc]&hDead != 0 || liveChildren == 0
-	for i := a0; i < a1; i++ {
-		var word local.Word
-		switch {
-		case aflags[i]&hDead != 0:
-		case halt:
-			word = hwLeave
-		case i == hArc:
-			if pend >= 0 {
-				word = hwRequest
-			}
-		default:
-			if headOcc {
-				word = hwAnnOcc
-			} else {
-				word = hwAnnFree
-			}
-		}
-		send[rev[i]] = word
+
+	// Quiescent-outbox skip (see flatHyperState.unch): the relay outbox
+	// is a function of (headOcc, pend-presence, halt, dead ports).
+	changed := halt || portDied || headOcc != wasOcc || (pend >= 0) != hadPend
+	un := pr.unch[v]
+	if changed {
+		un = -1
+	} else if un < 2 {
+		un++
 	}
+	if un < 2 {
+		for i := a0; i < a1; i++ {
+			var word local.Word
+			switch {
+			case aflags[i]&hDead != 0:
+			case halt:
+				word = hwLeave
+			case i == hArc:
+				if pend >= 0 {
+					word = hwRequest
+				}
+			default:
+				if headOcc {
+					word = hwAnnOcc
+				} else {
+					word = hwAnnFree
+				}
+			}
+			send[rev[i]] = word
+		}
+	}
+	pr.unch[v] = un
 
 	pr.occ[v] = headOcc
 	pr.reqArc[v] = int32(pend)
@@ -755,16 +919,19 @@ var _ local.FlatProgram = (*flatHyperProposal)(nil)
 // hypergraph token dropping (Theorem 7.1) on the sharded flat engine.
 // Under first-port tie-breaking the run is bit-identical to SolveProposal
 // on the same game (same rounds, messages, moves, and final placement);
-// RandomTies draws engine-specific streams.
+// RandomTies draws engine-specific streams. With opt.Session and
+// opt.Workspace set, the engine and the program state are rebuilt in
+// place across solves (see Workspace).
 func SolveProposalSharded(fi *FlatInstance, opt ShardedSolveOptions) (*FlatResult, error) {
 	if opt.MaxRounds == 0 {
 		opt.MaxRounds = 1 << 20
 	}
-	pr := &flatHyperProposal{newFlatHyperState(fi, opt)}
-	stats, err := local.RunSharded(fi.inc, pr, local.ShardedOptions{
-		MaxRounds: opt.MaxRounds,
-		Shards:    opt.Shards,
-	})
+	pr := &flatHyperProposal{&flatHyperState{}}
+	if opt.Workspace != nil {
+		pr = &opt.Workspace.prop
+	}
+	pr.reset(fi, opt)
+	stats, err := runFlatHyper(fi.inc, pr, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 
 	"tokendrop/internal/core"
 	"tokendrop/internal/local"
+	"tokendrop/internal/reuse"
 )
 
 // flatHyper3 is the specialized three-level solver of Theorem 7.5
@@ -22,21 +23,27 @@ type flatHyper3 struct {
 }
 
 func newFlatHyper3(fi *FlatInstance, opt ShardedSolveOptions) *flatHyper3 {
-	st := newFlatHyperState(fi, opt)
+	p3 := &flatHyper3{flatHyperState: &flatHyperState{}}
+	p3.reset3(fi, opt)
+	return p3
+}
+
+// reset3 rebuilds the three-level program state for a fresh solve of fi
+// in place (see flatHyperState.reset).
+func (p3 *flatHyper3) reset3(fi *FlatInstance, opt ShardedSolveOptions) {
+	p3.flatHyperState.reset(fi, opt)
 	n, m := fi.N(), fi.M()
-	p3 := &flatHyper3{
-		flatHyperState: st,
-		offArc:         make([]int32, n+m),
-		offering:       make([]bool, n+m),
-		push:           make([]bool, n+m),
-	}
+	p3.offArc = reuse.Grown(p3.offArc, n+m)
+	p3.offering = reuse.Grown(p3.offering, n+m)
+	p3.push = reuse.Grown(p3.push, n+m)
+	clear(p3.offering)
+	clear(p3.push)
 	for v := range p3.offArc {
 		p3.offArc[v] = -1
 	}
 	for id := 0; id < m; id++ {
 		p3.push[n+id] = fi.level[fi.head[id]] == 1
 	}
-	return p3
 }
 
 // StepShard implements local.FlatProgram.
@@ -96,8 +103,10 @@ func (pr *flatHyper3) stepTop(v int, recv, send []local.Word, halted []bool) int
 	inc := pr.fi.inc
 	a0, a1 := inc.ArcRange(v)
 	occ := pr.occ[v]
+	wasOcc := occ
 	cnt := pr.counters[v]
 	var delivered int64
+	portDied := false
 	reqFirst, reqSeen := -1, 0
 	for i := a0; i < a1; i++ {
 		msg := recv[i]
@@ -107,6 +116,9 @@ func (pr *flatHyper3) stepTop(v int, recv, send []local.Word, halted []bool) int
 		delivered++
 		switch msg {
 		case hwLeave:
+			if pr.aflags[i]&hDead == 0 {
+				portDied = true
+			}
 			cnt = pr.killArc(i, cnt)
 		case hwRequest:
 			if pr.aflags[i]&hDead == 0 {
@@ -132,24 +144,35 @@ func (pr *flatHyper3) stepTop(v int, recv, send []local.Word, halted []bool) int
 		cnt = pr.killArc(grantArc, cnt)
 	}
 	halt := !occ || cnt&hcntMask == 0
-	rev := inc.Rev
-	for i := a0; i < a1; i++ {
-		var word local.Word
-		switch {
-		case i == grantArc:
-			word = hwGrant
-		case pr.aflags[i]&hDead != 0:
-		case halt:
-			word = hwLeave
-		case pr.aflags[i]&hRoleMask == hRoleHead:
-			if occ {
-				word = hwAnnOcc
-			} else {
-				word = hwAnnFree
-			}
-		}
-		send[rev[i]] = word
+	// Quiescent-outbox skip (see flatHyperState.unch).
+	changed := grantArc >= 0 || halt || portDied || occ != wasOcc
+	un := pr.unch[v]
+	if changed {
+		un = -1
+	} else if un < 2 {
+		un++
 	}
+	if un < 2 {
+		rev := inc.Rev
+		for i := a0; i < a1; i++ {
+			var word local.Word
+			switch {
+			case i == grantArc:
+				word = hwGrant
+			case pr.aflags[i]&hDead != 0:
+			case halt:
+				word = hwLeave
+			case pr.aflags[i]&hRoleMask == hRoleHead:
+				if occ {
+					word = hwAnnOcc
+				} else {
+					word = hwAnnFree
+				}
+			}
+			send[rev[i]] = word
+		}
+	}
+	pr.unch[v] = un
 	pr.occ[v] = occ
 	pr.counters[v] = cnt
 	if halt {
@@ -163,8 +186,10 @@ func (pr *flatHyper3) stepBottom(v int, recv, send []local.Word, halted []bool) 
 	inc := pr.fi.inc
 	a0, a1 := inc.ArcRange(v)
 	occ := pr.occ[v]
+	wasOcc := occ
 	cnt := pr.counters[v]
 	var delivered int64
+	portDied := false
 	offFirst, offSeen := -1, 0
 	for i := a0; i < a1; i++ {
 		msg := recv[i]
@@ -174,6 +199,9 @@ func (pr *flatHyper3) stepBottom(v int, recv, send []local.Word, halted []bool) 
 		delivered++
 		switch msg {
 		case hwLeave:
+			if pr.aflags[i]&hDead == 0 {
+				portDied = true
+			}
 			cnt = pr.killArc(i, cnt)
 		case hwOffer:
 			if pr.aflags[i]&hDead == 0 {
@@ -199,18 +227,29 @@ func (pr *flatHyper3) stepBottom(v int, recv, send []local.Word, halted []bool) 
 		cnt = pr.killArc(acceptArc, cnt)
 	}
 	halt := occ || (cnt>>hcntBits)&hcntMask == 0
-	rev := inc.Rev
-	for i := a0; i < a1; i++ {
-		var word local.Word
-		switch {
-		case i == acceptArc:
-			word = hwAccept
-		case pr.aflags[i]&hDead != 0:
-		case halt:
-			word = hwLeave
-		}
-		send[rev[i]] = word
+	// Quiescent-outbox skip (see flatHyperState.unch).
+	changed := acceptArc >= 0 || halt || portDied || occ != wasOcc
+	un := pr.unch[v]
+	if changed {
+		un = -1
+	} else if un < 2 {
+		un++
 	}
+	if un < 2 {
+		rev := inc.Rev
+		for i := a0; i < a1; i++ {
+			var word local.Word
+			switch {
+			case i == acceptArc:
+				word = hwAccept
+			case pr.aflags[i]&hDead != 0:
+			case halt:
+				word = hwLeave
+			}
+			send[rev[i]] = word
+		}
+	}
+	pr.unch[v] = un
 	pr.occ[v] = occ
 	pr.counters[v] = cnt
 	if halt {
@@ -226,10 +265,12 @@ func (pr *flatHyper3) stepMiddle(v int, recv, send []local.Word, halted []bool) 
 	a0, a1 := inc.ArcRange(v)
 	aflags := pr.aflags
 	occ := pr.occ[v]
+	wasOcc := occ
 	cnt := pr.counters[v]
 	req := int(pr.reqArc[v])
 	off := int(pr.offArc[v])
 	var delivered int64
+	portDied := false
 	for i := a0; i < a1; i++ {
 		msg := recv[i]
 		if msg == 0 {
@@ -240,6 +281,9 @@ func (pr *flatHyper3) stepMiddle(v int, recv, send []local.Word, halted []bool) 
 		switch msg {
 		case hwLeave, hwNoChildren:
 			// cNoChildren kills the offered channel just like a departure.
+			if f&hDead == 0 {
+				portDied = true
+			}
 			cnt = pr.killArc(i, cnt)
 		case hwAnnFree, hwAnnOcc:
 			if f&hRoleMask != hRoleChild {
@@ -308,20 +352,31 @@ func (pr *flatHyper3) stepMiddle(v int, recv, send []local.Word, halted []bool) 
 	}
 
 	halt := (occ && cnt&hcntMask == 0) || (!occ && (cnt>>hcntBits)&hcntMask == 0 && req < 0)
-	rev := inc.Rev
-	for i := a0; i < a1; i++ {
-		var word local.Word
-		switch {
-		case aflags[i]&hDead != 0:
-		case halt:
-			word = hwLeave
-		case i == requestArc:
-			word = hwRequest
-		case i == offerArc:
-			word = hwOffer
-		}
-		send[rev[i]] = word
+	// Quiescent-outbox skip (see flatHyperState.unch).
+	changed := requestArc >= 0 || offerArc >= 0 || halt || portDied || occ != wasOcc
+	un := pr.unch[v]
+	if changed {
+		un = -1
+	} else if un < 2 {
+		un++
 	}
+	if un < 2 {
+		rev := inc.Rev
+		for i := a0; i < a1; i++ {
+			var word local.Word
+			switch {
+			case aflags[i]&hDead != 0:
+			case halt:
+				word = hwLeave
+			case i == requestArc:
+				word = hwRequest
+			case i == offerArc:
+				word = hwOffer
+			}
+			send[rev[i]] = word
+		}
+	}
+	pr.unch[v] = un
 	pr.occ[v] = occ
 	pr.reqArc[v] = int32(req)
 	pr.offArc[v] = int32(off)
@@ -342,12 +397,17 @@ func (pr *flatHyper3) stepRelay3(round, v int, recv, send []local.Word, halted [
 	aflags := pr.aflags
 	hArc := int(pr.headArc[v])
 	headOcc := pr.occ[v]
+	wasOcc := headOcc
 	pend := int(pr.reqArc[v])
+	hadPend := pend >= 0
 	offChild := int(pr.offArc[v])
+	wasOffChild := offChild
 	offering := pr.offering[v]
+	wasOffering := offering
 	cnt := pr.counters[v]
 	var delivered int64
 	granted, accepted := false, false
+	portDied := false
 	for i := a0; i < a1; i++ {
 		msg := recv[i]
 		if msg == 0 {
@@ -356,6 +416,9 @@ func (pr *flatHyper3) stepRelay3(round, v int, recv, send []local.Word, halted [
 		delivered++
 		switch msg {
 		case hwLeave:
+			if pr.aflags[i]&hDead == 0 {
+				portDied = true
+			}
 			cnt = pr.killArc(i, cnt)
 		case hwAnnFree, hwAnnOcc:
 			headOcc = msg == hwAnnOcc
@@ -452,26 +515,41 @@ func (pr *flatHyper3) stepRelay3(round, v int, recv, send []local.Word, halted [
 		return moves, delivered
 	}
 
-	push := pr.push[v]
-	for i := a0; i < a1; i++ {
-		var word local.Word
-		switch {
-		case aflags[i]&hDead != 0:
-		case push && offering && i == offChild:
-			word = hwOffer
-		case !push && i == hArc:
-			if pend >= 0 {
-				word = hwRequest
-			}
-		case !push && i != hArc:
-			if headOcc {
-				word = hwAnnOcc
-			} else {
-				word = hwAnnFree
-			}
-		}
-		send[rev[i]] = word
+	// Quiescent-outbox skip (see flatHyperState.unch): the steady-state
+	// outbox is a function of (headOcc, pend-presence, offering,
+	// offChild, dead ports); the granted/accepted/no-children paths
+	// above always store (they halt).
+	changed := portDied || headOcc != wasOcc || (pend >= 0) != hadPend ||
+		offChild != wasOffChild || offering != wasOffering
+	un := pr.unch[v]
+	if changed {
+		un = -1
+	} else if un < 2 {
+		un++
 	}
+	if un < 2 {
+		push := pr.push[v]
+		for i := a0; i < a1; i++ {
+			var word local.Word
+			switch {
+			case aflags[i]&hDead != 0:
+			case push && offering && i == offChild:
+				word = hwOffer
+			case !push && i == hArc:
+				if pend >= 0 {
+					word = hwRequest
+				}
+			case !push && i != hArc:
+				if headOcc {
+					word = hwAnnOcc
+				} else {
+					word = hwAnnFree
+				}
+			}
+			send[rev[i]] = word
+		}
+	}
+	pr.unch[v] = un
 	store(false)
 	return moves, delivered
 }
@@ -481,7 +559,9 @@ var _ local.FlatProgram = (*flatHyper3)(nil)
 // SolveThreeLevelSharded runs the specialized three-level solver on the
 // sharded flat engine; games taller than ThreeLevelMaxLevel are an error.
 // Under first-port tie-breaking the run is bit-identical to SolveThreeLevel
-// on the same game; RandomTies draws engine-specific streams.
+// on the same game; RandomTies draws engine-specific streams. With
+// opt.Session and opt.Workspace set, the engine and the program state are
+// rebuilt in place across solves (see Workspace).
 func SolveThreeLevelSharded(fi *FlatInstance, opt ShardedSolveOptions) (*FlatResult, error) {
 	if h := fi.Height(); h > ThreeLevelMaxLevel {
 		return nil, fmt.Errorf("hypergame: 3-level solver got height %d > %d", h, ThreeLevelMaxLevel)
@@ -489,11 +569,12 @@ func SolveThreeLevelSharded(fi *FlatInstance, opt ShardedSolveOptions) (*FlatRes
 	if opt.MaxRounds == 0 {
 		opt.MaxRounds = 1 << 20
 	}
-	pr := newFlatHyper3(fi, opt)
-	stats, err := local.RunSharded(fi.inc, pr, local.ShardedOptions{
-		MaxRounds: opt.MaxRounds,
-		Shards:    opt.Shards,
-	})
+	pr := &flatHyper3{flatHyperState: &flatHyperState{}}
+	if opt.Workspace != nil {
+		pr = &opt.Workspace.p3
+	}
+	pr.reset3(fi, opt)
+	stats, err := runFlatHyper(fi.inc, pr, opt)
 	if err != nil {
 		return nil, err
 	}

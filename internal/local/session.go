@@ -1,0 +1,270 @@
+package local
+
+import (
+	"fmt"
+	"runtime"
+
+	"tokendrop/internal/graph"
+	"tokendrop/internal/reuse"
+)
+
+// This file adds the reusable execution layer of the sharded engine. A
+// RunSharded call pays three construction costs the LOCAL model never
+// charges for: it allocates both message buffers and the halted/awake
+// bookkeeping, and it spawns (and then tears down) one worker goroutine
+// per shard. A single game amortizes that over its whole run, but the
+// phase loops of the orientation and assignment layers solve dozens of
+// subgames per solve — at 10⁶ vertices the churn dominates the
+// non-algorithmic cost. A Session hoists all of it: the worker pool is
+// spawned once and parked on channels between runs, the buffers and
+// per-shard lists are grown monotonically and rebuilt in place, and the
+// shard bounds are recomputed in place for every subgame. A warmed
+// Session therefore executes steady-state rounds — and entire repeat
+// Run calls — without a single heap allocation (asserted by the
+// AllocsPerRun regression tests in this package and in internal/core).
+//
+// The execution semantics are exactly RunSharded's (which is now a thin
+// wrapper over a one-shot Session): same barrier discipline, same scrub
+// protocol, same determinism argument. Results never depend on the
+// session's worker count.
+
+// scrubEntry queues a recently halted vertex whose two stale out-buffers
+// must be zeroed before it can be left alone for good.
+type scrubEntry struct {
+	v         int32
+	haltRound int32
+}
+
+// roundWork is the per-round message from the coordinator to a worker:
+// the round number and the two buffer roles for this round.
+type roundWork struct {
+	round      int
+	recv, send []Word
+}
+
+// Session is a reusable sharded-engine execution context: a persistent
+// worker pool plus the double-buffered message arrays, halted flags,
+// awake-vertex lists, and scrub rings of the engine, all retained and
+// rebuilt in place across Run calls. Create one with NewSession, run any
+// number of (csr, program) pairs through Run — the phase loops of the
+// orientation and assignment runtimes run every per-phase subgame on one
+// session — and release the workers with Close.
+//
+// A Session is not safe for concurrent use; Run calls must be
+// sequential. Distinct Sessions are independent.
+type Session struct {
+	shards int
+	start  []chan roundWork
+	done   chan int
+	closed bool
+
+	// Per-run state, written by Run before the first round is issued and
+	// read by the workers afterwards (the channel send orders the
+	// accesses).
+	csr  *graph.CSR
+	prog FlatProgram
+
+	bufA, bufB []Word
+	halted     []bool
+	bounds     []int
+	awake      []int32 // backing array; shard s compacts awakeLists[s] within its segment
+	awakeLists [][]int32
+	scrubs     [][]scrubEntry
+}
+
+// NewSession starts a session with the given worker (shard) count; zero
+// or negative means runtime.GOMAXPROCS(0). The workers are parked until
+// the first Run and survive until Close.
+func NewSession(shards int) *Session {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	s := &Session{
+		shards:     shards,
+		start:      make([]chan roundWork, shards),
+		done:       make(chan int, shards),
+		bounds:     make([]int, shards+1),
+		awakeLists: make([][]int32, shards),
+		scrubs:     make([][]scrubEntry, shards),
+	}
+	for sh := 0; sh < shards; sh++ {
+		s.start[sh] = make(chan roundWork)
+		go s.worker(sh)
+	}
+	return s
+}
+
+// Shards returns the session's worker count.
+func (s *Session) Shards() int { return s.shards }
+
+// Close releases the worker goroutines. The session must not be used
+// afterwards; Close is idempotent.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, c := range s.start {
+		close(c)
+	}
+}
+
+// worker owns shard sh: it scrubs the outboxes of its recently halted
+// vertices, steps the program over its awake list, and compacts the list,
+// once per received roundWork. All state it touches is either owned by
+// the shard or ordered by the start/done channel pair.
+func (s *Session) worker(sh int) {
+	for w := range s.start[sh] {
+		csr := s.csr
+		// Scrub outboxes of recently halted vertices: a vertex that
+		// halted in round r left words in both buffers (rounds r-1 and
+		// r); they become stale at rounds r+1 and r+2 respectively,
+		// which is exactly when this pass visits them. The vertex's
+		// out-slots live at Rev[i] (receiver-indexed buffers, possibly
+		// in other shards' vertex ranges); the write is still exclusive
+		// because slot Rev[i] is only ever written by the sender behind
+		// arc i — the halted vertex this worker owns — and its neighbor
+		// only reads it.
+		scrub := s.scrubs[sh][:0]
+		for _, e := range s.scrubs[sh] {
+			if int32(w.round)-e.haltRound > 2 {
+				continue // both buffers scrubbed; drop the entry
+			}
+			a0, a1 := csr.ArcRange(int(e.v))
+			for i := a0; i < a1; i++ {
+				w.send[csr.Rev[i]] = 0
+			}
+			scrub = append(scrub, e)
+		}
+		s.scrubs[sh] = scrub
+
+		s.prog.StepShard(w.round, sh, s.awakeLists[sh], w.recv, w.send, s.halted)
+
+		// Compact the awake list; newly halted vertices enter the scrub
+		// ring.
+		list := s.awakeLists[sh][:0]
+		for _, v := range s.awakeLists[sh] {
+			if s.halted[v] {
+				s.scrubs[sh] = append(s.scrubs[sh], scrubEntry{v: v, haltRound: int32(w.round)})
+			} else {
+				list = append(list, v)
+			}
+		}
+		s.awakeLists[sh] = list
+		s.done <- len(list)
+	}
+}
+
+// shardBoundsInto partitions vertices 0..n-1 into contiguous shards
+// balanced by arc count (vertex count alone would starve shards on
+// skewed-degree graphs such as power-law workloads), writing the bounds
+// in place. With more shards than vertices the trailing shards own empty
+// ranges; programs and results are partition-independent either way.
+func shardBoundsInto(bounds []int, csr *graph.CSR, shards int) []int {
+	n := csr.N()
+	bounds = bounds[:shards+1]
+	bounds[0] = 0
+	total := csr.NumArcs()
+	v := 0
+	for s := 1; s < shards; s++ {
+		target := int32(total * s / shards)
+		for v < n && csr.Row[v] < target {
+			v++
+		}
+		bounds[s] = v
+	}
+	bounds[shards] = n
+	return bounds
+}
+
+// Run initializes prog and executes synchronous rounds on csr until every
+// vertex has halted, opt.MaxRounds is exceeded (an error), or opt.Stop
+// says so. The session's worker count applies; opt.Shards is ignored. All
+// engine state is rebuilt in place from the previous run — a warmed
+// session (same or smaller graph) allocates nothing.
+func (s *Session) Run(csr *graph.CSR, prog FlatProgram, opt ShardedOptions) (ShardedStats, error) {
+	if s.closed {
+		return ShardedStats{}, fmt.Errorf("local: Run on a closed session")
+	}
+	n := csr.N()
+	maxRounds := opt.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 1 << 20
+	}
+	var stats ShardedStats
+	if n == 0 {
+		prog.InitShards([]int{0})
+		return stats, nil
+	}
+	stats.Shards = s.shards
+	s.bounds = shardBoundsInto(s.bounds, csr, s.shards)
+	prog.InitShards(s.bounds)
+
+	arcs := csr.NumArcs()
+	s.bufA = reuse.Grown(s.bufA, arcs)
+	s.bufB = reuse.Grown(s.bufB, arcs)
+	clear(s.bufA)
+	clear(s.bufB)
+	if cap(s.halted) < n {
+		s.halted = make([]bool, n)
+	} else {
+		s.halted = s.halted[:n]
+		clear(s.halted)
+	}
+	if cap(s.awake) < n {
+		s.awake = make([]int32, n)
+	} else {
+		s.awake = s.awake[:n]
+	}
+	for v := range s.awake {
+		s.awake[v] = int32(v)
+	}
+	for sh := 0; sh < s.shards; sh++ {
+		// Three-index reslice: each worker compacts (shrinks) its own
+		// list in place, so the segments can never collide even though
+		// they share one backing array.
+		s.awakeLists[sh] = s.awake[s.bounds[sh]:s.bounds[sh+1]:s.bounds[sh+1]]
+		s.scrubs[sh] = s.scrubs[sh][:0]
+	}
+	s.csr, s.prog = csr, prog
+
+	recv, send := s.bufA, s.bufB
+	// The workers are parked (all done receives in) whenever this loop is
+	// not between a start send and a done receive, so dropping the run's
+	// csr/prog references on the way out is race-free; holding them would
+	// pin the caller's graph and program state until the next Run.
+	defer func() { s.csr, s.prog = nil, nil }()
+	for round := 1; ; round++ {
+		if round > maxRounds {
+			awake := 0
+			for _, h := range s.halted {
+				if !h {
+					awake++
+				}
+			}
+			return stats, fmt.Errorf("local: %d vertices still awake after %d rounds", awake, maxRounds)
+		}
+		work := roundWork{round: round, recv: recv, send: send}
+		for sh := 0; sh < s.shards; sh++ {
+			s.start[sh] <- work
+		}
+		awake := 0
+		for sh := 0; sh < s.shards; sh++ {
+			awake += <-s.done
+		}
+		stats.Rounds = round
+		if opt.OnRound != nil {
+			opt.OnRound(round, awake)
+		}
+		if awake == 0 || (opt.Stop != nil && opt.Stop(round)) {
+			break
+		}
+		recv, send = send, recv
+	}
+	for _, h := range s.halted {
+		if h {
+			stats.Halted++
+		}
+	}
+	return stats, nil
+}

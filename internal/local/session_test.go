@@ -1,0 +1,118 @@
+package local
+
+import (
+	"testing"
+
+	"tokendrop/internal/graph"
+)
+
+// TestSessionReuseMatchesRunSharded drives one session through a sequence
+// of graphs of varying sizes (growing and shrinking) and checks every run
+// against a fresh RunSharded execution of the same program.
+func TestSessionReuseMatchesRunSharded(t *testing.T) {
+	sess := NewSession(3)
+	defer sess.Close()
+	for _, n := range []int{5, 40, 12, 200, 7, 64} {
+		csr := graph.NewCSRFromGraph(graph.Cycle(n))
+		p1 := newFlatCountdown(csr, n%4+2)
+		s1, err := sess.Run(csr, p1, ShardedOptions{})
+		if err != nil {
+			t.Fatalf("n=%d: session run: %v", n, err)
+		}
+		p2 := newFlatCountdown(csr, n%4+2)
+		s2, err := RunSharded(csr, p2, ShardedOptions{Shards: 3})
+		if err != nil {
+			t.Fatalf("n=%d: fresh run: %v", n, err)
+		}
+		if s1.Rounds != s2.Rounds || s1.Halted != s2.Halted {
+			t.Fatalf("n=%d: session stats %+v != fresh stats %+v", n, s1, s2)
+		}
+		if p1.total() != p2.total() {
+			t.Fatalf("n=%d: session delivered %d, fresh delivered %d", n, p1.total(), p2.total())
+		}
+	}
+}
+
+// TestSessionMoreShardsThanVertices checks that a session whose worker
+// count exceeds the vertex count (empty trailing shards) still runs
+// correctly — the phase loops hand tiny subgames to wide sessions.
+func TestSessionMoreShardsThanVertices(t *testing.T) {
+	sess := NewSession(8)
+	defer sess.Close()
+	csr := graph.NewCSRFromGraph(graph.Cycle(3))
+	p := newFlatCountdown(csr, 2)
+	stats, err := sess.Run(csr, p, ShardedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != 2 || stats.Halted != 3 {
+		t.Fatalf("stats = %+v, want 2 rounds, 3 halted", stats)
+	}
+}
+
+// TestSessionEmptyGraph mirrors the RunSharded contract on n = 0.
+func TestSessionEmptyGraph(t *testing.T) {
+	sess := NewSession(2)
+	defer sess.Close()
+	b := graph.NewCSRBuilder(0, 0)
+	csr := b.Build()
+	p := newFlatCountdown(csr, 1)
+	stats, err := sess.Run(csr, p, ShardedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != 0 || stats.Shards != 0 {
+		t.Fatalf("stats = %+v, want zero value", stats)
+	}
+}
+
+// TestSessionClosedRunErrors checks Run on a closed session fails loudly
+// instead of deadlocking.
+func TestSessionClosedRunErrors(t *testing.T) {
+	sess := NewSession(2)
+	sess.Close()
+	sess.Close() // idempotent
+	csr := graph.NewCSRFromGraph(graph.Cycle(4))
+	if _, err := sess.Run(csr, newFlatCountdown(csr, 1), ShardedOptions{}); err == nil {
+		t.Fatal("Run on a closed session succeeded")
+	}
+}
+
+// flatSpin is the steady-state probe of the allocation tests: every
+// vertex rebroadcasts a constant word each round and never halts; the
+// run is bounded by Stop. It allocates nothing after construction.
+type flatSpin struct{ csr *graph.CSR }
+
+func (p *flatSpin) InitShards(bounds []int) {}
+
+func (p *flatSpin) StepShard(round, shard int, verts []int32, recv, send []Word, halted []bool) {
+	for _, v32 := range verts {
+		a0, a1 := p.csr.ArcRange(int(v32))
+		for i := a0; i < a1; i++ {
+			send[p.csr.Rev[i]] = 1
+		}
+	}
+}
+
+// TestSessionRunZeroAlloc asserts the engine-level half of the
+// zero-allocation contract: a warmed session executes entire repeat Run
+// calls — shard bounds, buffer reset, every round, awake-list
+// bookkeeping — without a single heap allocation. The program-level half
+// (proposal and hypergame programs) is asserted in internal/core and
+// internal/hypergame.
+func TestSessionRunZeroAlloc(t *testing.T) {
+	csr := graph.NewCSRFromGraph(graph.Complete(24))
+	sess := NewSession(4)
+	defer sess.Close()
+	p := &flatSpin{csr: csr}
+	stop := func(round int) bool { return round >= 16 }
+	run := func() {
+		if _, err := sess.Run(csr, p, ShardedOptions{Stop: stop}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm: buffers, lists, and worker stacks reach steady state
+	if allocs := testing.AllocsPerRun(10, run); allocs != 0 {
+		t.Errorf("warmed Session.Run allocated %.1f objects per call; want 0", allocs)
+	}
+}

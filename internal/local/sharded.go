@@ -1,7 +1,6 @@
 package local
 
 import (
-	"fmt"
 	"runtime"
 
 	"tokendrop/internal/graph"
@@ -75,8 +74,10 @@ type ShardedOptions struct {
 	// MaxRounds aborts the run if some vertex is still awake after this
 	// many rounds. Zero means 1<<20, as in Options.
 	MaxRounds int
-	// Shards is the number of worker goroutines (and state partitions).
-	// Zero means runtime.GOMAXPROCS(0). The result does not depend on it.
+	// Shards is the number of worker goroutines (and state partitions);
+	// 0 means runtime.GOMAXPROCS(0). The result does not depend on it.
+	// Session.Run ignores this field in favor of the session's worker
+	// count.
 	Shards int
 	// OnRound, if non-nil, runs on the coordinating goroutine after every
 	// round with the round number and how many vertices are still awake.
@@ -94,32 +95,17 @@ type ShardedStats struct {
 	Halted int // vertices halted when the run ended
 }
 
-// shardBounds partitions vertices 0..n-1 into contiguous shards balanced
-// by arc count (vertex count alone would starve shards on skewed-degree
-// graphs such as power-law workloads).
-func shardBounds(csr *graph.CSR, shards int) []int {
-	n := csr.N()
-	bounds := make([]int, shards+1)
-	total := csr.NumArcs()
-	v := 0
-	for s := 1; s < shards; s++ {
-		target := int32(total * s / shards)
-		for v < n && csr.Row[v] < target {
-			v++
-		}
-		bounds[s] = v
-	}
-	bounds[shards] = n
-	return bounds
-}
-
 // RunSharded initializes prog and executes synchronous rounds until every
 // vertex has halted, MaxRounds is exceeded (an error), or Stop says so.
+// It is a one-shot Session (see session.go): callers that solve many
+// games — the phase loops of the orientation and assignment layers —
+// should hold a Session instead and amortize the worker pool and buffer
+// construction across all of them.
 func RunSharded(csr *graph.CSR, prog FlatProgram, opt ShardedOptions) (ShardedStats, error) {
 	n := csr.N()
-	maxRounds := opt.MaxRounds
-	if maxRounds == 0 {
-		maxRounds = 1 << 20
+	if n == 0 {
+		prog.InitShards([]int{0})
+		return ShardedStats{}, nil
 	}
 	shards := opt.Shards
 	if shards <= 0 {
@@ -128,127 +114,7 @@ func RunSharded(csr *graph.CSR, prog FlatProgram, opt ShardedOptions) (ShardedSt
 	if shards > n {
 		shards = n
 	}
-	var stats ShardedStats
-	if n == 0 {
-		prog.InitShards([]int{0})
-		return stats, nil
-	}
-	stats.Shards = shards
-	bounds := shardBounds(csr, shards)
-	prog.InitShards(bounds)
-
-	arcs := csr.NumArcs()
-	bufA := make([]Word, arcs)
-	bufB := make([]Word, arcs)
-	halted := make([]bool, n)
-
-	// Each worker owns its shard's awake-vertex list (compacted as
-	// vertices halt, so a round costs O(awake), not O(n)) and a scrub
-	// ring of recently halted vertices whose two stale out-buffers must
-	// be zeroed before they can be left alone for good.
-	type scrubEntry struct {
-		v         int32
-		haltRound int32
-	}
-	awakeLists := make([][]int32, shards)
-	scrubs := make([][]scrubEntry, shards)
-	for s := 0; s < shards; s++ {
-		list := make([]int32, bounds[s+1]-bounds[s])
-		for k := range list {
-			list[k] = int32(bounds[s] + k)
-		}
-		awakeLists[s] = list
-	}
-
-	type roundWork struct {
-		round      int
-		recv, send []Word
-	}
-	start := make([]chan roundWork, shards)
-	done := make(chan int, shards)
-	for s := 0; s < shards; s++ {
-		start[s] = make(chan roundWork)
-		go func(s int) {
-			for w := range start[s] {
-				// Scrub outboxes of recently halted vertices: a vertex that
-				// halted in round r left words in both buffers (rounds r-1
-				// and r); they become stale at rounds r+1 and r+2
-				// respectively, which is exactly when this pass visits them.
-				// The vertex's out-slots live at Rev[i] (receiver-indexed
-				// buffers, possibly in other shards' vertex ranges); the
-				// write is still exclusive because slot Rev[i] is only ever
-				// written by the sender behind arc i — the halted vertex
-				// this worker owns — and its neighbor only reads it.
-				scrub := scrubs[s][:0]
-				for _, e := range scrubs[s] {
-					if int32(w.round)-e.haltRound > 2 {
-						continue // both buffers scrubbed; drop the entry
-					}
-					a0, a1 := csr.ArcRange(int(e.v))
-					for i := a0; i < a1; i++ {
-						w.send[csr.Rev[i]] = 0
-					}
-					scrub = append(scrub, e)
-				}
-				scrubs[s] = scrub
-
-				prog.StepShard(w.round, s, awakeLists[s], w.recv, w.send, halted)
-
-				// Compact the awake list; newly halted vertices enter the
-				// scrub ring.
-				list := awakeLists[s][:0]
-				for _, v := range awakeLists[s] {
-					if halted[v] {
-						scrubs[s] = append(scrubs[s], scrubEntry{v: v, haltRound: int32(w.round)})
-					} else {
-						list = append(list, v)
-					}
-				}
-				awakeLists[s] = list
-				done <- len(list)
-			}
-		}(s)
-	}
-	shutdown := func() {
-		for s := 0; s < shards; s++ {
-			close(start[s])
-		}
-	}
-
-	recv, send := bufA, bufB
-	for round := 1; ; round++ {
-		if round > maxRounds {
-			shutdown()
-			awake := 0
-			for _, h := range halted {
-				if !h {
-					awake++
-				}
-			}
-			return stats, fmt.Errorf("local: %d vertices still awake after %d rounds", awake, maxRounds)
-		}
-		work := roundWork{round: round, recv: recv, send: send}
-		for s := 0; s < shards; s++ {
-			start[s] <- work
-		}
-		awake := 0
-		for s := 0; s < shards; s++ {
-			awake += <-done
-		}
-		stats.Rounds = round
-		if opt.OnRound != nil {
-			opt.OnRound(round, awake)
-		}
-		if awake == 0 || (opt.Stop != nil && opt.Stop(round)) {
-			break
-		}
-		recv, send = send, recv
-	}
-	shutdown()
-	for _, h := range halted {
-		if h {
-			stats.Halted++
-		}
-	}
-	return stats, nil
+	s := NewSession(shards)
+	defer s.Close()
+	return s.Run(csr, prog, opt)
 }

@@ -233,7 +233,7 @@ func TestShardedStressBarrier(t *testing.T) {
 func TestShardBoundsCoverAndBalance(t *testing.T) {
 	csr := graph.NewCSRFromGraph(graph.Star(1000))
 	for _, shards := range []int{1, 2, 3, 7, 16} {
-		bounds := shardBounds(csr, shards)
+		bounds := shardBoundsInto(make([]int, shards+1), csr, shards)
 		if bounds[0] != 0 || bounds[shards] != csr.N() {
 			t.Fatalf("shards=%d: bounds %v do not cover", shards, bounds)
 		}

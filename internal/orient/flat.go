@@ -6,6 +6,7 @@ import (
 
 	"tokendrop/internal/core"
 	"tokendrop/internal/graph"
+	"tokendrop/internal/local"
 )
 
 // This file ports the Theorem 5.1 stable-orientation algorithm to the
@@ -51,8 +52,9 @@ type ShardedOptions struct {
 	Tie core.TieBreak
 	// Seed drives all randomized tie-breaking.
 	Seed int64
-	// Shards is the per-phase subgame worker count (0 = GOMAXPROCS). The
-	// result does not depend on it.
+	// Shards is the worker count of the engine session that plays every
+	// phase's subgame; 0 means runtime.GOMAXPROCS(0). The result does
+	// not depend on it.
 	Shards int
 	// MaxPhases aborts if the phase count exceeds the Lemma 5.5 bound by a
 	// wide margin; 0 means 4·Δ + 8.
@@ -228,6 +230,18 @@ func SolveSharded(c *graph.CSR, opt ShardedOptions) (*ShardedResult, error) {
 	}
 	gameToOrig := make([]int32, 0, m)
 
+	// The reusable execution layer: one engine session (persistent worker
+	// pool and message buffers) plays every phase's subgame, one builder
+	// and CSR hold each phase's token graph, and one solver workspace
+	// keeps the flat program's state — all rebuilt in place per phase, so
+	// the steady-state phase loop performs no engine or program
+	// allocations.
+	sess := local.NewSession(opt.Shards)
+	defer sess.Close()
+	sws := core.NewSolverWorkspace()
+	builder := graph.NewCSRBuilder(n, 0)
+	var game graph.CSR
+
 	oriented := 0
 	for phase := 1; oriented < m; phase++ {
 		if phase > maxPhases {
@@ -281,7 +295,7 @@ func SolveSharded(c *graph.CSR, opt ShardedOptions) (*ShardedResult, error) {
 		// oriented edges of badness exactly 1, tokens at acceptors
 		// (Lemma 5.2 guarantees validity). Lex insertion order makes the
 		// builder's port numbering neighbor-ascending, as in Solve.
-		b := graph.NewCSRBuilder(n, oriented)
+		builder.Reset(n)
 		gameToOrig = gameToOrig[:0]
 		for _, id := range lex {
 			h := head[id]
@@ -291,13 +305,13 @@ func SolveSharded(c *graph.CSR, opt ShardedOptions) (*ShardedResult, error) {
 			if load[h]-load[res.edgeTail(int(id))] != 1 {
 				continue
 			}
-			b.AddEdge(int(eu[id]), int(ev[id]))
+			builder.AddEdge(int(eu[id]), int(ev[id]))
 			gameToOrig = append(gameToOrig, id)
 		}
-		game := b.Build()
+		builder.BuildInto(&game)
 		rec.GameEdges = game.M()
 		copy(gameLevel, load)
-		fi, err := core.NewFlatInstanceCSR(game, gameLevel, token)
+		fi, err := core.NewFlatInstanceCSR(&game, gameLevel, token)
 		if err != nil {
 			return nil, fmt.Errorf("orient: phase %d produced an invalid game: %w", phase, err)
 		}
@@ -306,8 +320,9 @@ func SolveSharded(c *graph.CSR, opt ShardedOptions) (*ShardedResult, error) {
 		sol, err := core.SolveProposalSharded(fi, core.ShardedSolveOptions{
 			Tie:       opt.Tie,
 			Seed:      opt.Seed + int64(phase)*1_000_003,
-			Shards:    opt.Shards,
 			MaxRounds: 1 << 20,
+			Session:   sess,
+			Workspace: sws,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("orient: phase %d game failed: %w", phase, err)

@@ -1,0 +1,15 @@
+// Package reuse holds the one helper the grow-only storage discipline of
+// the reusable execution layer is built on (see ARCHITECTURE.md, "The
+// reusable execution layer"): engine sessions, CSR builders, and solver
+// workspaces all keep their arrays across runs and resize them in place.
+package reuse
+
+// Grown returns s resized to n entries, reusing its backing array when
+// the capacity suffices. Contents are unspecified: callers overwrite
+// every entry, or zero explicitly with clear().
+func Grown[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
