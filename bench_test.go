@@ -1,6 +1,6 @@
 package tokendrop_test
 
-// One benchmark per experiment table of the E1–E25 index (see
+// One benchmark per experiment table of the E1–E26 index (see
 // internal/bench): each regenerates its table on the quick profile, so
 // `go test -bench=.` re-derives every figure/theorem check of the paper.
 // Custom metrics report the quantity the corresponding claim is about
@@ -174,6 +174,12 @@ func BenchmarkE24AssignSharded(b *testing.B) {
 func BenchmarkE25ShardScaling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		bench.E25ShardScaling(quick())
+	}
+}
+
+func BenchmarkE26CentralStepScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.E26CentralStepScaling(quick())
 	}
 }
 

@@ -1,0 +1,67 @@
+// Command td-benchgate is the CI bench-regression gate: it compares a
+// freshly measured engine benchmark report (the BENCH_sharded.json
+// format of `td-experiments -shardedjson`) against a committed baseline
+// of the same profile and exits non-zero when the fresh numbers regress
+// — a rounds/s drop beyond the tolerance on any entry, or an
+// allocs/round increase beyond the slack on a sharded (steady-state)
+// entry. Baseline entries the fresh report does not measure (for
+// example scaling-sweep points past the runner's core count) are
+// reported as warnings but do not fail the gate.
+//
+// Usage:
+//
+//	td-benchgate -base BENCH_sharded_quick.json -fresh fresh.json [-tolerance 0.15] [-allocslack 0.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tokendrop/internal/bench"
+)
+
+func main() {
+	basePath := flag.String("base", "BENCH_sharded_quick.json", "committed baseline report")
+	freshPath := flag.String("fresh", "", "freshly measured report to gate (required)")
+	tolerance := flag.Float64("tolerance", 0, "fractional rounds/s drop tolerated per entry (0 = the 0.15 default)")
+	allocSlack := flag.Float64("allocslack", 0, "absolute allocs/round increase tolerated on sharded entries (0 = the 0.5 default)")
+	flag.Parse()
+	if *freshPath == "" {
+		fmt.Fprintln(os.Stderr, "td-benchgate: -fresh is required")
+		os.Exit(2)
+	}
+
+	read := func(path string) *bench.ShardedBenchReport {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "td-benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		rep, err := bench.ReadShardedBenchJSON(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "td-benchgate: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		return rep
+	}
+	base := read(*basePath)
+	fresh := read(*freshPath)
+
+	violations, warnings := bench.CompareShardedReports(base, fresh, bench.RegressionOptions{
+		RoundsTolerance: *tolerance,
+		AllocSlack:      *allocSlack,
+	})
+	for _, w := range warnings {
+		fmt.Printf("warning: %s\n", w)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Printf("REGRESSION: %s\n", v)
+		}
+		fmt.Fprintf(os.Stderr, "td-benchgate: %d regression(s) against %s\n", len(violations), *basePath)
+		os.Exit(1)
+	}
+	fmt.Printf("td-benchgate: %d entries within tolerance of %s\n", len(base.Entries), *basePath)
+}

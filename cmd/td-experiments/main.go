@@ -1,17 +1,20 @@
 // Command td-experiments regenerates every experiment table of the
-// reproduction (index E1–E25 in internal/bench): one table per
+// reproduction (index E1–E26 in internal/bench): one table per
 // theorem/figure of "Efficient Load-Balancing through Distributed Token
 // Dropping" (SPAA 2021), plus the ablations, the engine-parity
-// certificates (E22–E24), and the shard-scaling sweep (E25).
+// certificates (E22–E24), and the shard-scaling sweeps of the bare
+// engine (E25) and the whole phase loops (E26).
 //
 // With -shardedjson FILE it additionally measures the machine-readable
-// engine benchmark report (rounds/s and allocs/round for E22–E25; see
+// engine benchmark report (rounds/s and allocs/round for E22–E26; see
 // bench.ShardedBench) and writes it to FILE — the BENCH_sharded.json
-// format the repository records a full-profile snapshot of.
+// format the repository records committed snapshots of (full profile,
+// plus the quick-profile baseline the CI bench-regression gate diffs
+// against; see cmd/td-benchgate).
 //
 // Usage:
 //
-//	td-experiments [-quick] [-seed N] [-only E7] [-shardedjson FILE]
+//	td-experiments [-quick] [-seed N] [-only E7] [-shards N] [-shardedjson FILE]
 package main
 
 import (
@@ -27,10 +30,12 @@ func main() {
 	quick := flag.Bool("quick", false, "small instance sizes (sub-second total)")
 	seed := flag.Int64("seed", 42, "base seed for all workloads")
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E4a,E7); empty = all")
-	shardedJSON := flag.String("shardedjson", "", "write the machine-readable engine benchmark report (E22–E25) to this file")
+	shards := flag.Int("shards", 0, "sharded engine worker count (0 = runtime.GOMAXPROCS(0), i.e. one worker per core)")
+	shardedJSON := flag.String("shardedjson", "", "write the machine-readable engine benchmark report (E22–E26) to this file")
+	benchRepeat := flag.Int("benchrepeat", 5, "measurements per -shardedjson report entry (best run recorded)")
 	flag.Parse()
 
-	p := bench.Profile{Quick: *quick, Seed: *seed}
+	p := bench.Profile{Quick: *quick, Seed: *seed, Shards: *shards, Repeat: *benchRepeat}
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
 		if id = strings.TrimSpace(id); id != "" {

@@ -186,6 +186,41 @@ func TestAssignShardCountInvariance(t *testing.T) {
 	}
 }
 
+// TestAssignCentralStepInvariance pins the parallel central passes: the
+// proposal/accept kernels, game-assembly marks, result scatter, and the
+// unassigned-list compaction run on Session.ParallelFor, so the whole
+// run must be bit-identical at shard counts 1, 2, and 8 under both tie
+// rules. TieRandom is the sharper check: the per-customer and
+// per-server draw streams of the owner-computes kernels must not depend
+// on the split.
+func TestAssignCentralStepInvariance(t *testing.T) {
+	for i := 0; i < 12; i++ {
+		b, name := diffBipartite(3 * i)
+		fb := graph.NewCSRBipartiteFromBipartite(b)
+		for _, tie := range []core.TieBreak{core.TieFirstPort, core.TieRandom} {
+			base, err := SolveSharded(fb, ShardedOptions{
+				Tie: tie, Seed: int64(700 + i), Shards: 1, CheckInvariants: true,
+			})
+			if err != nil {
+				t.Fatalf("case %d (%s) tie=%v shards=1: %v", i, name, tie, err)
+			}
+			for _, shards := range []int{2, 8} {
+				res, err := SolveSharded(fb, ShardedOptions{
+					Tie: tie, Seed: int64(700 + i), Shards: shards, CheckInvariants: true,
+				})
+				if err != nil {
+					t.Fatalf("case %d (%s) tie=%v shards=%d: %v", i, name, tie, shards, err)
+				}
+				if res.Rounds != base.Rounds || res.Phases != base.Phases ||
+					!slices.Equal(res.PhaseLog, base.PhaseLog) ||
+					!slices.Equal(res.ServerOf, base.ServerOf) || !slices.Equal(res.Load, base.Load) {
+					t.Fatalf("case %d (%s) tie=%v: shards=%d diverges from shards=1", i, name, tie, shards)
+				}
+			}
+		}
+	}
+}
+
 // TestSolveShardedCSRNative runs the sharded port on a network built
 // directly in CSR form, cross-checked against the seed engine on the
 // materialized graph (which preserves the port order, so the runs must

@@ -24,7 +24,11 @@ import (
 //     (the same simulation shortcut Solve uses: the load broadcast and the
 //     acceptance notification are charged as 2 communication rounds but
 //     evaluated centrally, since both sides apply one deterministic rule to
-//     the same broadcast values);
+//     the same broadcast values). The central passes themselves run as
+//     flat kernels on the engine session's parked workers
+//     (local.Session.ParallelFor) in owner-computes form, so they shard
+//     exactly like the subgame rounds and the results stay independent of
+//     the worker count;
 //   - the phase's virtual token hypergraph — assigned customers of badness
 //     exactly 1 as hyperedges over the servers, levels = loads, tokens at
 //     acceptors — is assembled as a flat hypergame.FlatInstance with
@@ -187,7 +191,6 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 	load := res.Load
 
 	var custRng, servRng []uint64 // engine-specific TieRandom streams
-	var propCount []int32
 	if opt.Tie == core.TieRandom {
 		custRng = make([]uint64, nl)
 		for c := range custRng {
@@ -197,7 +200,40 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 		for s := range servRng {
 			servRng[s] = core.SplitMix64(uint64(opt.Seed) ^ uint64(nl+s)*0x9e3779b97f4a7c15)
 		}
-		propCount = make([]int32, ns)
+	}
+
+	// Per-server incident customers in ascending customer order. The
+	// central accept pass runs owner-computes on the kernel executor —
+	// each server derives its own accepted customer — and this index
+	// keeps that bit-identical to the unassigned-list loop it replaces: a
+	// server's accept decision (and, under TieRandom, its per-server draw
+	// stream) depends only on the subsequence of its proposing customers
+	// in ascending customer order, which is exactly the order the
+	// ascending unassigned list presented them in. The input CSR's
+	// server-side port order may be arbitrary (CSR-native inputs), so
+	// the index is built from the customer side.
+	servPtr := make([]int32, ns+1)
+	custArcs := int(csr.Row[nl]) // arcs of the customer side
+	for i := 0; i < custArcs; i++ {
+		servPtr[int(csr.Col[i])-nl+1]++
+	}
+	for s := 0; s < ns; s++ {
+		servPtr[s+1] += servPtr[s]
+	}
+	servCust := make([]int32, custArcs)
+	servCursor := make([]int32, ns)
+	copy(servCursor, servPtr[:ns])
+	for c := 0; c < nl; c++ {
+		lo, hi := csr.ArcRange(c)
+		for i := lo; i < hi; i++ {
+			s := int(csr.Col[i]) - nl
+			servCust[servCursor[s]] = int32(c)
+			servCursor[s]++
+		}
+	}
+	propServer := make([]int32, nl) // customer -> proposed-to server, this phase
+	for c := range propServer {
+		propServer[c] = -1
 	}
 
 	// Reused per-phase scratch.
@@ -208,6 +244,7 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 	ends := make([]int32, 0, csr.M())
 	heads := make([]int32, 0, nl)
 	gameCustomer := make([]int32, 0, nl)
+	include := make([]byte, nl) // game-assembly marks, indexed by customer
 	var loadsBefore []int32
 	if opt.CheckInvariants {
 		loadsBefore = make([]int32, ns)
@@ -222,31 +259,26 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 	defer sess.Close()
 	gws := hypergame.NewWorkspace()
 
-	for phase := 1; len(unassigned) > 0; phase++ {
-		if phase > maxPhases {
-			return nil, fmt.Errorf("assign: phase %d exceeds the Lemma 7.2 budget (C·S=%d)", phase, cs)
-		}
-		rec := PhaseRecord{Phase: phase, Proposals: len(unassigned)}
+	// The central per-phase passes run as flat kernels on the session's
+	// parked workers (Session.ParallelFor); the kernels are hoisted out
+	// of the phase loop (closure construction allocates) and capture the
+	// loop's flat state — including the shrinking unassigned slice — by
+	// reference.
+	shards := sess.Shards()
+	partAccepted := make([]int32, shards)
+	partKept := make([]int32, shards)
+	partMaxBad := make([]int32, shards)
 
-		// Steps 1 and 2 — every unassigned customer proposes to the
-		// adjacent server with the smallest load (ties to the smaller id,
-		// or seeded-random), and each proposed-to server accepts one
-		// customer: the smallest proposing id under TieFirstPort (Solve
-		// appends proposals in customer order and picks props[0]), a
-		// uniform draw under TieRandom. 2 communication rounds.
-		for s := range acceptCust {
-			acceptCust[s] = -1
-		}
-		if opt.Tie == core.TieRandom {
-			for s := range propCount {
-				propCount[s] = 0
-			}
-		}
-		for _, c := range unassigned {
-			lo, hi := csr.ArcRange(int(c))
+	// Step 1: every unassigned customer proposes to the adjacent server
+	// with the smallest load (ties to the smaller id, or seeded-random) —
+	// independent per customer, sharded over the unassigned list.
+	proposeKernel := func(sh, lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			c := unassigned[idx]
+			alo, ahi := csr.ArcRange(int(c))
 			best := int32(-1)
 			bestLoad := int32(0)
-			for i := lo; i < hi; i++ {
+			for i := alo; i < ahi; i++ {
 				s := csr.Col[i] - int32(nl)
 				if l := load[s]; best < 0 || l < bestLoad || (l == bestLoad && s < best) {
 					best, bestLoad = s, l
@@ -255,7 +287,7 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 			if opt.Tie == core.TieRandom {
 				state := custRng[c]
 				count := 0
-				for i := lo; i < hi; i++ {
+				for i := alo; i < ahi; i++ {
 					s := csr.Col[i] - int32(nl)
 					if load[s] != bestLoad {
 						continue
@@ -268,58 +300,173 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 					}
 				}
 				custRng[c] = state
+			}
+			propServer[c] = best
+		}
+	}
 
-				propCount[best]++
-				var pick int
-				servRng[best], pick = core.SplitMixIntn(servRng[best], int(propCount[best]))
-				if pick == 0 {
-					acceptCust[best] = c
+	// Step 2, owner-computes per server: accept one proposing customer —
+	// the smallest id under TieFirstPort (the ascending incident scan
+	// finds it first), a uniform draw in ascending customer order under
+	// TieRandom. Stale propServer entries from earlier phases are
+	// filtered by the serverOf test (an unassigned customer rewrote its
+	// entry this phase).
+	acceptKernel := func(sh, lo, hi int) {
+		accepted := int32(0)
+		for s := lo; s < hi; s++ {
+			best := int32(-1)
+			if opt.Tie == core.TieRandom {
+				state := servRng[s]
+				count := 0
+				for j := servPtr[s]; j < servPtr[s+1]; j++ {
+					c := servCust[j]
+					if serverOf[c] >= 0 || propServer[c] != int32(s) {
+						continue
+					}
+					count++
+					var pick int
+					state, pick = core.SplitMixIntn(state, count)
+					if pick == 0 {
+						best = c
+					}
 				}
-			} else if acceptCust[best] < 0 {
-				acceptCust[best] = c
+				servRng[s] = state
+			} else {
+				for j := servPtr[s]; j < servPtr[s+1]; j++ {
+					c := servCust[j]
+					if serverOf[c] < 0 && propServer[c] == int32(s) {
+						best = c
+						break
+					}
+				}
+			}
+			acceptCust[s] = best
+			token[s] = best >= 0
+			if best >= 0 {
+				accepted++
 			}
 		}
-		for s := range token {
-			token[s] = acceptCust[s] >= 0
-			if token[s] {
-				rec.Accepted++
+		partAccepted[sh] = accepted
+	}
+
+	// Step 3's filter over customers: the min-load adjacency scan is the
+	// expensive part and runs on the kernels; the order-dependent
+	// hyperedge insertion that follows is a sequential scan of the marks
+	// (customer-id order is what matches the object network's ports).
+	markKernel := func(sh, lo, hi int) {
+		for c := lo; c < hi; c++ {
+			so := serverOf[c]
+			if so < 0 {
+				include[c] = 0
+				continue
 			}
+			alo, ahi := csr.ArcRange(c)
+			if ahi-alo < 2 {
+				include[c] = 0
+				continue
+			}
+			min := int32(-1)
+			for i := alo; i < ahi; i++ {
+				if l := load[int(csr.Col[i])-nl]; min < 0 || l < min {
+					min = l
+				}
+			}
+			if load[so]-min == 1 {
+				include[c] = 1
+			} else {
+				include[c] = 0
+			}
+		}
+	}
+
+	// Step 6's scatter: each accepting server assigns its customer.
+	// Distinct servers accept distinct customers, so the writes never
+	// collide.
+	scatterKernel := func(sh, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			if c := acceptCust[s]; c >= 0 {
+				serverOf[c] = int32(s)
+				load[s]++
+			}
+		}
+	}
+
+	// The unassigned list's compaction: each shard compacts the
+	// survivors of its own slice in place (the slices are disjoint and
+	// writes stay at or below the read cursor); the coordinator then
+	// concatenates the per-shard prefixes, preserving ascending order.
+	compactKernel := func(sh, lo, hi int) {
+		w := lo
+		for i := lo; i < hi; i++ {
+			if c := unassigned[i]; serverOf[c] < 0 {
+				unassigned[w] = c
+				w++
+			}
+		}
+		partKept[sh] = int32(w - lo)
+	}
+
+	// The per-phase max-badness recount of the phase log, as a
+	// max-reduction over customers.
+	badnessKernel := func(sh, lo, hi int) {
+		max := int32(0)
+		for c := lo; c < hi; c++ {
+			so := serverOf[c]
+			if so < 0 {
+				continue
+			}
+			alo, ahi := csr.ArcRange(c)
+			min := int32(-1)
+			for i := alo; i < ahi; i++ {
+				if l := load[int(csr.Col[i])-nl]; min < 0 || l < min {
+					min = l
+				}
+			}
+			if b := load[so] - min; b > max {
+				max = b
+			}
+		}
+		partMaxBad[sh] = max
+	}
+
+	for phase := 1; len(unassigned) > 0; phase++ {
+		if phase > maxPhases {
+			return nil, fmt.Errorf("assign: phase %d exceeds the Lemma 7.2 budget (C·S=%d)", phase, cs)
+		}
+		rec := PhaseRecord{Phase: phase, Proposals: len(unassigned)}
+
+		// Steps 1 and 2 — the proposal and accept passes (see
+		// proposeKernel/acceptKernel). 2 communication rounds.
+		sess.ParallelFor(len(unassigned), proposeKernel)
+		sess.ParallelFor(ns, acceptKernel)
+		for _, a := range partAccepted {
+			rec.Accepted += int(a)
 		}
 		res.Rounds += 2
 
 		// Step 3 — the virtual token hypergraph: server levels = loads,
 		// hyperedges = the assigned customers of badness exactly 1 (heads =
-		// their servers), tokens at acceptors. Customer-id insertion order
-		// with adjacency-order endpoints reproduces the object network's
-		// port numbering (see the file comment).
+		// their servers), tokens at acceptors. The badness filter runs on
+		// the kernels (markKernel); the insertion itself stays a
+		// sequential scan of the marks, because customer-id insertion
+		// order with adjacency-order endpoints is what reproduces the
+		// object network's port numbering (see the file comment).
 		copy(gameLevel, load)
+		sess.ParallelFor(nl, markKernel)
 		eptr = append(eptr[:0], 0)
 		ends = ends[:0]
 		heads = heads[:0]
 		gameCustomer = gameCustomer[:0]
 		for c := 0; c < nl; c++ {
-			so := serverOf[c]
-			if so < 0 {
+			if include[c] == 0 {
 				continue
 			}
 			lo, hi := csr.ArcRange(c)
-			if hi-lo < 2 {
-				continue
-			}
-			min := int32(-1)
-			for i := lo; i < hi; i++ {
-				if l := load[int(csr.Col[i])-nl]; min < 0 || l < min {
-					min = l
-				}
-			}
-			if load[so]-min != 1 {
-				continue
-			}
 			for i := lo; i < hi; i++ {
 				ends = append(ends, csr.Col[i]-int32(nl))
 			}
 			eptr = append(eptr, int32(len(ends)))
-			heads = append(heads, so)
+			heads = append(heads, serverOf[c])
 			gameCustomer = append(gameCustomer, int32(c))
 		}
 		fi, err := gws.NewFlatInstance(gameLevel, token, eptr, ends, heads)
@@ -368,27 +515,34 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 			load[mv.To]++
 			rec.TokensMoved++
 		}
-		// Step 6 — assign the accepted customers.
-		for s := 0; s < ns; s++ {
-			if c := acceptCust[s]; c >= 0 {
-				serverOf[c] = int32(s)
-				load[s]++
-			}
+		// Step 6 — assign the accepted customers (scatterKernel), then
+		// compact the unassigned list (compactKernel + ordered concat of
+		// the per-shard survivor prefixes, using ParallelFor's documented
+		// slice split).
+		sess.ParallelFor(ns, scatterKernel)
+		u := len(unassigned)
+		sess.ParallelFor(u, compactKernel)
+		kept := 0
+		for sh := 0; sh < shards; sh++ {
+			lo := u * sh / shards
+			k := int(partKept[sh])
+			copy(unassigned[kept:kept+k], unassigned[lo:lo+k])
+			kept += k
 		}
-		kept := unassigned[:0]
-		for _, c := range unassigned {
-			if serverOf[c] < 0 {
-				kept = append(kept, c)
-			}
-		}
-		unassigned = kept
+		unassigned = unassigned[:kept]
 
 		if opt.CheckInvariants {
 			if err := checkFlatPhaseInvariants(fb, serverOf, load, loadsBefore, sol.Final); err != nil {
 				return nil, fmt.Errorf("assign: phase %d: %w", phase, err)
 			}
 		}
-		rec.MaxBadness = int(flatMaxBadness(fb, serverOf, load))
+		sess.ParallelFor(nl, badnessKernel)
+		rec.MaxBadness = 0
+		for _, b := range partMaxBad {
+			if int(b) > rec.MaxBadness {
+				rec.MaxBadness = int(b)
+			}
+		}
 		res.PhaseLog = append(res.PhaseLog, rec)
 		res.Phases = phase
 	}

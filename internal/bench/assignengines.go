@@ -39,7 +39,7 @@ func E24AssignSharded(p Profile) *Table {
 		return t
 	}
 	t0 = time.Now()
-	flatRes, err := assign.SolveSharded(fb, assign.ShardedOptions{Seed: p.Seed})
+	flatRes, err := assign.SolveSharded(fb, assign.ShardedOptions{Seed: p.Seed, Shards: p.Shards})
 	shardMS := time.Since(t0).Seconds() * 1000
 	if err != nil {
 		t.AddRow("sharded", nl, nr, "error", err.Error(), "", "", "", mark(false), "")

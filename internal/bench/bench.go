@@ -1,6 +1,6 @@
 // Package bench is the experiment harness: it regenerates, for every
 // theorem and figure of the paper, the table that certifies the claim on
-// this implementation (experiment index E1–E25; see All). The
+// this implementation (experiment index E1–E26; see All). The
 // cmd/td-experiments binary prints all tables; bench_test.go at the module
 // root exposes one testing.B benchmark per experiment.
 package bench
@@ -18,6 +18,19 @@ import (
 type Profile struct {
 	Quick bool
 	Seed  int64
+	// Shards is the sharded engine worker count used by the engine
+	// experiments (E22–E24) and the machine-readable report; 0 means
+	// runtime.GOMAXPROCS(0), i.e. one worker per core — the same
+	// contract as the CLIs' -shards flag. The scaling sweeps (E25, E26)
+	// choose their own worker counts and ignore it.
+	Shards int
+	// Repeat is how many times each entry of the machine-readable engine
+	// report (ShardedBench) is measured, recording the best run; 0 means
+	// once. Quick-profile runs finish in well under a millisecond, so
+	// single-shot timings swing far beyond the regression gate's
+	// tolerance — the gate's baseline and CI both measure best-of-5.
+	// The experiment tables ignore it.
+	Repeat int
 }
 
 // Table is one regenerated result table.

@@ -39,7 +39,7 @@ func E22ShardedEngine(p Profile) *Table {
 		return t
 	}
 	t0 = time.Now()
-	res, err := core.SolveProposalSharded(fi, core.ShardedSolveOptions{Tie: core.TieFirstPort, MaxRounds: 1 << 20})
+	res, err := core.SolveProposalSharded(fi, core.ShardedSolveOptions{Tie: core.TieFirstPort, MaxRounds: 1 << 20, Shards: p.Shards})
 	shardMS := time.Since(t0).Seconds() * 1000
 	if err != nil {
 		t.AddRow("sharded", fi.N(), fi.M(), "error", err.Error(), "", "", "", mark(false), "")

@@ -220,7 +220,8 @@ func E14SequentialGreedy(p Profile) *Table {
 // E1–E14 reproduce the paper's figures and theorems, E15–E21 are the
 // ablations and open-question probes, E22–E24 certify seed-vs-sharded
 // engine parity and speedups for the game, orientation, and assignment
-// layers, and E25 sweeps the sharded engine's worker count.
+// layers, E25 sweeps the sharded engine's worker count, and E26 sweeps
+// it across whole phase-loop solves (parallel central steps included).
 func All(p Profile) []*Table {
 	var out []*Table
 	out = append(out, E1StableOrientationExamples(p))
@@ -249,5 +250,6 @@ func All(p Profile) []*Table {
 	out = append(out, E23OrientSharded(p))
 	out = append(out, E24AssignSharded(p))
 	out = append(out, E25ShardScaling(p))
+	out = append(out, E26CentralStepScaling(p))
 	return out
 }

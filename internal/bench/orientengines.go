@@ -39,7 +39,7 @@ func E23OrientSharded(p Profile) *Table {
 		return t
 	}
 	t0 = time.Now()
-	flatRes, err := orient.SolveSharded(csr, orient.ShardedOptions{Seed: p.Seed})
+	flatRes, err := orient.SolveSharded(csr, orient.ShardedOptions{Seed: p.Seed, Shards: p.Shards})
 	shardMS := time.Since(t0).Seconds() * 1000
 	if err != nil {
 		t.AddRow("sharded", n, csr.M(), "error", err.Error(), "", "", "", mark(false), "")

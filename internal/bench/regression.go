@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file is the bench-regression gate: CI regenerates the quick
+// engine benchmark report (ShardedBench) on every run and diffs it
+// against the committed quick-profile baseline, so a PR that slows a
+// phase loop down or reintroduces steady-state allocation churn fails
+// loudly instead of silently bending the perf trajectory. The committed
+// baselines live at the repository root: BENCH_sharded.json (full
+// profile, documentation) and BENCH_sharded_quick.json (quick profile,
+// the CI gate's baseline — regenerate it with
+// `td-experiments -quick -only E25,E26 -shards 2 -shardedjson BENCH_sharded_quick.json`,
+// the exact CI measurement command, whenever a PR intentionally shifts
+// performance).
+
+// RegressionOptions tune the gate's tolerances.
+type RegressionOptions struct {
+	// RoundsTolerance is the fractional rounds/s drop tolerated per
+	// entry before the gate fails; 0 means the 0.15 default. The
+	// documented run-to-run noise of the quick profile is ~10% (small
+	// instances, sub-second runs), so the default leaves a margin above
+	// it — a genuine serial-path regression lands well past 15%.
+	RoundsTolerance float64
+	// AllocSlack is the absolute allocs/round increase tolerated on
+	// sharded (steady-state) entries; 0 means the 0.5 default. The
+	// contract is "no new allocation churn": warmed sharded entries sit
+	// at a few allocs/round or less, so half an allocation of slack
+	// absorbs runtime background noise while any real per-round
+	// allocation (one object per round = +1.0) still fails.
+	AllocSlack float64
+}
+
+// CompareShardedReports diffs a freshly measured report against a
+// committed baseline, entry by entry (keyed by experiment, layer,
+// engine, and shard count). It returns hard violations — rounds/s
+// regressions beyond the tolerance on any entry, and allocs/round
+// increases beyond the slack on sharded entries — separately from
+// warnings (baseline entries the fresh report no longer measures, e.g. a
+// wider scaling sweep on the baseline machine than on the runner).
+// Comparing reports from different profiles (quick vs full) is itself a
+// violation: their workload sizes differ, so their numbers are not
+// comparable.
+func CompareShardedReports(base, fresh *ShardedBenchReport, opt RegressionOptions) (violations, warnings []string) {
+	tol := opt.RoundsTolerance
+	if tol == 0 {
+		tol = 0.15
+	}
+	slack := opt.AllocSlack
+	if slack == 0 {
+		slack = 0.5
+	}
+	if base.Quick != fresh.Quick {
+		return []string{fmt.Sprintf("profiles differ: baseline quick=%v, fresh quick=%v (regenerate the baseline)",
+			base.Quick, fresh.Quick)}, nil
+	}
+	if base.Seed != fresh.Seed {
+		warnings = append(warnings, fmt.Sprintf("seeds differ (baseline %d, fresh %d): workloads are not identical",
+			base.Seed, fresh.Seed))
+	}
+	key := func(e *ShardedBenchEntry) string {
+		return fmt.Sprintf("%s/%s/%s/shards=%d", e.Experiment, e.Layer, e.Engine, e.Shards)
+	}
+	freshByKey := make(map[string]*ShardedBenchEntry, len(fresh.Entries))
+	for i := range fresh.Entries {
+		freshByKey[key(&fresh.Entries[i])] = &fresh.Entries[i]
+	}
+	for i := range base.Entries {
+		b := &base.Entries[i]
+		k := key(b)
+		f, ok := freshByKey[k]
+		if !ok {
+			warnings = append(warnings, fmt.Sprintf("%s: in the baseline but not measured by the fresh report", k))
+			continue
+		}
+		if b.RoundsPerSec > 0 && f.RoundsPerSec < b.RoundsPerSec*(1-tol) {
+			violations = append(violations, fmt.Sprintf(
+				"%s: rounds/s regressed %.1f%% (baseline %.0f, fresh %.0f; tolerance %.0f%%)",
+				k, 100*(1-f.RoundsPerSec/b.RoundsPerSec), b.RoundsPerSec, f.RoundsPerSec, 100*tol))
+		}
+		if b.Engine == "sharded" && f.AllocsPerRound > b.AllocsPerRound+slack {
+			violations = append(violations, fmt.Sprintf(
+				"%s: allocs/round grew from %.1f to %.1f (slack %.1f) — steady-state allocation churn",
+				k, b.AllocsPerRound, f.AllocsPerRound, slack))
+		}
+	}
+	return violations, warnings
+}
+
+// ReadShardedBenchJSON parses a report written by WriteShardedBenchJSON.
+func ReadShardedBenchJSON(r io.Reader) (*ShardedBenchReport, error) {
+	var rep ShardedBenchReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("bench: parsing sharded report: %w", err)
+	}
+	return &rep, nil
+}

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func gateReport(entries ...ShardedBenchEntry) *ShardedBenchReport {
+	return &ShardedBenchReport{Quick: true, Seed: 42, Entries: entries}
+}
+
+func gateEntry(exp, layer, engine string, shards int, rps, apr float64) ShardedBenchEntry {
+	return ShardedBenchEntry{
+		Experiment: exp, Layer: layer, Engine: engine, Shards: shards,
+		RoundsPerSec: rps, AllocsPerRound: apr,
+	}
+}
+
+func TestCompareShardedReportsClean(t *testing.T) {
+	base := gateReport(
+		gateEntry("E22", "game", "seed", 0, 1000, 90000),
+		gateEntry("E22", "game", "sharded", 2, 5000, 0.4),
+	)
+	fresh := gateReport(
+		gateEntry("E22", "game", "seed", 0, 950, 95000), // seed allocs are not gated
+		gateEntry("E22", "game", "sharded", 2, 4600, 0.6),
+		gateEntry("E25", "game", "sharded", 4, 9000, 0.4), // extra keys are fine
+	)
+	v, w := CompareShardedReports(base, fresh, RegressionOptions{})
+	if len(v) != 0 || len(w) != 0 {
+		t.Fatalf("clean diff produced violations %v warnings %v", v, w)
+	}
+}
+
+func TestCompareShardedReportsRoundsRegression(t *testing.T) {
+	base := gateReport(gateEntry("E23", "orientation", "sharded", 2, 1000, 1))
+	fresh := gateReport(gateEntry("E23", "orientation", "sharded", 2, 800, 1))
+	v, _ := CompareShardedReports(base, fresh, RegressionOptions{})
+	if len(v) != 1 || !strings.Contains(v[0], "rounds/s regressed") {
+		t.Fatalf("20%% drop not flagged: %v", v)
+	}
+	// Within the tolerance: no violation.
+	fresh.Entries[0].RoundsPerSec = 900
+	if v, _ := CompareShardedReports(base, fresh, RegressionOptions{}); len(v) != 0 {
+		t.Fatalf("10%% drop flagged despite 15%% tolerance: %v", v)
+	}
+	// A tighter tolerance flags it.
+	if v, _ := CompareShardedReports(base, fresh, RegressionOptions{RoundsTolerance: 0.05}); len(v) != 1 {
+		t.Fatalf("10%% drop not flagged at 5%% tolerance: %v", v)
+	}
+}
+
+func TestCompareShardedReportsAllocRegression(t *testing.T) {
+	base := gateReport(gateEntry("E24", "assignment", "sharded", 2, 1000, 2.4))
+	fresh := gateReport(gateEntry("E24", "assignment", "sharded", 2, 1000, 3.4))
+	v, _ := CompareShardedReports(base, fresh, RegressionOptions{})
+	if len(v) != 1 || !strings.Contains(v[0], "allocs/round grew") {
+		t.Fatalf("+1 alloc/round not flagged: %v", v)
+	}
+	fresh.Entries[0].AllocsPerRound = 2.8 // inside the 0.5 slack
+	if v, _ := CompareShardedReports(base, fresh, RegressionOptions{}); len(v) != 0 {
+		t.Fatalf("in-slack alloc noise flagged: %v", v)
+	}
+}
+
+func TestCompareShardedReportsProfileAndKeys(t *testing.T) {
+	base := gateReport(gateEntry("E22", "game", "sharded", 2, 1000, 0))
+	fresh := gateReport(gateEntry("E22", "game", "sharded", 2, 1000, 0))
+	fresh.Quick = false
+	if v, _ := CompareShardedReports(base, fresh, RegressionOptions{}); len(v) != 1 ||
+		!strings.Contains(v[0], "profiles differ") {
+		t.Fatalf("quick/full mismatch not flagged: %v", v)
+	}
+	fresh.Quick = true
+	fresh.Entries[0].Shards = 4 // the baseline key disappears
+	v, w := CompareShardedReports(base, fresh, RegressionOptions{})
+	if len(v) != 0 || len(w) != 1 || !strings.Contains(w[0], "not measured") {
+		t.Fatalf("missing key should warn, not fail: violations %v warnings %v", v, w)
+	}
+}
+
+// TestShardedBenchJSONRoundTrip pins the gate's end-to-end plumbing on a
+// real (quick) measurement: write, re-read, and self-compare — a report
+// can never regress against itself.
+func TestShardedBenchJSONRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures a quick benchmark profile")
+	}
+	var buf strings.Builder
+	if err := WriteShardedBenchJSON(&buf, Profile{Quick: true, Seed: 42, Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadShardedBenchJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) == 0 || !rep.Quick {
+		t.Fatalf("report did not round-trip: %+v", rep)
+	}
+	for _, want := range []string{"E22", "E23", "E24", "E25", "E26"} {
+		found := false
+		for _, e := range rep.Entries {
+			if e.Experiment == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("report has no %s entries", want)
+		}
+	}
+	if v, w := CompareShardedReports(rep, rep, RegressionOptions{}); len(v) != 0 || len(w) != 0 {
+		t.Fatalf("self-comparison not clean: violations %v warnings %v", v, w)
+	}
+}

@@ -16,15 +16,18 @@ import (
 )
 
 // This file produces BENCH_sharded.json, the machine-readable companion
-// of the engine experiments E22–E25: rounds/s and allocs/round for the
+// of the engine experiments E22–E26: rounds/s and allocs/round for the
 // seed and sharded runtimes of every paper layer, plus the shard-scaling
-// sweep. CI regenerates it on the quick profile each run and the repo
-// records a full-profile snapshot, so future PRs have a perf trajectory
-// to diff against instead of prose numbers in CHANGES.md alone.
+// sweeps of the bare engine (E25) and of the whole phase loops (E26). CI
+// regenerates it on the quick profile each run, diffs it against the
+// committed quick baseline with the bench-regression gate
+// (CompareShardedReports, cmd/td-benchgate), and the repo records a
+// full-profile snapshot, so future PRs have a perf trajectory to diff
+// against instead of prose numbers in CHANGES.md alone.
 
 // ShardedBenchEntry is one measured run.
 type ShardedBenchEntry struct {
-	Experiment     string  `json:"experiment"`       // E22–E25
+	Experiment     string  `json:"experiment"`       // E22–E26
 	Layer          string  `json:"layer"`            // game | orientation | assignment
 	Engine         string  `json:"engine"`           // seed | sharded
 	Workload       string  `json:"workload"`         // generator description
@@ -74,11 +77,41 @@ func measured(run func() (rounds int, err error)) (ShardedBenchEntry, error) {
 	return e, nil
 }
 
-// ShardedBench measures every entry of the report. Sharded game runs are
-// measured twice and the warmed second run is recorded, since the
-// steady-state contract (0 allocs/round on a warmed session) is the
-// quantity under regression watch; the orientation and assignment runs
-// are single end-to-end solves, construction included.
+// measuredBest re-measures run p.Repeat times and combines the reps:
+// wall-clock fields from the fastest rep, allocation fields from the
+// leanest (they are gated independently). Best-of-N is what makes the
+// quick profile stable enough for the regression gate: its runs finish
+// in well under a millisecond, where single-shot timings swing several
+// times the gate's tolerance on a busy runner.
+func measuredBest(repeat int, run func() (rounds int, err error)) (ShardedBenchEntry, error) {
+	best, err := measured(run)
+	if err != nil {
+		return best, err
+	}
+	for r := 1; r < repeat; r++ {
+		e, err := measured(run)
+		if err != nil {
+			return e, err
+		}
+		if e.RoundsPerSec > best.RoundsPerSec {
+			best.Rounds, best.Seconds, best.RoundsPerSec = e.Rounds, e.Seconds, e.RoundsPerSec
+		}
+		if e.AllocsPerRound < best.AllocsPerRound {
+			best.AllocsPerRound = e.AllocsPerRound
+		}
+		if e.BytesPerRound < best.BytesPerRound {
+			best.BytesPerRound = e.BytesPerRound
+		}
+	}
+	return best, nil
+}
+
+// ShardedBench measures every entry of the report (best of p.Repeat
+// reps; see measuredBest). Sharded game runs are warmed first and the
+// warmed runs are recorded, since the steady-state contract (0
+// allocs/round on a warmed session) is the quantity under regression
+// watch; the orientation and assignment runs are end-to-end solves,
+// construction included.
 func ShardedBench(p Profile) (*ShardedBenchReport, error) {
 	rep := &ShardedBenchReport{
 		GeneratedUnix: time.Now().Unix(),
@@ -93,6 +126,13 @@ func ShardedBench(p Profile) (*ShardedBenchReport, error) {
 		}
 		rep.Entries = append(rep.Entries, e)
 		return nil
+	}
+	// Entries record the worker count actually used — the regression
+	// gate keys on it, and the 0-means-GOMAXPROCS default resolves
+	// differently across machines.
+	resolvedShards := p.Shards
+	if resolvedShards <= 0 {
+		resolvedShards = runtime.GOMAXPROCS(0)
 	}
 	finishEntry := func(e *ShardedBenchEntry, exp, layer, engine, workload string, n, m int) {
 		e.Experiment, e.Layer, e.Engine, e.Workload, e.N, e.M = exp, layer, engine, workload, n, m
@@ -109,7 +149,7 @@ func ShardedBench(p Profile) (*ShardedBenchReport, error) {
 	inst := fi.Instance()
 	var seedSec float64
 	{
-		e, err := measured(func() (int, error) {
+		e, err := measuredBest(p.Repeat, func() (int, error) {
 			_, stats, err := core.SolveProposal(inst, core.SolveOptions{Tie: core.TieFirstPort, MaxRounds: 1 << 20})
 			return stats.Rounds, err
 		})
@@ -120,7 +160,7 @@ func ShardedBench(p Profile) (*ShardedBenchReport, error) {
 		}
 	}
 	{
-		sess := local.NewSession(0)
+		sess := local.NewSession(p.Shards)
 		ws := core.NewSolverWorkspace()
 		opt := core.ShardedSolveOptions{Tie: core.TieFirstPort, MaxRounds: 1 << 20, Session: sess, Workspace: ws}
 		solve := func() (int, error) {
@@ -134,9 +174,10 @@ func ShardedBench(p Profile) (*ShardedBenchReport, error) {
 			sess.Close()
 			return nil, fmt.Errorf("bench: E22 sharded warm-up: %w", err)
 		}
-		e, err := measured(solve)
+		e, err := measuredBest(p.Repeat, solve)
 		sess.Close()
 		finishEntry(&e, "E22", "game", "sharded", gameWorkload, fi.N(), fi.M())
+		e.Shards = resolvedShards
 		if e.Seconds > 0 && seedSec > 0 {
 			e.SpeedupVsSeed = seedSec / e.Seconds
 		}
@@ -154,7 +195,7 @@ func ShardedBench(p Profile) (*ShardedBenchReport, error) {
 	ocsr := graph.NewCSRFromGraph(og)
 	orientWorkload := fmt.Sprintf("random %d-regular", od)
 	{
-		e, err := measured(func() (int, error) {
+		e, err := measuredBest(p.Repeat, func() (int, error) {
 			res, err := orient.Solve(og, orient.Options{Seed: p.Seed})
 			if err != nil {
 				return 0, err
@@ -168,14 +209,15 @@ func ShardedBench(p Profile) (*ShardedBenchReport, error) {
 		}
 	}
 	{
-		e, err := measured(func() (int, error) {
-			res, err := orient.SolveSharded(ocsr, orient.ShardedOptions{Seed: p.Seed})
+		e, err := measuredBest(p.Repeat, func() (int, error) {
+			res, err := orient.SolveSharded(ocsr, orient.ShardedOptions{Seed: p.Seed, Shards: p.Shards})
 			if err != nil {
 				return 0, err
 			}
 			return res.Rounds, nil
 		})
 		finishEntry(&e, "E23", "orientation", "sharded", orientWorkload, on, ocsr.M())
+		e.Shards = resolvedShards
 		if e.Seconds > 0 && seedSec > 0 {
 			e.SpeedupVsSeed = seedSec / e.Seconds
 		}
@@ -193,7 +235,7 @@ func ShardedBench(p Profile) (*ShardedBenchReport, error) {
 	afb := graph.NewCSRBipartiteFromBipartite(ab)
 	assignWorkload := fmt.Sprintf("random bipartite cdeg=%d", cdeg)
 	{
-		e, err := measured(func() (int, error) {
+		e, err := measuredBest(p.Repeat, func() (int, error) {
 			res, err := assign.Solve(ab, assign.Options{Seed: p.Seed})
 			if err != nil {
 				return 0, err
@@ -207,14 +249,15 @@ func ShardedBench(p Profile) (*ShardedBenchReport, error) {
 		}
 	}
 	{
-		e, err := measured(func() (int, error) {
-			res, err := assign.SolveSharded(afb, assign.ShardedOptions{Seed: p.Seed})
+		e, err := measuredBest(p.Repeat, func() (int, error) {
+			res, err := assign.SolveSharded(afb, assign.ShardedOptions{Seed: p.Seed, Shards: p.Shards})
 			if err != nil {
 				return 0, err
 			}
 			return res.Rounds, nil
 		})
 		finishEntry(&e, "E24", "assignment", "sharded", assignWorkload, nl, afb.C.M())
+		e.Shards = resolvedShards
 		if e.Seconds > 0 && seedSec > 0 {
 			e.SpeedupVsSeed = seedSec / e.Seconds
 		}
@@ -226,7 +269,7 @@ func ShardedBench(p Profile) (*ShardedBenchReport, error) {
 	// E25 — shard scaling on the game layer.
 	for _, shards := range e25ShardCounts() {
 		shards := shards
-		e, err := measured(func() (int, error) {
+		e, err := measuredBest(p.Repeat, func() (int, error) {
 			res, err := core.SolveProposalSharded(fi, core.ShardedSolveOptions{
 				Tie: core.TieFirstPort, Shards: shards, MaxRounds: 1 << 20,
 			})
@@ -236,6 +279,37 @@ func ShardedBench(p Profile) (*ShardedBenchReport, error) {
 			return res.Stats.Rounds, nil
 		})
 		finishEntry(&e, "E25", "game", "sharded", gameWorkload, fi.N(), fi.M())
+		e.Shards = shards
+		if err := add(e, err); err != nil {
+			return nil, err
+		}
+	}
+
+	// E26 — shard scaling of the whole phase loops (parallel central
+	// steps + subgames on one session), on the E23/E24 workloads.
+	for _, shards := range e25ShardCounts() {
+		shards := shards
+		e, err := measuredBest(p.Repeat, func() (int, error) {
+			res, err := orient.SolveSharded(ocsr, orient.ShardedOptions{Seed: p.Seed, Shards: shards})
+			if err != nil {
+				return 0, err
+			}
+			return res.Rounds, nil
+		})
+		finishEntry(&e, "E26", "orientation", "sharded", orientWorkload, on, ocsr.M())
+		e.Shards = shards
+		if err := add(e, err); err != nil {
+			return nil, err
+		}
+
+		e, err = measuredBest(p.Repeat, func() (int, error) {
+			res, err := assign.SolveSharded(afb, assign.ShardedOptions{Seed: p.Seed, Shards: shards})
+			if err != nil {
+				return 0, err
+			}
+			return res.Rounds, nil
+		})
+		finishEntry(&e, "E26", "assignment", "sharded", assignWorkload, nl, afb.C.M())
 		e.Shards = shards
 		if err := add(e, err); err != nil {
 			return nil, err

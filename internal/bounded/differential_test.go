@@ -111,6 +111,40 @@ func TestDifferentialBoundedTieRandom(t *testing.T) {
 	}
 }
 
+// TestBoundedCentralStepInvariance pins the parallel central passes of
+// the k-bounded phase loop (effective-load proposal/accept kernels,
+// level table, game marks, scatter, compaction): the whole run must be
+// bit-identical at shard counts 1, 2, and 8 under both tie rules, for
+// both the three-level (k = 2) and generic (k > 2) subgame paths.
+func TestBoundedCentralStepInvariance(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		b, name := diffBoundedBipartite(3 * i)
+		k := 2 + i%2
+		fb := graph.NewCSRBipartiteFromBipartite(b)
+		for _, tie := range []core.TieBreak{core.TieFirstPort, core.TieRandom} {
+			base, err := SolveSharded(fb, ShardedOptions{
+				K: k, Tie: tie, Seed: int64(800 + i), Shards: 1, CheckInvariants: true,
+			})
+			if err != nil {
+				t.Fatalf("case %d (%s, k=%d) tie=%v shards=1: %v", i, name, k, tie, err)
+			}
+			for _, shards := range []int{2, 8} {
+				res, err := SolveSharded(fb, ShardedOptions{
+					K: k, Tie: tie, Seed: int64(800 + i), Shards: shards, CheckInvariants: true,
+				})
+				if err != nil {
+					t.Fatalf("case %d (%s, k=%d) tie=%v shards=%d: %v", i, name, k, tie, shards, err)
+				}
+				if res.Rounds != base.Rounds || res.Phases != base.Phases ||
+					!slices.Equal(res.PhaseLog, base.PhaseLog) ||
+					!slices.Equal(res.ServerOf, base.ServerOf) || !slices.Equal(res.Load, base.Load) {
+					t.Fatalf("case %d (%s, k=%d) tie=%v: shards=%d diverges from shards=1", i, name, k, tie, shards)
+				}
+			}
+		}
+	}
+}
+
 // TestShardedMatchingReduction checks the Theorem 7.4 pipeline on the flat
 // runtime: a 2-bounded sharded run reduces to a maximal matching, and the
 // flat reduction agrees with the object one.

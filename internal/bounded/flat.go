@@ -178,7 +178,6 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 	load := res.Load
 
 	var custRng, servRng []uint64
-	var propCount []int32
 	if opt.Tie == core.TieRandom {
 		custRng = make([]uint64, nl)
 		for c := range custRng {
@@ -188,7 +187,33 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 		for s := range servRng {
 			servRng[s] = core.SplitMix64(uint64(opt.Seed) ^ uint64(nl+s)*0x9e3779b97f4a7c15)
 		}
-		propCount = make([]int32, ns)
+	}
+
+	// Per-server incident customers in ascending customer order, for the
+	// owner-computes accept pass; see the matching comment in
+	// assign.SolveSharded.
+	servPtr := make([]int32, ns+1)
+	custArcs := int(csr.Row[nl])
+	for i := 0; i < custArcs; i++ {
+		servPtr[int(csr.Col[i])-nl+1]++
+	}
+	for s := 0; s < ns; s++ {
+		servPtr[s+1] += servPtr[s]
+	}
+	servCust := make([]int32, custArcs)
+	servCursor := make([]int32, ns)
+	copy(servCursor, servPtr[:ns])
+	for c := 0; c < nl; c++ {
+		lo, hi := csr.ArcRange(c)
+		for i := lo; i < hi; i++ {
+			s := int(csr.Col[i]) - nl
+			servCust[servCursor[s]] = int32(c)
+			servCursor[s]++
+		}
+	}
+	propServer := make([]int32, nl)
+	for c := range propServer {
+		propServer[c] = -1
 	}
 
 	acceptCust := make([]int32, ns)
@@ -198,6 +223,7 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 	ends := make([]int32, 0, csr.M())
 	heads := make([]int32, 0, nl)
 	gameCustomer := make([]int32, 0, nl)
+	include := make([]byte, nl)
 
 	// The reusable execution layer: one engine session plays every
 	// phase's hypergame, and one workspace rebuilds the incidence
@@ -207,27 +233,21 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 	defer sess.Close()
 	gws := hypergame.NewWorkspace()
 
-	for phase := 1; len(unassigned) > 0; phase++ {
-		if phase > maxPhases {
-			return nil, fmt.Errorf("bounded: phase %d exceeds the Lemma 7.2 budget", phase)
-		}
-		rec := PhaseRecord{Phase: phase, Proposals: len(unassigned)}
+	// The central per-phase passes as hoisted kernels for
+	// Session.ParallelFor, mirroring assign.SolveSharded with effective
+	// (k-truncated) loads throughout.
+	shards := sess.Shards()
+	partAccepted := make([]int32, shards)
+	partKept := make([]int32, shards)
+	partMaxBad := make([]int32, shards)
 
-		// Steps 1 and 2 — proposals chase the smallest effective load,
-		// each proposed-to server accepts one customer.
-		for s := range acceptCust {
-			acceptCust[s] = -1
-		}
-		if opt.Tie == core.TieRandom {
-			for s := range propCount {
-				propCount[s] = 0
-			}
-		}
-		for _, c := range unassigned {
-			lo, hi := csr.ArcRange(int(c))
+	proposeKernel := func(sh, lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			c := unassigned[idx]
+			alo, ahi := csr.ArcRange(int(c))
 			best := int32(-1)
 			bestLoad := int32(0)
-			for i := lo; i < hi; i++ {
+			for i := alo; i < ahi; i++ {
 				s := csr.Col[i] - int32(nl)
 				if l := eff[load[s]]; best < 0 || l < bestLoad || (l == bestLoad && s < best) {
 					best, bestLoad = s, l
@@ -236,7 +256,7 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 			if opt.Tie == core.TieRandom {
 				state := custRng[c]
 				count := 0
-				for i := lo; i < hi; i++ {
+				for i := alo; i < ahi; i++ {
 					s := csr.Col[i] - int32(nl)
 					if eff[load[s]] != bestLoad {
 						continue
@@ -249,57 +269,160 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 					}
 				}
 				custRng[c] = state
+			}
+			propServer[c] = best
+		}
+	}
 
-				propCount[best]++
-				var pick int
-				servRng[best], pick = core.SplitMixIntn(servRng[best], int(propCount[best]))
-				if pick == 0 {
-					acceptCust[best] = c
+	acceptKernel := func(sh, lo, hi int) {
+		accepted := int32(0)
+		for s := lo; s < hi; s++ {
+			best := int32(-1)
+			if opt.Tie == core.TieRandom {
+				state := servRng[s]
+				count := 0
+				for j := servPtr[s]; j < servPtr[s+1]; j++ {
+					c := servCust[j]
+					if serverOf[c] >= 0 || propServer[c] != int32(s) {
+						continue
+					}
+					count++
+					var pick int
+					state, pick = core.SplitMixIntn(state, count)
+					if pick == 0 {
+						best = c
+					}
 				}
-			} else if acceptCust[best] < 0 {
-				acceptCust[best] = c
+				servRng[s] = state
+			} else {
+				for j := servPtr[s]; j < servPtr[s+1]; j++ {
+					c := servCust[j]
+					if serverOf[c] < 0 && propServer[c] == int32(s) {
+						best = c
+						break
+					}
+				}
+			}
+			acceptCust[s] = best
+			token[s] = best >= 0
+			if best >= 0 {
+				accepted++
 			}
 		}
-		for s := range token {
-			token[s] = acceptCust[s] >= 0
-			if token[s] {
-				rec.Accepted++
+		partAccepted[sh] = accepted
+	}
+
+	// The effective-level table lookup of step 3, per server.
+	levelKernel := func(sh, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			gameLevel[s] = eff[load[s]]
+		}
+	}
+
+	markKernel := func(sh, lo, hi int) {
+		for c := lo; c < hi; c++ {
+			so := serverOf[c]
+			if so < 0 {
+				include[c] = 0
+				continue
 			}
+			alo, ahi := csr.ArcRange(c)
+			if ahi-alo < 2 {
+				include[c] = 0
+				continue
+			}
+			min := int32(-1)
+			for i := alo; i < ahi; i++ {
+				if l := gameLevel[int(csr.Col[i])-nl]; min < 0 || l < min {
+					min = l
+				}
+			}
+			if gameLevel[so]-min == 1 {
+				include[c] = 1
+			} else {
+				include[c] = 0
+			}
+		}
+	}
+
+	scatterKernel := func(sh, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			if c := acceptCust[s]; c >= 0 {
+				serverOf[c] = int32(s)
+				load[s]++
+			}
+		}
+	}
+
+	compactKernel := func(sh, lo, hi int) {
+		w := lo
+		for i := lo; i < hi; i++ {
+			if c := unassigned[i]; serverOf[c] < 0 {
+				unassigned[w] = c
+				w++
+			}
+		}
+		partKept[sh] = int32(w - lo)
+	}
+
+	// The per-phase max-k-badness recount (badness on effective loads).
+	kbadnessKernel := func(sh, lo, hi int) {
+		max := int32(0)
+		for c := lo; c < hi; c++ {
+			so := serverOf[c]
+			if so < 0 {
+				continue
+			}
+			alo, ahi := csr.ArcRange(c)
+			min := int32(-1)
+			for i := alo; i < ahi; i++ {
+				if l := eff[load[int(csr.Col[i])-nl]]; min < 0 || l < min {
+					min = l
+				}
+			}
+			if b := eff[load[so]] - min; b > max {
+				max = b
+			}
+		}
+		partMaxBad[sh] = max
+	}
+
+	for phase := 1; len(unassigned) > 0; phase++ {
+		if phase > maxPhases {
+			return nil, fmt.Errorf("bounded: phase %d exceeds the Lemma 7.2 budget", phase)
+		}
+		rec := PhaseRecord{Phase: phase, Proposals: len(unassigned)}
+
+		// Steps 1 and 2 — proposals chase the smallest effective load,
+		// each proposed-to server accepts one customer (see
+		// proposeKernel/acceptKernel).
+		sess.ParallelFor(len(unassigned), proposeKernel)
+		sess.ParallelFor(ns, acceptKernel)
+		for _, a := range partAccepted {
+			rec.Accepted += int(a)
 		}
 		res.Rounds += 2
 
 		// Step 3 — the game over effective loads: levels = min(load, k),
-		// hyperedges = assigned customers with k-badness exactly 1.
-		for s := range gameLevel {
-			gameLevel[s] = eff[load[s]]
-		}
+		// hyperedges = assigned customers with k-badness exactly 1. The
+		// filter runs on the kernels; the insertion stays a sequential
+		// scan of the marks in customer-id order (port-number parity).
+		sess.ParallelFor(ns, levelKernel)
+		sess.ParallelFor(nl, markKernel)
 		eptr = append(eptr[:0], 0)
 		ends = ends[:0]
 		heads = heads[:0]
 		gameCustomer = gameCustomer[:0]
 		for c := 0; c < nl; c++ {
-			so := serverOf[c]
-			if so < 0 {
+			if include[c] == 0 {
 				continue
 			}
 			lo, hi := csr.ArcRange(c)
-			if hi-lo < 2 {
-				continue
-			}
-			min := int32(-1)
-			for i := lo; i < hi; i++ {
-				if l := gameLevel[int(csr.Col[i])-nl]; min < 0 || l < min {
-					min = l
-				}
-			}
-			if gameLevel[so]-min != 1 {
-				continue
-			}
 			for i := lo; i < hi; i++ {
 				ends = append(ends, csr.Col[i]-int32(nl))
 			}
 			eptr = append(eptr, int32(len(ends)))
-			heads = append(heads, so)
+			heads = append(heads, serverOf[c])
 			gameCustomer = append(gameCustomer, int32(c))
 		}
 		fi, err := gws.NewFlatInstance(gameLevel, token, eptr, ends, heads)
@@ -353,21 +476,25 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 			serverOf[c] = int32(mv.To)
 			load[mv.To]++
 		}
-		for s := 0; s < ns; s++ {
-			if c := acceptCust[s]; c >= 0 {
-				serverOf[c] = int32(s)
-				load[s]++
-			}
+		sess.ParallelFor(ns, scatterKernel)
+		u := len(unassigned)
+		sess.ParallelFor(u, compactKernel)
+		kept := 0
+		for sh := 0; sh < shards; sh++ {
+			lo := u * sh / shards
+			k := int(partKept[sh])
+			copy(unassigned[kept:kept+k], unassigned[lo:lo+k])
+			kept += k
 		}
-		kept := unassigned[:0]
-		for _, c := range unassigned {
-			if serverOf[c] < 0 {
-				kept = append(kept, c)
-			}
-		}
-		unassigned = kept
+		unassigned = unassigned[:kept]
 
-		rec.MaxKBadness = int(maxKBadnessFlat(fb, serverOf, load, eff))
+		sess.ParallelFor(nl, kbadnessKernel)
+		rec.MaxKBadness = 0
+		for _, b := range partMaxBad {
+			if int(b) > rec.MaxKBadness {
+				rec.MaxKBadness = int(b)
+			}
+		}
 		if opt.CheckInvariants {
 			if rec.MaxKBadness > 1 {
 				return nil, fmt.Errorf("bounded: phase %d ended with k-badness %d", phase, rec.MaxKBadness)
@@ -380,31 +507,6 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 		res.Phases = phase
 	}
 	return res, nil
-}
-
-// maxKBadnessFlat returns the maximum k-badness (badness on effective
-// loads) over assigned customers.
-func maxKBadnessFlat(fb *graph.CSRBipartite, serverOf, load, eff []int32) int32 {
-	csr := fb.C
-	nl := fb.NumLeft
-	max := int32(0)
-	for c := 0; c < nl; c++ {
-		so := serverOf[c]
-		if so < 0 {
-			continue
-		}
-		lo, hi := csr.ArcRange(c)
-		min := int32(-1)
-		for i := lo; i < hi; i++ {
-			if l := eff[load[int(csr.Col[i])-nl]]; min < 0 || l < min {
-				min = l
-			}
-		}
-		if b := eff[load[so]] - min; b > max {
-			max = b
-		}
-	}
-	return max
 }
 
 // recountLoadsFlat checks the cached loads against a from-scratch recount

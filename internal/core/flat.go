@@ -6,7 +6,6 @@ import (
 
 	"tokendrop/internal/graph"
 	"tokendrop/internal/local"
-	"tokendrop/internal/reuse"
 )
 
 // This file defines the flat-encoded side of the package: a CSR-backed
@@ -215,6 +214,20 @@ type SolverWorkspace struct {
 // NewSolverWorkspace returns an empty workspace; the first solve sizes it.
 func NewSolverWorkspace() *SolverWorkspace { return &SolverWorkspace{} }
 
+// runInitKernel runs a program's reset kernel over [0, n): on the
+// session's parked workers when the solve has one (the phase loops — so
+// program construction shards exactly like the rounds and the central
+// passes), inline otherwise (one-shot solves). Reset kernels only write
+// per-vertex and own-arc state, so the result cannot depend on the
+// split.
+func runInitKernel(sess *local.Session, n int, k local.Kernel) {
+	if sess == nil {
+		k(0, 0, n)
+		return
+	}
+	sess.ParallelFor(n, k)
+}
+
 // runFlat executes prog on the options' session when one is set, else on
 // a one-shot engine.
 func runFlat(csr *graph.CSR, prog local.FlatProgram, opt ShardedSolveOptions) (local.ShardedStats, error) {
@@ -287,41 +300,6 @@ func assembleFlatResult(fi *FlatInstance, stats local.ShardedStats, occupied []b
 	}
 }
 
-// arcIsParentInto computes the per-arc "head is one level above the
-// tail" table the flat programs branch on, filling isParent in place and
-// growing it only when needed. Materializing it turns the hot loops'
-// random level[Col[i]] lookups into one sequential byte read.
-func arcIsParentInto(isParent []bool, fi *FlatInstance) []bool {
-	csr := fi.csr
-	isParent = reuse.Grown(isParent, csr.NumArcs())
-	for v := 0; v < csr.N(); v++ {
-		lo, hi := csr.ArcRange(v)
-		for i := lo; i < hi; i++ {
-			isParent[i] = fi.level[csr.Col[i]] > fi.level[v]
-		}
-	}
-	return isParent
-}
-
-// arcFlagsInto is arcIsParent packed into the aParent bit of the per-arc
-// flag bytes (aDead and aPOcc start clear), filling flags in place and
-// growing it only when needed.
-func arcFlagsInto(flags []uint8, fi *FlatInstance) []uint8 {
-	csr := fi.csr
-	flags = reuse.Grown(flags, csr.NumArcs())
-	for v := 0; v < csr.N(); v++ {
-		lo, hi := csr.ArcRange(v)
-		for i := lo; i < hi; i++ {
-			if fi.level[csr.Col[i]] > fi.level[v] {
-				flags[i] = aParent
-			} else {
-				flags[i] = 0
-			}
-		}
-	}
-	return flags
-}
-
 // SplitMix64 is the per-vertex PRNG of the flat TieRandom rules: cheap,
 // allocation-free, and seedable per vertex. Its draws differ from the
 // math/rand streams of the object machines, so TieRandom runs of the two
@@ -336,20 +314,6 @@ func SplitMix64(x uint64) uint64 {
 	x *= 0x94d049bb133111eb
 	x ^= x >> 31
 	return x
-}
-
-// flatRandSeeds fills one PRNG state per vertex.
-func flatRandSeeds(n int, seed int64) []uint64 {
-	return flatRandSeedsInto(nil, n, seed)
-}
-
-// flatRandSeedsInto is flatRandSeeds into a reusable slice.
-func flatRandSeedsInto(s []uint64, n int, seed int64) []uint64 {
-	s = reuse.Grown(s, n)
-	for v := range s {
-		s[v] = SplitMix64(uint64(seed) ^ uint64(v)*0x9e3779b97f4a7c15)
-	}
-	return s
 }
 
 // SplitMixIntn draws a value in [0, n) from the state, advancing it, and

@@ -59,7 +59,12 @@ const (
 type flatProposal struct {
 	fi   *FlatInstance
 	tie  TieBreak
+	seed int64
 	rngs []uint64 // per-vertex TieRandom state; nil under TieFirstPort
+
+	// initKernel is the bound initVertices method, created once so that
+	// warmed resets through a session dispatch without allocating.
+	initKernel local.Kernel
 
 	vstate   []uint8  // packed occupied/waiting/unchanged/event ring
 	counters []uint64 // packed livePar/liveChild/occPar
@@ -84,26 +89,43 @@ type flatProposal struct {
 
 func newFlatProposal(fi *FlatInstance, tie TieBreak, seed int64) *flatProposal {
 	pr := &flatProposal{}
-	pr.reset(fi, tie, seed)
+	pr.reset(fi, tie, seed, nil)
 	return pr
 }
 
 // reset rebuilds the program state for a fresh solve of fi in place,
 // growing the arrays only when fi outgrows them — a warmed program
 // (same-sized or shrinking games) resets without allocating. Used by the
-// per-solve workspaces of the phase loops.
-func (pr *flatProposal) reset(fi *FlatInstance, tie TieBreak, seed int64) {
+// per-solve workspaces of the phase loops. With a session, the
+// per-vertex rebuild itself runs sharded on the parked workers.
+func (pr *flatProposal) reset(fi *FlatInstance, tie TieBreak, seed int64, sess *local.Session) {
 	n := fi.N()
 	pr.fi = fi
 	pr.tie = tie
+	pr.seed = seed
 	pr.vstate = reuse.Grown(pr.vstate, n)
 	pr.counters = reuse.Grown(pr.counters, n)
 	pr.active = reuse.Grown(pr.active, n)
-	clear(pr.active)
-	pr.aflags = arcFlagsInto(pr.aflags, fi)
+	pr.aflags = reuse.Grown(pr.aflags, fi.csr.NumArcs())
 	pr.childEnd = reuse.Grown(pr.childEnd, n)
+	if tie == TieRandom {
+		pr.rngs = reuse.Grown(pr.rngs, n)
+	} else {
+		pr.rngs = nil
+	}
+	if pr.initKernel == nil {
+		pr.initKernel = pr.initVertices
+	}
+	runInitKernel(sess, n, pr.initKernel)
+}
+
+// initVertices is the reset kernel: it rederives all per-vertex state
+// and the flag bytes of the vertices' own arcs for [lo, hi).
+func (pr *flatProposal) initVertices(sh, lo, hi int) {
+	fi := pr.fi
 	csr := fi.csr
-	for v := 0; v < n; v++ {
+	for v := lo; v < hi; v++ {
+		pr.active[v] = 0
 		// unchanged = -1 (stored as un+1 = 0), waiting = 0, and the event
 		// ring starts dirty (the pre-round buffers count as unknown).
 		s := vEvMask
@@ -111,14 +133,16 @@ func (pr *flatProposal) reset(fi *FlatInstance, tie TieBreak, seed int64) {
 			s |= vOcc
 		}
 		pr.vstate[v] = s
-		lo, hi := csr.ArcRange(v)
+		alo, ahi := csr.ArcRange(v)
 		var c uint64
-		ce := int32(lo)
+		ce := int32(alo)
 		grouped := true
-		for i := lo; i < hi; i++ {
-			if pr.aflags[i]&aParent != 0 {
+		for i := alo; i < ahi; i++ {
+			if fi.level[csr.Col[i]] > fi.level[v] {
+				pr.aflags[i] = aParent
 				c++
 			} else {
+				pr.aflags[i] = 0
 				c += cntChild
 				if int32(i) != ce {
 					grouped = false // a parent arc precedes this child arc
@@ -131,11 +155,9 @@ func (pr *flatProposal) reset(fi *FlatInstance, tie TieBreak, seed int64) {
 		}
 		pr.childEnd[v] = ce
 		pr.counters[v] = c
-	}
-	if tie == TieRandom {
-		pr.rngs = flatRandSeedsInto(pr.rngs, n, seed)
-	} else {
-		pr.rngs = nil
+		if pr.rngs != nil {
+			pr.rngs[v] = SplitMix64(uint64(pr.seed) ^ uint64(v)*0x9e3779b97f4a7c15)
+		}
 	}
 }
 
@@ -455,7 +477,7 @@ func SolveProposalSharded(fi *FlatInstance, opt ShardedSolveOptions) (*FlatResul
 	if opt.Workspace != nil {
 		pr = &opt.Workspace.prop
 	}
-	pr.reset(fi, opt.Tie, opt.Seed)
+	pr.reset(fi, opt.Tie, opt.Seed, opt.Session)
 	stats, err := runFlat(fi.csr, pr, opt)
 	if err != nil {
 		return nil, err

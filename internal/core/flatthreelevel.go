@@ -15,7 +15,12 @@ import (
 type flatThreeLevel struct {
 	fi   *FlatInstance
 	tie  TieBreak
+	seed int64
 	rngs []uint64
+
+	// initKernel is the bound initVertices method, created once so that
+	// warmed resets through a session dispatch without allocating.
+	initKernel local.Kernel
 
 	occupied    []bool
 	waitGrant   []uint8
@@ -34,40 +39,61 @@ type flatThreeLevel struct {
 
 func newFlatThreeLevel(fi *FlatInstance, tie TieBreak, seed int64) *flatThreeLevel {
 	pr := &flatThreeLevel{}
-	pr.reset(fi, tie, seed)
+	pr.reset(fi, tie, seed, nil)
 	return pr
 }
 
 // reset rebuilds the program state for a fresh solve of fi in place,
 // growing the arrays only when fi outgrows them (see flatProposal.reset).
-func (pr *flatThreeLevel) reset(fi *FlatInstance, tie TieBreak, seed int64) {
+// With a session, the per-vertex rebuild itself runs sharded on the
+// parked workers.
+func (pr *flatThreeLevel) reset(fi *FlatInstance, tie TieBreak, seed int64, sess *local.Session) {
 	n := fi.N()
 	arcs := fi.csr.NumArcs()
 	pr.fi = fi
 	pr.tie = tie
+	pr.seed = seed
 	pr.occupied = reuse.Grown(pr.occupied, n)
-	copy(pr.occupied, fi.token)
 	pr.waitGrant = reuse.Grown(pr.waitGrant, n)
 	pr.waitAccept = reuse.Grown(pr.waitAccept, n)
 	pr.requestedTo = reuse.Grown(pr.requestedTo, n)
 	pr.proposedTo = reuse.Grown(pr.proposedTo, n)
 	pr.active = reuse.Grown(pr.active, n)
-	clear(pr.waitGrant)
-	clear(pr.waitAccept)
-	clear(pr.active)
-	for v := 0; v < n; v++ {
-		pr.requestedTo[v] = -1
-		pr.proposedTo[v] = -1
-	}
-	pr.isParent = arcIsParentInto(pr.isParent, fi)
+	pr.isParent = reuse.Grown(pr.isParent, arcs)
 	pr.portDead = reuse.Grown(pr.portDead, arcs)
 	pr.parentOcc = reuse.Grown(pr.parentOcc, arcs)
-	clear(pr.portDead)
-	clear(pr.parentOcc)
 	if tie == TieRandom {
-		pr.rngs = flatRandSeedsInto(pr.rngs, n, seed)
+		pr.rngs = reuse.Grown(pr.rngs, n)
 	} else {
 		pr.rngs = nil
+	}
+	if pr.initKernel == nil {
+		pr.initKernel = pr.initVertices
+	}
+	runInitKernel(sess, n, pr.initKernel)
+}
+
+// initVertices is the reset kernel: it rederives all per-vertex state
+// and the per-arc tables of the vertices' own arcs for [lo, hi).
+func (pr *flatThreeLevel) initVertices(sh, lo, hi int) {
+	fi := pr.fi
+	csr := fi.csr
+	for v := lo; v < hi; v++ {
+		pr.occupied[v] = fi.token[v]
+		pr.waitGrant[v] = 0
+		pr.waitAccept[v] = 0
+		pr.requestedTo[v] = -1
+		pr.proposedTo[v] = -1
+		pr.active[v] = 0
+		alo, ahi := csr.ArcRange(v)
+		for i := alo; i < ahi; i++ {
+			pr.isParent[i] = fi.level[csr.Col[i]] > fi.level[v]
+			pr.portDead[i] = false
+			pr.parentOcc[i] = false
+		}
+		if pr.rngs != nil {
+			pr.rngs[v] = SplitMix64(uint64(pr.seed) ^ uint64(v)*0x9e3779b97f4a7c15)
+		}
 	}
 }
 
@@ -425,7 +451,7 @@ func SolveThreeLevelSharded(fi *FlatInstance, opt ShardedSolveOptions) (*FlatRes
 	if opt.Workspace != nil {
 		pr = &opt.Workspace.three
 	}
-	pr.reset(fi, opt.Tie, opt.Seed)
+	pr.reset(fi, opt.Tie, opt.Seed, opt.Session)
 	stats, err := runFlat(fi.csr, pr, opt)
 	if err != nil {
 		return nil, err

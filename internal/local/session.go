@@ -35,12 +35,22 @@ type scrubEntry struct {
 	haltRound int32
 }
 
-// roundWork is the per-round message from the coordinator to a worker:
-// the round number and the two buffer roles for this round.
+// roundWork is the per-dispatch message from the coordinator to a worker:
+// either one engine round (the round number and the two buffer roles) or,
+// when kernel is non-nil, one ParallelFor slice [lo, hi).
 type roundWork struct {
 	round      int
 	recv, send []Word
+	kernel     Kernel
+	lo, hi     int
 }
+
+// Kernel is the caller-supplied body of a Session.ParallelFor: it
+// processes the index slice [lo, hi) as shard sh of the dispatch. A
+// kernel must only write state owned by its slice (plus per-shard
+// accumulators indexed by sh) and must be a deterministic function of its
+// inputs, so the combined result is independent of the worker count.
+type Kernel func(sh, lo, hi int)
 
 // Session is a reusable sharded-engine execution context: a persistent
 // worker pool plus the double-buffered message arrays, halted flags,
@@ -50,8 +60,14 @@ type roundWork struct {
 // orientation and assignment runtimes run every per-phase subgame on one
 // session — and release the workers with Close.
 //
-// A Session is not safe for concurrent use; Run calls must be
-// sequential. Distinct Sessions are independent.
+// Between runs the parked pool doubles as a generic parallel-for
+// executor: ParallelFor runs a caller-supplied flat kernel over an index
+// range, which is how the phase loops shard their central per-phase
+// passes (proposal/accept evaluation, load scatter, game assembly marks)
+// without growing a second thread pool.
+//
+// A Session is not safe for concurrent use; Run and ParallelFor calls
+// must be sequential. Distinct Sessions are independent.
 type Session struct {
 	shards int
 	start  []chan roundWork
@@ -70,6 +86,11 @@ type Session struct {
 	awake      []int32 // backing array; shard s compacts awakeLists[s] within its segment
 	awakeLists [][]int32
 	scrubs     [][]scrubEntry
+
+	// kernelPanics[sh] records a panic recovered from shard sh's kernel
+	// during the current ParallelFor dispatch; the coordinator re-panics
+	// with the first one (by shard order) after the barrier.
+	kernelPanics []any
 }
 
 // NewSession starts a session with the given worker (shard) count; zero
@@ -80,12 +101,13 @@ func NewSession(shards int) *Session {
 		shards = runtime.GOMAXPROCS(0)
 	}
 	s := &Session{
-		shards:     shards,
-		start:      make([]chan roundWork, shards),
-		done:       make(chan int, shards),
-		bounds:     make([]int, shards+1),
-		awakeLists: make([][]int32, shards),
-		scrubs:     make([][]scrubEntry, shards),
+		shards:       shards,
+		start:        make([]chan roundWork, shards),
+		done:         make(chan int, shards),
+		bounds:       make([]int, shards+1),
+		awakeLists:   make([][]int32, shards),
+		scrubs:       make([][]scrubEntry, shards),
+		kernelPanics: make([]any, shards),
 	}
 	for sh := 0; sh < shards; sh++ {
 		s.start[sh] = make(chan roundWork)
@@ -115,6 +137,10 @@ func (s *Session) Close() {
 // the shard or ordered by the start/done channel pair.
 func (s *Session) worker(sh int) {
 	for w := range s.start[sh] {
+		if w.kernel != nil {
+			s.runKernel(sh, w)
+			continue
+		}
 		csr := s.csr
 		// Scrub outboxes of recently halted vertices: a vertex that
 		// halted in round r left words in both buffers (rounds r-1 and
@@ -152,6 +178,51 @@ func (s *Session) worker(sh int) {
 		}
 		s.awakeLists[sh] = list
 		s.done <- len(list)
+	}
+}
+
+// runKernel executes one ParallelFor slice, converting a kernel panic
+// into a recorded value so the pool survives and the coordinator can
+// re-panic on the caller's goroutine.
+func (s *Session) runKernel(sh int, w roundWork) {
+	defer func() {
+		s.kernelPanics[sh] = recover()
+		s.done <- 0
+	}()
+	w.kernel(sh, w.lo, w.hi)
+}
+
+// ParallelFor runs k over the index range [0, n) on the session's parked
+// worker pool and returns when every slice has finished (one barrier, as
+// in a Run round). Shard sh receives the contiguous slice
+// [n·sh/Shards(), n·(sh+1)/Shards()) — the documented split, so callers
+// producing per-shard output segments (compactions, partial reductions)
+// can recompute the same bounds. Every shard is dispatched even when its
+// slice is empty, so kernels may rely on per-shard accumulator slots
+// being (re)written on every call.
+//
+// A panic raised by a kernel is recovered on the worker, the dispatch
+// still completes on all shards, and the first panic value in shard
+// order is re-raised on the caller's goroutine; the session remains
+// usable. ParallelFor must not be called concurrently with Run or with
+// another ParallelFor (a Session is not safe for concurrent use), and
+// panics if the session is closed. A warmed call performs no heap
+// allocations; hoist kernel closures out of hot loops, since closure
+// construction itself may allocate.
+func (s *Session) ParallelFor(n int, k Kernel) {
+	if s.closed {
+		panic("local: ParallelFor on a closed session")
+	}
+	for sh := 0; sh < s.shards; sh++ {
+		s.start[sh] <- roundWork{kernel: k, lo: n * sh / s.shards, hi: n * (sh + 1) / s.shards}
+	}
+	for sh := 0; sh < s.shards; sh++ {
+		<-s.done
+	}
+	for _, r := range s.kernelPanics {
+		if r != nil {
+			panic(r)
+		}
 	}
 }
 

@@ -94,6 +94,145 @@ func (p *flatSpin) StepShard(round, shard int, verts []int32, recv, send []Word,
 	}
 }
 
+// TestSessionParallelFor checks the kernel API against a sequential
+// reference over many sizes (including 0 and fewer items than shards):
+// every index is visited exactly once, with the documented slice bounds.
+func TestSessionParallelFor(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 8} {
+		sess := NewSession(shards)
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			visits := make([]int32, n)
+			sess.ParallelFor(n, func(sh, lo, hi int) {
+				if lo != n*sh/shards || hi != n*(sh+1)/shards {
+					panic("slice bounds diverge from the documented split")
+				}
+				for i := lo; i < hi; i++ {
+					visits[i]++
+				}
+			})
+			for i, c := range visits {
+				if c != 1 {
+					t.Fatalf("shards=%d n=%d: index %d visited %d times", shards, n, i, c)
+				}
+			}
+		}
+		sess.Close()
+	}
+}
+
+// TestSessionParallelForReuse interleaves ParallelFor dispatches with
+// engine runs on one session — the phase-loop usage pattern — and checks
+// both against fresh executions, mirroring TestSessionReuseMatchesRunSharded.
+func TestSessionParallelForReuse(t *testing.T) {
+	sess := NewSession(3)
+	defer sess.Close()
+	for _, n := range []int{5, 40, 12, 200, 7, 64} {
+		// A central-pass stand-in: a per-index transform plus a per-shard
+		// partial reduction, combined after the barrier.
+		sq := make([]int64, n)
+		partial := make([]int64, sess.Shards())
+		sess.ParallelFor(n, func(sh, lo, hi int) {
+			var sum int64
+			for i := lo; i < hi; i++ {
+				sq[i] = int64(i) * int64(i)
+				sum += sq[i]
+			}
+			partial[sh] = sum
+		})
+		var got, want int64
+		for _, p := range partial {
+			got += p
+		}
+		for i := 0; i < n; i++ {
+			want += int64(i) * int64(i)
+		}
+		if got != want {
+			t.Fatalf("n=%d: parallel reduction %d != sequential %d", n, got, want)
+		}
+
+		csr := graph.NewCSRFromGraph(graph.Cycle(n))
+		p1 := newFlatCountdown(csr, n%4+2)
+		s1, err := sess.Run(csr, p1, ShardedOptions{})
+		if err != nil {
+			t.Fatalf("n=%d: session run: %v", n, err)
+		}
+		p2 := newFlatCountdown(csr, n%4+2)
+		s2, err := RunSharded(csr, p2, ShardedOptions{Shards: 3})
+		if err != nil {
+			t.Fatalf("n=%d: fresh run: %v", n, err)
+		}
+		if s1 != s2 || p1.total() != p2.total() {
+			t.Fatalf("n=%d: session run diverges from fresh run after ParallelFor", n)
+		}
+	}
+}
+
+// TestSessionParallelForPanic checks that a kernel panic is propagated to
+// the caller and that the session (workers included) survives it.
+func TestSessionParallelForPanic(t *testing.T) {
+	sess := NewSession(4)
+	defer sess.Close()
+	boom := func() (recovered any) {
+		defer func() { recovered = recover() }()
+		sess.ParallelFor(100, func(sh, lo, hi int) {
+			if sh == 2 {
+				panic("kernel boom")
+			}
+		})
+		return nil
+	}
+	if r := boom(); r != "kernel boom" {
+		t.Fatalf("recovered %v, want the kernel's panic value", r)
+	}
+	// The pool must still serve dispatches and runs.
+	count := make([]int32, 50)
+	sess.ParallelFor(50, func(sh, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			count[i]++
+		}
+	})
+	for i, c := range count {
+		if c != 1 {
+			t.Fatalf("after panic: index %d visited %d times", i, c)
+		}
+	}
+	csr := graph.NewCSRFromGraph(graph.Cycle(9))
+	if _, err := sess.Run(csr, newFlatCountdown(csr, 2), ShardedOptions{}); err != nil {
+		t.Fatalf("Run after kernel panic: %v", err)
+	}
+}
+
+// TestSessionParallelForClosed pins the loud-failure contract.
+func TestSessionParallelForClosed(t *testing.T) {
+	sess := NewSession(2)
+	sess.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ParallelFor on a closed session did not panic")
+		}
+	}()
+	sess.ParallelFor(10, func(sh, lo, hi int) {})
+}
+
+// TestSessionParallelForZeroAlloc asserts the kernel-API half of the
+// zero-allocation contract: a warmed dispatch (hoisted kernel closure)
+// allocates nothing.
+func TestSessionParallelForZeroAlloc(t *testing.T) {
+	sess := NewSession(4)
+	defer sess.Close()
+	out := make([]int64, 4096)
+	kernel := func(sh, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = int64(i)
+		}
+	}
+	run := func() { sess.ParallelFor(len(out), kernel) }
+	run() // warm: worker stacks reach steady state
+	if allocs := testing.AllocsPerRun(10, run); allocs != 0 {
+		t.Errorf("warmed Session.ParallelFor allocated %.1f objects per call; want 0", allocs)
+	}
+}
+
 // TestSessionRunZeroAlloc asserts the engine-level half of the
 // zero-allocation contract: a warmed session executes entire repeat Run
 // calls — shard bounds, buffer reset, every round, awake-list

@@ -148,6 +148,41 @@ func TestOrientShardCountInvariance(t *testing.T) {
 	}
 }
 
+// TestOrientCentralStepInvariance pins the parallel central passes: the
+// proposal/accept evaluation, game-assembly marks, result scatter, and
+// badness recounts run as Session.ParallelFor kernels, so the whole run
+// — phase logs (proposal/accept counts included), rounds, final heads
+// and loads — must be bit-identical at shard counts 1, 2, and 8 under
+// both tie rules. TieRandom is the sharper check: the per-vertex draw
+// streams of the owner-computes kernels must not depend on the split.
+func TestOrientCentralStepInvariance(t *testing.T) {
+	for i := 0; i < 12; i++ {
+		g, name := diffGraph(3 * i)
+		csr := graph.NewCSRFromGraph(g)
+		for _, tie := range []core.TieBreak{core.TieFirstPort, core.TieRandom} {
+			base, err := SolveSharded(csr, ShardedOptions{
+				Tie: tie, Seed: int64(500 + i), Shards: 1, CheckInvariants: true,
+			})
+			if err != nil {
+				t.Fatalf("case %d (%s) tie=%v shards=1: %v", i, name, tie, err)
+			}
+			for _, shards := range []int{2, 8} {
+				res, err := SolveSharded(csr, ShardedOptions{
+					Tie: tie, Seed: int64(500 + i), Shards: shards, CheckInvariants: true,
+				})
+				if err != nil {
+					t.Fatalf("case %d (%s) tie=%v shards=%d: %v", i, name, tie, shards, err)
+				}
+				if res.Rounds != base.Rounds || res.Phases != base.Phases ||
+					!slices.Equal(res.PhaseLog, base.PhaseLog) ||
+					!slices.Equal(res.Head, base.Head) || !slices.Equal(res.Load, base.Load) {
+					t.Fatalf("case %d (%s) tie=%v: shards=%d diverges from shards=1", i, name, tie, shards)
+				}
+			}
+		}
+	}
+}
+
 // TestSolveShardedCSRNative runs the sharded port on graphs built directly
 // in CSR form (whose adjacency is not neighbor-sorted) — the port order of
 // the input CSR must not matter, because the phase games build their own.

@@ -24,7 +24,11 @@ import (
 //     (the same simulation shortcut Solve uses: the load broadcast and the
 //     acceptance notification are charged as 2 communication rounds but
 //     evaluated centrally, since both endpoints apply one deterministic
-//     rule to the same broadcast values);
+//     rule to the same broadcast values). The central passes themselves
+//     run as flat kernels on the engine session's parked workers
+//     (local.Session.ParallelFor) in owner-computes form, so they shard
+//     exactly like the subgame rounds and the results stay independent
+//     of the worker count;
 //   - the phase's virtual token graph — the oriented edges of badness
 //     exactly 1, with levels = loads and tokens at acceptors — is
 //     assembled as a fresh CSR and solved on the sharded engine;
@@ -207,13 +211,37 @@ func SolveSharded(c *graph.CSR, opt ShardedOptions) (*ShardedResult, error) {
 	}
 
 	var rngs []uint64 // per-vertex TieRandom accept streams (core.SplitMix64)
-	var propCount []int32
 	if opt.Tie == core.TieRandom {
 		rngs = make([]uint64, n)
 		for v := range rngs {
 			rngs[v] = core.SplitMix64(uint64(opt.Seed) ^ uint64(v)*0x9e3779b97f4a7c15)
 		}
-		propCount = make([]int32, n)
+	}
+
+	// Per-vertex incident edge ids in ascending id order. The central
+	// proposal/accept pass runs owner-computes on the kernel executor —
+	// each vertex derives its own accepted edge — and this index is what
+	// keeps that bit-identical to the edge-id-major loop it replaces: a
+	// vertex's accept decision (and, under TieRandom, its per-vertex
+	// draw stream) depends only on the subsequence of its own proposing
+	// edges in ascending id order, which is exactly the order the global
+	// id loop visited them in.
+	incPtr := make([]int32, n+1)
+	for id := 0; id < m; id++ {
+		incPtr[eu[id]+1]++
+		incPtr[ev[id]+1]++
+	}
+	for v := 0; v < n; v++ {
+		incPtr[v+1] += incPtr[v]
+	}
+	incEID := make([]int32, 2*m)
+	incCursor := make([]int32, n)
+	copy(incCursor, incPtr[:n])
+	for id := 0; id < m; id++ {
+		incEID[incCursor[eu[id]]] = int32(id)
+		incCursor[eu[id]]++
+		incEID[incCursor[ev[id]]] = int32(id)
+		incCursor[ev[id]]++
 	}
 
 	// Reused per-phase scratch.
@@ -229,6 +257,7 @@ func SolveSharded(c *graph.CSR, opt ShardedOptions) (*ShardedResult, error) {
 		loadsBefore = make([]int32, n)
 	}
 	gameToOrig := make([]int32, 0, m)
+	include := make([]byte, m) // game-assembly marks, indexed by lex position
 
 	// The reusable execution layer: one engine session (persistent worker
 	// pool and message buffers) plays every phase's subgame, one builder
@@ -242,6 +271,133 @@ func SolveSharded(c *graph.CSR, opt ShardedOptions) (*ShardedResult, error) {
 	builder := graph.NewCSRBuilder(n, 0)
 	var game graph.CSR
 
+	// The central per-phase passes run as flat kernels on the session's
+	// parked workers (Session.ParallelFor), with per-shard partial
+	// accumulators combined after each barrier. The kernels are hoisted
+	// out of the phase loop — closure construction allocates — and
+	// capture the loop's flat state by reference.
+	shards := sess.Shards()
+	partAccepted := make([]int32, shards)
+	partOriented := make([]int32, shards)
+	partMaxBad := make([]int32, shards)
+
+	// Steps 1 and 2 of each phase, owner-computes per vertex: every
+	// unoriented edge proposes to its smaller-load endpoint (ties toward
+	// the smaller vertex id, which is eu), and each proposed-to vertex
+	// accepts one proposing edge — the smallest id under TieFirstPort
+	// (the ascending incident scan finds it first), a uniform draw over
+	// its proposing edges in ascending id order under TieRandom (the
+	// per-vertex stream the sequential loop drew).
+	acceptKernel := func(sh, lo, hi int) {
+		accepted := int32(0)
+		for v := lo; v < hi; v++ {
+			best := int32(-1)
+			if opt.Tie == core.TieRandom {
+				state := rngs[v]
+				count := 0
+				for j := incPtr[v]; j < incPtr[v+1]; j++ {
+					id := incEID[j]
+					if head[id] >= 0 {
+						continue
+					}
+					target := eu[id]
+					if load[ev[id]] < load[eu[id]] {
+						target = ev[id]
+					}
+					if target != int32(v) {
+						continue
+					}
+					count++
+					var pick int
+					state, pick = core.SplitMixIntn(state, count)
+					if pick == 0 {
+						best = id
+					}
+				}
+				rngs[v] = state
+			} else {
+				for j := incPtr[v]; j < incPtr[v+1]; j++ {
+					id := incEID[j]
+					if head[id] >= 0 {
+						continue
+					}
+					target := eu[id]
+					if load[ev[id]] < load[eu[id]] {
+						target = ev[id]
+					}
+					if target == int32(v) {
+						best = id
+						break
+					}
+				}
+			}
+			acceptEdge[v] = best
+			token[v] = best >= 0
+			if best >= 0 {
+				accepted++
+			}
+		}
+		partAccepted[sh] = accepted
+	}
+
+	// Step 3's filter over lex positions: the badness test performs the
+	// random load lookups, so it runs on the kernels; the order-dependent
+	// builder insertion that follows is a sequential scan of the marks.
+	markKernel := func(sh, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			id := lex[j]
+			h := head[id]
+			if h < 0 {
+				include[j] = 0
+				continue
+			}
+			tail := eu[id]
+			if h == tail {
+				tail = ev[id]
+			}
+			if load[h]-load[tail] == 1 {
+				include[j] = 1
+			} else {
+				include[j] = 0
+			}
+		}
+	}
+
+	// Step 6's scatter: each acceptor orients its accepted edge toward
+	// itself. Distinct vertices accept distinct edges (an edge proposes
+	// to exactly one target), so the head writes never collide.
+	scatterKernel := func(sh, lo, hi int) {
+		count := int32(0)
+		for v := lo; v < hi; v++ {
+			if id := acceptEdge[v]; id >= 0 {
+				head[id] = int32(v)
+				load[v]++
+				count++
+			}
+		}
+		partOriented[sh] = count
+	}
+
+	// The per-phase max-badness recount of the phase log, as a
+	// max-reduction over edges.
+	badnessKernel := func(sh, lo, hi int) {
+		max := int32(0)
+		for id := lo; id < hi; id++ {
+			h := head[id]
+			if h < 0 {
+				continue
+			}
+			tail := eu[id]
+			if h == tail {
+				tail = ev[id]
+			}
+			if b := load[h] - load[tail]; b > max {
+				max = b
+			}
+		}
+		partMaxBad[sh] = max
+	}
+
 	oriented := 0
 	for phase := 1; oriented < m; phase++ {
 		if phase > maxPhases {
@@ -249,62 +405,31 @@ func SolveSharded(c *graph.CSR, opt ShardedOptions) (*ShardedResult, error) {
 		}
 		rec := PhaseRecord{Phase: phase}
 
-		// Steps 1 and 2 — every unoriented edge proposes to its smaller-load
-		// endpoint (ties toward the smaller vertex id, which is eu), and
-		// each proposed-to node accepts one edge: the smallest proposing
-		// edge id under TieFirstPort (Solve appends proposals in edge-id
-		// order and picks props[0]), a uniform draw under TieRandom.
-		// 2 communication rounds.
-		for v := range acceptEdge {
-			acceptEdge[v] = -1
-		}
-		if opt.Tie == core.TieRandom {
-			for v := range propCount {
-				propCount[v] = 0
-			}
-		}
-		for id := 0; id < m; id++ {
-			if head[id] >= 0 {
-				continue
-			}
-			rec.Proposals++
-			target := eu[id]
-			if load[ev[id]] < load[eu[id]] {
-				target = ev[id]
-			}
-			if opt.Tie == core.TieRandom {
-				propCount[target]++
-				var pick int
-				rngs[target], pick = core.SplitMixIntn(rngs[target], int(propCount[target]))
-				if pick == 0 {
-					acceptEdge[target] = int32(id)
-				}
-			} else if acceptEdge[target] < 0 {
-				acceptEdge[target] = int32(id)
-			}
-		}
-		for v := range token {
-			token[v] = acceptEdge[v] >= 0
-			if token[v] {
-				rec.Accepted++
-			}
+		// Steps 1 and 2 — the proposal/accept pass (see acceptKernel).
+		// Every unoriented edge proposes exactly once, so the proposal
+		// count is the number of still-unoriented edges. 2 communication
+		// rounds.
+		rec.Proposals = m - oriented
+		sess.ParallelFor(n, acceptKernel)
+		for _, a := range partAccepted {
+			rec.Accepted += int(a)
 		}
 		res.Rounds += 2
 
 		// Step 3 — the virtual token graph: levels = loads, edges = the
 		// oriented edges of badness exactly 1, tokens at acceptors
-		// (Lemma 5.2 guarantees validity). Lex insertion order makes the
-		// builder's port numbering neighbor-ascending, as in Solve.
+		// (Lemma 5.2 guarantees validity). The badness filter runs on the
+		// kernels (markKernel); the insertion itself stays a sequential
+		// scan of the marks, because lex insertion order is what makes
+		// the builder's port numbering neighbor-ascending, as in Solve.
+		sess.ParallelFor(m, markKernel)
 		builder.Reset(n)
 		gameToOrig = gameToOrig[:0]
-		for _, id := range lex {
-			h := head[id]
-			if h < 0 {
+		for j := 0; j < m; j++ {
+			if include[j] == 0 {
 				continue
 			}
-			if load[h]-load[res.edgeTail(int(id))] != 1 {
-				continue
-			}
+			id := lex[j]
 			builder.AddEdge(int(eu[id]), int(ev[id]))
 			gameToOrig = append(gameToOrig, id)
 		}
@@ -368,13 +493,11 @@ func SolveSharded(c *graph.CSR, opt ShardedOptions) (*ShardedResult, error) {
 			load[t]++
 			head[id] = t
 		}
-		// Step 6 — orient the accepted edges toward their acceptors.
-		for v := 0; v < n; v++ {
-			if id := acceptEdge[v]; id >= 0 {
-				head[id] = int32(v)
-				load[v]++
-				oriented++
-			}
+		// Step 6 — orient the accepted edges toward their acceptors
+		// (scatterKernel).
+		sess.ParallelFor(n, scatterKernel)
+		for _, c := range partOriented {
+			oriented += int(c)
 		}
 
 		if opt.CheckInvariants {
@@ -382,7 +505,13 @@ func SolveSharded(c *graph.CSR, opt ShardedOptions) (*ShardedResult, error) {
 				return nil, fmt.Errorf("orient: phase %d: %w", phase, err)
 			}
 		}
-		rec.MaxBadness = res.MaxBadness()
+		sess.ParallelFor(m, badnessKernel)
+		rec.MaxBadness = 0
+		for _, b := range partMaxBad {
+			if int(b) > rec.MaxBadness {
+				rec.MaxBadness = int(b)
+			}
+		}
 		res.PhaseLog = append(res.PhaseLog, rec)
 		res.Phases = phase
 	}
