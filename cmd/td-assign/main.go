@@ -18,9 +18,39 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"path/filepath"
 
 	"tokendrop"
 )
+
+// recordMeta canonicalizes the generator flags as run provenance.
+func recordMeta(nc, ns, cdeg int, seed int64, shards int) tokendrop.RunMetaJSON {
+	return tokendrop.RunMetaJSON{
+		Workload: fmt.Sprintf("bipartite customers=%d servers=%d cdeg=%d", nc, ns, cdeg),
+		GenSeed:  seed, Tie: tokendrop.TieName(tokendrop.TieFirstPort), Seed: seed, Shards: shards,
+	}
+}
+
+// saveRecordSnapshot persists the latest mid-solve snapshot atomically,
+// creating the recording directory on first use.
+func saveRecordSnapshot(dir string, sj *tokendrop.SnapshotJSON) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return tokendrop.SaveSnapshotFile(filepath.Join(dir, "snapshot.json"), sj)
+}
+
+// finishRecord writes the final run state.
+func finishRecord(dir string, sj *tokendrop.SnapshotJSON) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	if err := tokendrop.SaveSnapshotFile(filepath.Join(dir, "run.json"), sj); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded run in %s\n", dir)
+}
 
 func main() {
 	var (
@@ -34,8 +64,13 @@ func main() {
 		loads    = flag.Bool("loads", false, "print the server load histogram")
 		engine   = flag.String("engine", "local", "local (goroutine-per-node simulator) | sharded (flat CSR engine)")
 		shards   = flag.Int("shards", 0, "sharded engine worker count (0 = runtime.GOMAXPROCS(0), i.e. one worker per core)")
+		record   = flag.String("record", "", "record the run into this directory (snapshot.json per phase, run.json final state); requires -engine sharded")
 	)
 	flag.Parse()
+
+	if *record != "" && *engine != "sharded" {
+		log.Fatal("-record requires -engine sharded (snapshots capture the flat engine's state)")
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	g := tokendrop.RandomBipartite(*nc, *ns, *cdeg, rng)
@@ -54,11 +89,28 @@ func main() {
 	switch {
 	case *engine == "sharded" && *kbounded:
 		fb := tokendrop.NewFlatBipartite(b)
-		res, err := tokendrop.KBoundedAssignmentSharded(fb, tokendrop.BoundedShardedOptions{
+		sopt := tokendrop.BoundedShardedOptions{
 			K: *k, Seed: *seed, Shards: *shards, CheckInvariants: true,
-		})
+		}
+		meta := recordMeta(*nc, *ns, *cdeg, *seed, *shards)
+		if *record != "" {
+			buf := new(tokendrop.BoundedSnapshot)
+			sopt.SnapshotEvery = 1
+			sopt.SnapshotInto = buf
+			sopt.OnSnapshot = func(s *tokendrop.BoundedSnapshot) error {
+				return saveRecordSnapshot(*record, tokendrop.BoundedSnapshotJSON(s, fb, meta))
+			}
+		}
+		res, err := tokendrop.KBoundedAssignmentSharded(fb, sopt)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *record != "" {
+			final := &tokendrop.BoundedSnapshot{
+				K: res.K, Phase: res.Phases, Rounds: res.Rounds,
+				ServerOf: res.ServerOf, Load: res.Load, PhaseLog: res.PhaseLog,
+			}
+			finishRecord(*record, tokendrop.BoundedSnapshotJSON(final, fb, meta))
 		}
 		fmt.Printf("%d-bounded stable assignment (Thm 7.5, sharded): phases=%d rounds=%d k-stable=%v\n",
 			res.K, res.Phases, res.Rounds, res.KStable())
@@ -73,11 +125,28 @@ func main() {
 		}
 	case *engine == "sharded":
 		fb := tokendrop.NewFlatBipartite(b)
-		res, err := tokendrop.StableAssignmentSharded(fb, tokendrop.AssignShardedOptions{
+		sopt := tokendrop.AssignShardedOptions{
 			Seed: *seed, Shards: *shards, CheckInvariants: true,
-		})
+		}
+		meta := recordMeta(*nc, *ns, *cdeg, *seed, *shards)
+		if *record != "" {
+			buf := new(tokendrop.AssignSnapshot)
+			sopt.SnapshotEvery = 1
+			sopt.SnapshotInto = buf
+			sopt.OnSnapshot = func(s *tokendrop.AssignSnapshot) error {
+				return saveRecordSnapshot(*record, tokendrop.AssignSnapshotJSON(s, fb, meta))
+			}
+		}
+		res, err := tokendrop.StableAssignmentSharded(fb, sopt)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *record != "" {
+			final := &tokendrop.AssignSnapshot{
+				Phase: res.Phases, Rounds: res.Rounds,
+				ServerOf: res.ServerOf, Load: res.Load, PhaseLog: res.PhaseLog,
+			}
+			finishRecord(*record, tokendrop.AssignSnapshotJSON(final, fb, meta))
 		}
 		fmt.Printf("stable assignment (Thm 7.3, sharded): phases=%d rounds=%d stable=%v cost=%d\n",
 			res.Phases, res.Rounds, res.Stable(), res.SemimatchingCost())

@@ -34,6 +34,8 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"path/filepath"
 
 	"tokendrop"
 )
@@ -52,11 +54,15 @@ func main() {
 		random    = flag.Bool("random-ties", false, "randomized tie-breaking")
 		phases    = flag.Bool("phases", false, "print the per-phase log")
 		baselines = flag.Bool("baselines", false, "also run the sequential greedy and selfish-flip baselines (local engine only)")
+		record    = flag.String("record", "", "record the run into this directory (snapshot.json per phase, run.json final state); requires -engine sharded")
 	)
 	flag.Parse()
 
 	if *engine != "local" && *engine != "sharded" {
 		log.Fatalf("unknown engine %q (want local or sharded)", *engine)
+	}
+	if *record != "" && *engine != "sharded" {
+		log.Fatal("-record requires -engine sharded (snapshots capture the flat engine's state)")
 	}
 	if *baselines && *engine != "local" {
 		log.Fatal("-baselines requires -engine local")
@@ -119,11 +125,39 @@ func main() {
 	)
 	if *engine == "sharded" {
 		fmt.Printf("graph: n=%d m=%d Δ=%d (sharded engine)\n", c.N(), c.M(), c.MaxDegree())
-		res, err := tokendrop.StableOrientationSharded(c, tokendrop.OrientShardedOptions{
+		sopt := tokendrop.OrientShardedOptions{
 			Tie: tie, Seed: *seed, Shards: *shards, CheckInvariants: true,
-		})
+		}
+		meta := tokendrop.RunMetaJSON{
+			Workload: fmt.Sprintf("%s n=%d d=%d m=%d depth=%d alpha=%g", *kind, *n, *d, *m, *depth, *alpha),
+			GenSeed:  *seed, Tie: tokendrop.TieName(tie), Seed: *seed, Shards: *shards,
+		}
+		if *record != "" {
+			if err := os.MkdirAll(*record, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			buf := new(tokendrop.OrientSnapshot)
+			sopt.SnapshotEvery = 1
+			sopt.SnapshotInto = buf
+			sopt.OnSnapshot = func(s *tokendrop.OrientSnapshot) error {
+				return tokendrop.SaveSnapshotFile(filepath.Join(*record, "snapshot.json"),
+					tokendrop.OrientSnapshotJSON(s, c, meta))
+			}
+		}
+		res, err := tokendrop.StableOrientationSharded(c, sopt)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *record != "" {
+			final := &tokendrop.OrientSnapshot{
+				Phase: res.Phases, Oriented: c.M(), Rounds: res.Rounds,
+				Head: res.Head, Load: res.Load, PhaseLog: res.PhaseLog,
+			}
+			if err := tokendrop.SaveSnapshotFile(filepath.Join(*record, "run.json"),
+				tokendrop.OrientSnapshotJSON(final, c, meta)); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("recorded run in %s\n", *record)
 		}
 		phaseCount, rounds, worstCase = res.Phases, res.Rounds, res.WorstCaseRounds
 		stable, potential, semiCost = res.Stable(), res.Potential(), res.SemimatchingCost()

@@ -24,24 +24,44 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "layered", "chain | layered | figure2 | bipartite | topheavy | grid | powerlaw")
-		levels   = flag.Int("levels", 5, "number of layers above layer 0")
-		width    = flag.Int("width", 10, "vertices per layer (layered/topheavy/grid) or per side (bipartite/powerlaw)")
-		deg      = flag.Int("deg", 3, "downward degree per vertex (max degree for powerlaw)")
-		tokens   = flag.Float64("tokens", 0.6, "token density (layered)")
-		solver   = flag.String("solver", "proposal", "proposal | threelevel | sequential | parallel")
-		engine   = flag.String("engine", "local", "local (goroutine-per-node simulator) | sharded (flat CSR engine)")
-		shards   = flag.Int("shards", 0, "sharded engine worker count (0 = runtime.GOMAXPROCS(0), i.e. one worker per core)")
-		alpha    = flag.Float64("alpha", 2.0, "power-law degree exponent (powerlaw)")
-		seed     = flag.Int64("seed", 1, "workload and tie-break seed")
-		random   = flag.Bool("random-ties", false, "randomized tie-breaking")
-		paths    = flag.Bool("paths", false, "print token traversals")
-		loadFile = flag.String("load", "", "read the instance from a JSON file instead of generating one")
-		saveFile = flag.String("save", "", "write the generated instance to a JSON file")
-		solFile  = flag.String("save-solution", "", "write the verified solution to a JSON file")
-		trace    = flag.Bool("trace", false, "print the per-round convergence series (moves per round)")
+		workload  = flag.String("workload", "layered", "chain | layered | figure2 | bipartite | topheavy | grid | powerlaw")
+		levels    = flag.Int("levels", 5, "number of layers above layer 0")
+		width     = flag.Int("width", 10, "vertices per layer (layered/topheavy/grid) or per side (bipartite/powerlaw)")
+		deg       = flag.Int("deg", 3, "downward degree per vertex (max degree for powerlaw)")
+		tokens    = flag.Float64("tokens", 0.6, "token density (layered)")
+		solver    = flag.String("solver", "proposal", "proposal | threelevel | sequential | parallel")
+		engine    = flag.String("engine", "local", "local (goroutine-per-node simulator) | sharded (flat CSR engine)")
+		shards    = flag.Int("shards", 0, "sharded engine worker count (0 = runtime.GOMAXPROCS(0), i.e. one worker per core)")
+		alpha     = flag.Float64("alpha", 2.0, "power-law degree exponent (powerlaw)")
+		seed      = flag.Int64("seed", 1, "workload and tie-break seed")
+		random    = flag.Bool("random-ties", false, "randomized tie-breaking")
+		paths     = flag.Bool("paths", false, "print token traversals")
+		loadFile  = flag.String("load", "", "read the instance from a JSON file instead of generating one")
+		saveFile  = flag.String("save", "", "write the generated instance to a JSON file")
+		solFile   = flag.String("save-solution", "", "write the verified solution to a JSON file")
+		trace     = flag.Bool("trace", false, "print the per-round convergence series (moves per round)")
+		record    = flag.String("record", "", "record the run into this directory (instance.json, snapshot.json, run.json); requires -engine sharded")
+		replay    = flag.String("replay", "", "replay a recorded run directory and verify bit-identical results; exits non-zero with the first divergence")
+		snapEvery = flag.Int("snapshot-every", 32, "with -record: snapshot every k completed rounds")
 	)
 	flag.Parse()
+
+	if *replay != "" {
+		tie := tokendrop.TieFirstPort
+		if *random {
+			tie = tokendrop.TieRandom
+		}
+		replayRun(*replay, *solver, tie, *seed, *shards)
+		return
+	}
+	if *record != "" {
+		if *engine != "sharded" {
+			log.Fatal("-record requires -engine sharded (snapshots capture the flat engine's state)")
+		}
+		if *snapEvery <= 0 {
+			log.Fatal("-snapshot-every must be positive")
+		}
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	var inst *tokendrop.GameInstance
@@ -143,6 +163,16 @@ func main() {
 			flat = tokendrop.NewFlatGame(inst)
 		}
 		sopt := tokendrop.ShardedGameOptions{Tie: tie, Seed: *seed, MaxRounds: 1 << 20, Shards: *shards}
+		var rec *recorder
+		if *record != "" {
+			rec = &recorder{dir: *record, flat: flat, meta: tokendrop.RunMetaJSON{
+				Workload: *workload, GenSeed: *seed, Tie: tokendrop.TieName(tie), Seed: *seed, Shards: *shards,
+			}}
+			rec.start(inst)
+			sopt.SnapshotEvery = *snapEvery
+			sopt.SnapshotInto = &rec.buf
+			sopt.OnSnapshot = rec.hook
+		}
 		var res *tokendrop.FlatGameResult
 		if *solver == "proposal" {
 			res, err = tokendrop.SolveGameSharded(flat, sopt)
@@ -154,6 +184,13 @@ func main() {
 		}
 		sol = res.Solution(inst)
 		stats = res.Stats
+		if rec != nil {
+			// run.json only ever holds a verified solution.
+			if err := tokendrop.VerifyGame(sol); err != nil {
+				log.Fatalf("solution failed verification: %v", err)
+			}
+			rec.finish(sol)
+		}
 	} else {
 		switch *solver {
 		case "proposal":

@@ -71,6 +71,29 @@ type ShardedOptions struct {
 	// object form and runs hypergame.Verify on its solution. Expensive at
 	// scale — meant for tests, not million-customer runs.
 	VerifyGames bool
+
+	// SnapshotEvery asks for a crash-consistent snapshot after every k-th
+	// completed phase (k > 0). Captures happen at the phase boundary, where
+	// the engine session is quiescent and the assignment arrays are the
+	// whole mid-solve state.
+	SnapshotEvery int
+	// SnapshotAt asks for one snapshot after the given phase completes, in
+	// addition to any SnapshotEvery schedule.
+	SnapshotAt int
+	// OnSnapshot receives each capture. A non-nil error aborts the solve
+	// with that error. The *Snapshot is only valid during the call when
+	// SnapshotInto is set (the buffer is rewritten by the next capture).
+	OnSnapshot func(*Snapshot) error
+	// SnapshotInto, when non-nil, is the caller-owned buffer every capture
+	// is written into (slices reused grow-only), keeping the snapshot pass
+	// allocation-free in steady state. When nil each capture allocates a
+	// fresh Snapshot.
+	SnapshotInto *Snapshot
+	// ResumeFrom restores a snapshot's state and continues the solve from
+	// the phase after its cursor. The snapshot must come from a run on the
+	// same network with the same Tie and Seed; shape and consistency are
+	// validated, semantic mismatches surface as divergent results.
+	ResumeFrom *Snapshot
 }
 
 // ShardedResult is the outcome of SolveSharded: the assignment in flat
@@ -429,7 +452,20 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 		partMaxBad[sh] = max
 	}
 
-	for phase := 1; len(unassigned) > 0; phase++ {
+	startPhase := 1
+	if rs := opt.ResumeFrom; rs != nil {
+		ua, err := restoreAssignSnapshot(rs, nl, ns, opt.Tie, serverOf, load, unassigned, custRng, servRng)
+		if err != nil {
+			return nil, fmt.Errorf("assign: %w", err)
+		}
+		unassigned = ua
+		res.Rounds = rs.Rounds
+		res.PhaseLog = append(res.PhaseLog, rs.PhaseLog...)
+		res.Phases = rs.Phase
+		startPhase = rs.Phase + 1
+	}
+
+	for phase := startPhase; len(unassigned) > 0; phase++ {
 		if phase > maxPhases {
 			return nil, fmt.Errorf("assign: phase %d exceeds the Lemma 7.2 budget (C·S=%d)", phase, cs)
 		}
@@ -545,6 +581,18 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 		}
 		res.PhaseLog = append(res.PhaseLog, rec)
 		res.Phases = phase
+
+		if opt.OnSnapshot != nil &&
+			((opt.SnapshotEvery > 0 && phase%opt.SnapshotEvery == 0) || phase == opt.SnapshotAt) {
+			snap := opt.SnapshotInto
+			if snap == nil {
+				snap = new(Snapshot)
+			}
+			captureAssignSnapshot(snap, phase, res.Rounds, serverOf, load, unassigned, custRng, servRng, res.PhaseLog)
+			if err := opt.OnSnapshot(snap); err != nil {
+				return nil, fmt.Errorf("assign: snapshot at phase %d: %w", phase, err)
+			}
+		}
 	}
 	return res, nil
 }

@@ -196,6 +196,33 @@ type ShardedSolveOptions struct {
 	// state in place instead of allocating it per solve. A workspace
 	// must not be shared by concurrent solves.
 	Workspace *SolverWorkspace
+
+	// SnapshotEvery, when positive, captures a Snapshot after every
+	// SnapshotEvery-th round and hands it to OnSnapshot. Captures run at
+	// the engine's round barrier — a quiescent point, so they are
+	// crash-consistent by construction. Zero disables periodic capture;
+	// a disabled solve pays nothing (no closures, no allocations).
+	SnapshotEvery int
+	// SnapshotAt, when positive, additionally captures a Snapshot after
+	// exactly that round (no capture happens if the game ends earlier).
+	SnapshotAt int
+	// OnSnapshot receives every capture. The pointed-to Snapshot is
+	// reused across captures when SnapshotInto is set — encode or copy
+	// it before returning. A non-nil error aborts the solve.
+	OnSnapshot func(*Snapshot) error
+	// SnapshotInto, if non-nil, is the caller-owned buffer captures are
+	// written into; its placement slice is grown once and reused, so
+	// steady-state captures allocate nothing. Nil allocates a fresh
+	// Snapshot per capture.
+	SnapshotInto *Snapshot
+	// ResumeFrom, when non-nil, replays a recorded run through the given
+	// cursor: the solver re-executes rounds 1..ResumeFrom.Round (the run
+	// is a deterministic function of instance, tie rule, and seed) and
+	// verifies that the placement and move count at the cursor bit-match
+	// the snapshot, failing loudly on the first divergence. The
+	// continuation past the cursor is then bit-identical to the
+	// uninterrupted run.
+	ResumeFrom *Snapshot
 }
 
 // SolverWorkspace holds the reusable program state of the sharded
@@ -229,13 +256,69 @@ func runInitKernel(sess *local.Session, n int, k local.Kernel) {
 }
 
 // runFlat executes prog on the options' session when one is set, else on
-// a one-shot engine.
+// a one-shot engine, wiring the snapshot capture and resume-validation
+// hooks into the engine's round barrier when the options ask for them.
 func runFlat(csr *graph.CSR, prog local.FlatProgram, opt ShardedSolveOptions) (local.ShardedStats, error) {
 	sopt := local.ShardedOptions{
 		MaxRounds: opt.MaxRounds,
 		Shards:    opt.Shards,
 		Stop:      opt.Stop,
 	}
+	var snapErr error
+	resumeChecked := false
+	if opt.snapshotsEnabled() {
+		gs, ok := prog.(gameState)
+		if !ok {
+			return local.ShardedStats{}, fmt.Errorf("core: program %T does not support snapshots", prog)
+		}
+		n := csr.N()
+		rs := opt.ResumeFrom
+		if rs != nil {
+			if len(rs.Occupied) != n {
+				return local.ShardedStats{}, fmt.Errorf("core: resume snapshot covers %d vertices, game has %d",
+					len(rs.Occupied), n)
+			}
+			if rs.Round < 1 {
+				return local.ShardedStats{}, fmt.Errorf("core: resume snapshot cursor at round %d (want ≥ 1)", rs.Round)
+			}
+		}
+		sopt.OnRound = func(round, awake int) {
+			if snapErr != nil {
+				return
+			}
+			if rs != nil && round == rs.Round {
+				resumeChecked = true
+				snapErr = verifyCursor(gs, rs)
+			}
+			if snapErr == nil && opt.OnSnapshot != nil &&
+				((opt.SnapshotEvery > 0 && round%opt.SnapshotEvery == 0) || round == opt.SnapshotAt) {
+				snap := opt.SnapshotInto
+				if snap == nil {
+					snap = new(Snapshot)
+				}
+				captureInto(snap, gs, n, round)
+				snapErr = opt.OnSnapshot(snap)
+			}
+		}
+		stop := opt.Stop
+		sopt.Stop = func(round int) bool {
+			return snapErr != nil || (stop != nil && stop(round))
+		}
+	}
+	stats, err := runEngine(csr, prog, opt, sopt)
+	if err == nil {
+		if snapErr != nil {
+			err = snapErr
+		} else if opt.ResumeFrom != nil && !resumeChecked {
+			err = fmt.Errorf("core: resume cursor at round %d was never reached (run ended after %d rounds)",
+				opt.ResumeFrom.Round, stats.Rounds)
+		}
+	}
+	return stats, err
+}
+
+// runEngine dispatches to the options' session or a one-shot engine.
+func runEngine(csr *graph.CSR, prog local.FlatProgram, opt ShardedSolveOptions, sopt local.ShardedOptions) (local.ShardedStats, error) {
 	if opt.Session != nil {
 		return opt.Session.Run(csr, prog, sopt)
 	}

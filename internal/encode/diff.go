@@ -1,0 +1,181 @@
+package encode
+
+import (
+	"fmt"
+
+	"tokendrop/internal/core"
+)
+
+// Divergence is the structured replay-failure report: the first point
+// where a replayed run stopped matching its recording, with both values.
+// It implements error so replay paths can fail loudly with it.
+type Divergence struct {
+	// Where locates the first difference, e.g. "rounds", "moves[17].to",
+	// "final[42]", or "phase_log[3].accepted".
+	Where string `json:"where"`
+	// Recorded and Replayed render the two values at that point.
+	Recorded string `json:"recorded"`
+	Replayed string `json:"replayed"`
+}
+
+// Error formats the report on one line.
+func (d *Divergence) Error() string {
+	return fmt.Sprintf("replay diverged at %s: recorded %s, replayed %s", d.Where, d.Recorded, d.Replayed)
+}
+
+func diff(where string, recorded, replayed any) *Divergence {
+	return &Divergence{Where: where, Recorded: fmt.Sprint(recorded), Replayed: fmt.Sprint(replayed)}
+}
+
+// DiffSolutions compares a replayed game solution against its recording
+// and returns the first divergence (nil when they match bit-for-bit):
+// round count, then the move log in order, then the final placement.
+func DiffSolutions(recorded, replayed *core.Solution) *Divergence {
+	if recorded.Rounds != replayed.Rounds {
+		return diff("rounds", recorded.Rounds, replayed.Rounds)
+	}
+	n := len(recorded.Moves)
+	if len(replayed.Moves) < n {
+		n = len(replayed.Moves)
+	}
+	for i := 0; i < n; i++ {
+		a, b := recorded.Moves[i], replayed.Moves[i]
+		switch {
+		case a.Round != b.Round:
+			return diff(fmt.Sprintf("moves[%d].round", i), a.Round, b.Round)
+		case a.From != b.From:
+			return diff(fmt.Sprintf("moves[%d].from", i), a.From, b.From)
+		case a.To != b.To:
+			return diff(fmt.Sprintf("moves[%d].to", i), a.To, b.To)
+		}
+	}
+	if len(recorded.Moves) != len(replayed.Moves) {
+		return diff("len(moves)", len(recorded.Moves), len(replayed.Moves))
+	}
+	for v := range recorded.Final {
+		if v >= len(replayed.Final) {
+			break
+		}
+		if recorded.Final[v] != replayed.Final[v] {
+			return diff(fmt.Sprintf("final[%d]", v), recorded.Final[v], replayed.Final[v])
+		}
+	}
+	if len(recorded.Final) != len(replayed.Final) {
+		return diff("len(final)", len(recorded.Final), len(replayed.Final))
+	}
+	return nil
+}
+
+// DiffSnapshots compares a replayed run's snapshot against its recording
+// field by field and returns the first divergence (nil when they match
+// bit-for-bit). Envelope fields first (layer, graph hash, provenance),
+// then the phase log in order, then the packed state arrays — so the
+// report names the earliest observable difference, not just "state
+// differs".
+func DiffSnapshots(recorded, replayed *SnapshotJSON) *Divergence {
+	if recorded.Layer != replayed.Layer {
+		return diff("layer", recorded.Layer, replayed.Layer)
+	}
+	if recorded.GraphHash != replayed.GraphHash {
+		return diff("graph_hash", recorded.GraphHash, replayed.GraphHash)
+	}
+	if recorded.Meta.Tie != replayed.Meta.Tie {
+		return diff("meta.tie", recorded.Meta.Tie, replayed.Meta.Tie)
+	}
+	if recorded.Meta.Seed != replayed.Meta.Seed {
+		return diff("meta.seed", recorded.Meta.Seed, replayed.Meta.Seed)
+	}
+	if recorded.K != replayed.K {
+		return diff("k", recorded.K, replayed.K)
+	}
+	n := len(recorded.PhaseLog)
+	if len(replayed.PhaseLog) < n {
+		n = len(replayed.PhaseLog)
+	}
+	for i := 0; i < n; i++ {
+		a, b := recorded.PhaseLog[i], replayed.PhaseLog[i]
+		if a != b {
+			return diffPhaseRecord(i, a, b)
+		}
+	}
+	if len(recorded.PhaseLog) != len(replayed.PhaseLog) {
+		return diff("len(phase_log)", len(recorded.PhaseLog), len(replayed.PhaseLog))
+	}
+	if recorded.Phase != replayed.Phase {
+		return diff("phase", recorded.Phase, replayed.Phase)
+	}
+	if recorded.Rounds != replayed.Rounds {
+		return diff("rounds", recorded.Rounds, replayed.Rounds)
+	}
+	if recorded.Round != replayed.Round {
+		return diff("round", recorded.Round, replayed.Round)
+	}
+	if recorded.Moves != replayed.Moves {
+		return diff("moves", recorded.Moves, replayed.Moves)
+	}
+	if recorded.Oriented != replayed.Oriented {
+		return diff("oriented", recorded.Oriented, replayed.Oriented)
+	}
+	if d := diffSeq("occupied", recorded.Occupied, replayed.Occupied); d != nil {
+		return d
+	}
+	if d := diffSeq("head", recorded.Head, replayed.Head); d != nil {
+		return d
+	}
+	if d := diffSeq("load", recorded.Load, replayed.Load); d != nil {
+		return d
+	}
+	if d := diffSeq("server_of", recorded.ServerOf, replayed.ServerOf); d != nil {
+		return d
+	}
+	if d := diffSeq("unassigned", recorded.Unassigned, replayed.Unassigned); d != nil {
+		return d
+	}
+	if d := diffSeq("rngs", recorded.Rngs, replayed.Rngs); d != nil {
+		return d
+	}
+	if d := diffSeq("cust_rng", recorded.CustRng, replayed.CustRng); d != nil {
+		return d
+	}
+	return diffSeq("serv_rng", recorded.ServRng, replayed.ServRng)
+}
+
+func diffPhaseRecord(i int, a, b PhaseRecordJSON) *Divergence {
+	at := fmt.Sprintf("phase_log[%d]", i)
+	switch {
+	case a.Phase != b.Phase:
+		return diff(at+".phase", a.Phase, b.Phase)
+	case a.Proposals != b.Proposals:
+		return diff(at+".proposals", a.Proposals, b.Proposals)
+	case a.Accepted != b.Accepted:
+		return diff(at+".accepted", a.Accepted, b.Accepted)
+	case a.GameEdges != b.GameEdges:
+		return diff(at+".game_edges", a.GameEdges, b.GameEdges)
+	case a.GameRounds != b.GameRounds:
+		return diff(at+".game_rounds", a.GameRounds, b.GameRounds)
+	case a.TokensMoved != b.TokensMoved:
+		return diff(at+".tokens_moved", a.TokensMoved, b.TokensMoved)
+	case a.MaxBadness != b.MaxBadness:
+		return diff(at+".max_badness", a.MaxBadness, b.MaxBadness)
+	default:
+		return diff(at+".max_k_badness", a.MaxKBadness, b.MaxKBadness)
+	}
+}
+
+// diffSeq reports the first index where two sequences differ, or the
+// length mismatch when one is a strict prefix of the other.
+func diffSeq[T comparable](name string, a, b []T) *Divergence {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return diff(fmt.Sprintf("%s[%d]", name, i), a[i], b[i])
+		}
+	}
+	if len(a) != len(b) {
+		return diff("len("+name+")", len(a), len(b))
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package encode
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// The fuzz targets pin the decoder hardening contract: arbitrary bytes
+// never panic or allocate beyond the input's own size (every slice the
+// decoders build is bounded by a length check against fields already
+// decoded), and any input that decodes successfully survives an
+// encode/decode round trip unchanged. Seed corpora live under
+// testdata/fuzz/; CI runs each target briefly on every push.
+
+// FuzzReadInstance: hostile instance JSON either errors or round-trips.
+func FuzzReadInstance(f *testing.F) {
+	f.Add([]byte(`{"n":3,"edges":[[0,1],[1,2]],"level":[1,0,1],"tokens":[0]}`))
+	f.Add([]byte(`{"n":0,"edges":[],"level":[],"tokens":[]}`))
+	f.Add([]byte(`{"n":1000000000,"level":[0]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inst, err := ReadInstance(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteInstance(&buf, inst); err != nil {
+			t.Fatalf("accepted instance fails to encode: %v", err)
+		}
+		again, err := ReadInstance(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded instance fails to decode: %v", err)
+		}
+		if !reflect.DeepEqual(FromInstance(inst), FromInstance(again)) {
+			t.Fatal("instance changed across encode/decode")
+		}
+	})
+}
+
+// FuzzReadSolution: hostile solution JSON either errors or round-trips.
+func FuzzReadSolution(f *testing.F) {
+	f.Add([]byte(`{"instance":{"n":2,"edges":[[0,1]],"level":[1,0],"tokens":[0]},` +
+		`"moves":[{"from":0,"to":1,"round":1}],"final":[1],"rounds":1}`))
+	f.Add([]byte(`{"instance":{"n":0,"edges":[],"level":[],"tokens":[]},"rounds":0}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sol, err := ReadSolution(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteSolution(&buf, sol); err != nil {
+			t.Fatalf("accepted solution fails to encode: %v", err)
+		}
+		again, err := ReadSolution(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded solution fails to decode: %v", err)
+		}
+		if !reflect.DeepEqual(FromSolution(sol), FromSolution(again)) {
+			t.Fatal("solution changed across encode/decode")
+		}
+	})
+}
+
+// FuzzReadSnapshot: hostile snapshot JSON either errors or round-trips
+// bit-identically, and DiffSnapshots agrees the round trip is clean.
+func FuzzReadSnapshot(f *testing.F) {
+	f.Add([]byte(`{"version":1,"layer":"core","graph_hash":"fnv1a:0123456789abcdef",` +
+		`"meta":{"tie":"first-port"},"round":3,"occupied":[0,2],"moves":1}`))
+	f.Add([]byte(`{"version":1,"layer":"orient","graph_hash":"fnv1a:0","meta":{"tie":"random","seed":7},` +
+		`"phase":2,"rounds":9,"oriented":4,"head":[1,0],"load":[1,1],"rngs":[12345,67890]}`))
+	f.Add([]byte(`{"version":1,"layer":"bounded","graph_hash":"fnv1a:0","meta":{"tie":"first-port"},` +
+		`"phase":1,"rounds":3,"k":2,"server_of":[0,-1],"unassigned":[1],"load":[1],` +
+		`"phase_log":[{"phase":1,"proposals":2,"accepted":1,"game_edges":2,"game_rounds":3,"max_k_badness":1}]}`))
+	f.Add([]byte(`{"version":2,"layer":"core","graph_hash":"","meta":{"tie":"first-port"}}`))
+	f.Add([]byte(`{"version":1,"layer":"warp","graph_hash":"","meta":{"tie":"first-port"}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sj, err := ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, sj); err != nil {
+			t.Fatalf("accepted snapshot fails to encode: %v", err)
+		}
+		again, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded snapshot fails to decode: %v", err)
+		}
+		// Compare in canonical form: omitempty legitimately collapses
+		// empty slices to absent fields, so the stable property is that
+		// the encoding reaches a byte-identical fixed point.
+		var buf2 bytes.Buffer
+		if err := WriteSnapshot(&buf2, again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatal("snapshot encoding is not a fixed point")
+		}
+		if d := DiffSnapshots(sj, again); d != nil {
+			t.Fatalf("DiffSnapshots flags a clean round trip: %v", d)
+		}
+	})
+}

@@ -1,0 +1,461 @@
+package encode
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+
+	"tokendrop/internal/assign"
+	"tokendrop/internal/bounded"
+	"tokendrop/internal/core"
+	"tokendrop/internal/graph"
+	"tokendrop/internal/orient"
+)
+
+// This file defines the versioned on-disk snapshot format behind
+// record/replay (td-run -record / -replay). A snapshot is written only at
+// a quiescent engine boundary (a round barrier for games, a phase
+// boundary for the orientation and assignment loops), so the file is
+// crash-consistent by construction: it either decodes to a state every
+// solver accepts through ResumeFrom, or it fails validation loudly. The
+// format is self-describing — layer discriminator, graph content hash,
+// and run provenance (workload spec, generator seed, tie rule, solve
+// seed) — so a replay can refuse a snapshot that does not belong to the
+// run it is being applied to instead of silently diverging.
+//
+// Compatibility contract: Version is bumped on any field change; readers
+// reject unknown versions and unknown fields (json.DisallowUnknownFields),
+// so format drift fails at decode time, never as a corrupted resume. The
+// golden files under testdata/ pin the byte encoding.
+
+// SnapshotVersion is the current on-disk snapshot format version.
+const SnapshotVersion = 1
+
+// Layer discriminators of SnapshotJSON.
+const (
+	// LayerCore marks a snapshot of a sharded token dropping game.
+	LayerCore = "core"
+	// LayerOrient marks a snapshot of an orientation phase loop.
+	LayerOrient = "orient"
+	// LayerAssign marks a snapshot of a stable-assignment phase loop.
+	LayerAssign = "assign"
+	// LayerBounded marks a snapshot of a k-bounded assignment phase loop.
+	LayerBounded = "bounded"
+)
+
+// RunMetaJSON records the provenance of a recorded run: enough to
+// regenerate the input deterministically and to re-run the solve with
+// the same decision streams.
+type RunMetaJSON struct {
+	// Workload is the generator spec of the input (the CLI's workload
+	// flags in canonical form), empty when the input came from a file.
+	Workload string `json:"workload,omitempty"`
+	// GenSeed is the generator seed that produced the input.
+	GenSeed int64 `json:"gen_seed,omitempty"`
+	// Tie names the tie-breaking rule ("first-port" or "random").
+	Tie string `json:"tie"`
+	// Seed is the solve seed driving randomized tie-breaking.
+	Seed int64 `json:"seed,omitempty"`
+	// Shards is the worker count the run was recorded with. Informational:
+	// results are shard-count invariant, and replays may use any value.
+	Shards int `json:"shards,omitempty"`
+}
+
+// TieName returns the RunMetaJSON encoding of a tie rule.
+func TieName(tie core.TieBreak) string {
+	if tie == core.TieRandom {
+		return "random"
+	}
+	return "first-port"
+}
+
+// ParseTie inverts TieName.
+func ParseTie(name string) (core.TieBreak, error) {
+	switch name {
+	case "first-port":
+		return core.TieFirstPort, nil
+	case "random":
+		return core.TieRandom, nil
+	}
+	return 0, fmt.Errorf("encode: unknown tie rule %q", name)
+}
+
+// PhaseRecordJSON is the on-disk form of a phase-log record, a field
+// union of the orient/assign/bounded records.
+type PhaseRecordJSON struct {
+	Phase       int `json:"phase"`
+	Proposals   int `json:"proposals"`
+	Accepted    int `json:"accepted"`
+	GameEdges   int `json:"game_edges"`
+	GameRounds  int `json:"game_rounds"`
+	TokensMoved int `json:"tokens_moved,omitempty"`
+	MaxBadness  int `json:"max_badness,omitempty"`
+	MaxKBadness int `json:"max_k_badness,omitempty"`
+}
+
+// SnapshotJSON is the on-disk form of a mid-solve snapshot. Layer selects
+// which state fields are populated; GraphHash binds the snapshot to the
+// exact input it was captured on.
+type SnapshotJSON struct {
+	Version   int         `json:"version"`
+	Layer     string      `json:"layer"`
+	GraphHash string      `json:"graph_hash"`
+	Meta      RunMetaJSON `json:"meta"`
+
+	// LayerCore state: the round cursor, the vertices holding tokens
+	// after that round, and the move-log length.
+	Round    int   `json:"round,omitempty"`
+	Occupied []int `json:"occupied,omitempty"`
+	Moves    int   `json:"moves,omitempty"`
+
+	// Phase-loop cursors (LayerOrient, LayerAssign, LayerBounded).
+	Phase  int `json:"phase,omitempty"`
+	Rounds int `json:"rounds,omitempty"`
+
+	// LayerOrient state.
+	Oriented int     `json:"oriented,omitempty"`
+	Head     []int32 `json:"head,omitempty"`
+	// Load serves LayerOrient (indegree per vertex) and
+	// LayerAssign/LayerBounded (customers per server).
+	Load []int32 `json:"load,omitempty"`
+	// Rngs holds the per-vertex TieRandom streams of LayerOrient.
+	Rngs []uint64 `json:"rngs,omitempty"`
+
+	// LayerAssign / LayerBounded state.
+	K          int      `json:"k,omitempty"`
+	ServerOf   []int32  `json:"server_of,omitempty"`
+	Unassigned []int32  `json:"unassigned,omitempty"`
+	CustRng    []uint64 `json:"cust_rng,omitempty"`
+	ServRng    []uint64 `json:"serv_rng,omitempty"`
+
+	PhaseLog []PhaseRecordJSON `json:"phase_log,omitempty"`
+}
+
+// hashInts folds a label and an int32 slice into an FNV-1a stream.
+func hashInts(h hash.Hash64, label byte, xs []int32) {
+	var buf [4]byte
+	buf[0] = label
+	h.Write(buf[:1])
+	for _, x := range xs {
+		buf[0] = byte(x)
+		buf[1] = byte(x >> 8)
+		buf[2] = byte(x >> 16)
+		buf[3] = byte(x >> 24)
+		h.Write(buf[:4])
+	}
+}
+
+// GraphHashCSR returns a content hash of a flat graph (FNV-1a over the
+// CSR arrays), the identity a snapshot binds to.
+func GraphHashCSR(c *graph.CSR) string {
+	h := fnv.New64a()
+	hashInts(h, 'R', c.Row)
+	hashInts(h, 'C', c.Col)
+	return fmt.Sprintf("fnv1a:%016x", h.Sum64())
+}
+
+// GraphHashBipartite returns a content hash of a flat bipartite network:
+// the CSR hash folded with the customer/server split.
+func GraphHashBipartite(fb *graph.CSRBipartite) string {
+	h := fnv.New64a()
+	hashInts(h, 'R', fb.C.Row)
+	hashInts(h, 'C', fb.C.Col)
+	hashInts(h, 'L', []int32{int32(fb.NumLeft)})
+	return fmt.Sprintf("fnv1a:%016x", h.Sum64())
+}
+
+// GraphHashFlatInstance returns a content hash of a flat game instance:
+// the CSR hash folded with levels and initial tokens.
+func GraphHashFlatInstance(fi *core.FlatInstance) string {
+	h := fnv.New64a()
+	csr := fi.CSR()
+	hashInts(h, 'R', csr.Row)
+	hashInts(h, 'C', csr.Col)
+	n := csr.N()
+	lt := make([]int32, n)
+	for v := 0; v < n; v++ {
+		lt[v] = int32(fi.Level(v))
+	}
+	hashInts(h, 'V', lt)
+	for v := 0; v < n; v++ {
+		if fi.Token(v) {
+			lt[v] = 1
+		} else {
+			lt[v] = 0
+		}
+	}
+	hashInts(h, 'T', lt)
+	return fmt.Sprintf("fnv1a:%016x", h.Sum64())
+}
+
+// checkBinding validates the envelope a binding shares: layer, version,
+// and graph identity.
+func (sj *SnapshotJSON) checkBinding(layer, hash string) error {
+	if sj.Version != SnapshotVersion {
+		return fmt.Errorf("encode: snapshot version %d, this build reads %d", sj.Version, SnapshotVersion)
+	}
+	if sj.Layer != layer {
+		return fmt.Errorf("encode: snapshot of layer %q applied to a %s run", sj.Layer, layer)
+	}
+	if sj.GraphHash != hash {
+		return fmt.Errorf("encode: snapshot was captured on graph %s, this input hashes to %s", sj.GraphHash, hash)
+	}
+	return nil
+}
+
+// FromCoreSnapshot converts a game snapshot to its on-disk form, bound
+// to the instance it was captured on.
+func FromCoreSnapshot(snap *core.Snapshot, fi *core.FlatInstance, meta RunMetaJSON) *SnapshotJSON {
+	sj := &SnapshotJSON{
+		Version:   SnapshotVersion,
+		Layer:     LayerCore,
+		GraphHash: GraphHashFlatInstance(fi),
+		Meta:      meta,
+		Round:     snap.Round,
+		Moves:     snap.Moves,
+	}
+	for v, occ := range snap.Occupied {
+		if occ {
+			sj.Occupied = append(sj.Occupied, v)
+		}
+	}
+	return sj
+}
+
+// ToCoreSnapshot validates the on-disk form against the instance a
+// resume will run on and rebuilds the in-memory snapshot.
+func (sj *SnapshotJSON) ToCoreSnapshot(fi *core.FlatInstance) (*core.Snapshot, error) {
+	if err := sj.checkBinding(LayerCore, GraphHashFlatInstance(fi)); err != nil {
+		return nil, err
+	}
+	n := fi.N()
+	snap := &core.Snapshot{Round: sj.Round, Moves: sj.Moves, Occupied: make([]bool, n)}
+	for _, v := range sj.Occupied {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("encode: snapshot token vertex %d out of range [0,%d)", v, n)
+		}
+		if snap.Occupied[v] {
+			return nil, fmt.Errorf("encode: snapshot lists token vertex %d twice", v)
+		}
+		snap.Occupied[v] = true
+	}
+	return snap, nil
+}
+
+// fromPhaseRecords converts a phase log generically.
+func fromPhaseRecords[T any](log []T, conv func(T) PhaseRecordJSON) []PhaseRecordJSON {
+	out := make([]PhaseRecordJSON, 0, len(log))
+	for _, r := range log {
+		out = append(out, conv(r))
+	}
+	return out
+}
+
+// FromOrientSnapshot converts an orientation snapshot to its on-disk
+// form, bound to the graph it was captured on.
+func FromOrientSnapshot(snap *orient.Snapshot, c *graph.CSR, meta RunMetaJSON) *SnapshotJSON {
+	return &SnapshotJSON{
+		Version:   SnapshotVersion,
+		Layer:     LayerOrient,
+		GraphHash: GraphHashCSR(c),
+		Meta:      meta,
+		Phase:     snap.Phase,
+		Rounds:    snap.Rounds,
+		Oriented:  snap.Oriented,
+		Head:      append([]int32(nil), snap.Head...),
+		Load:      append([]int32(nil), snap.Load...),
+		Rngs:      append([]uint64(nil), snap.Rngs...),
+		PhaseLog: fromPhaseRecords(snap.PhaseLog, func(r orient.PhaseRecord) PhaseRecordJSON {
+			return PhaseRecordJSON{Phase: r.Phase, Proposals: r.Proposals, Accepted: r.Accepted,
+				GameEdges: r.GameEdges, GameRounds: r.GameRounds, TokensMoved: r.TokensMoved, MaxBadness: r.MaxBadness}
+		}),
+	}
+}
+
+// ToOrientSnapshot validates the on-disk form against the graph a resume
+// will run on and rebuilds the in-memory snapshot. Deep state validation
+// (head ranges, load consistency) happens in orient.SolveSharded.
+func (sj *SnapshotJSON) ToOrientSnapshot(c *graph.CSR) (*orient.Snapshot, error) {
+	if err := sj.checkBinding(LayerOrient, GraphHashCSR(c)); err != nil {
+		return nil, err
+	}
+	return &orient.Snapshot{
+		Phase:    sj.Phase,
+		Oriented: sj.Oriented,
+		Rounds:   sj.Rounds,
+		Head:     append([]int32(nil), sj.Head...),
+		Load:     append([]int32(nil), sj.Load...),
+		Rngs:     append([]uint64(nil), sj.Rngs...),
+		PhaseLog: toOrientLog(sj.PhaseLog),
+	}, nil
+}
+
+func toOrientLog(log []PhaseRecordJSON) []orient.PhaseRecord {
+	out := make([]orient.PhaseRecord, 0, len(log))
+	for _, r := range log {
+		out = append(out, orient.PhaseRecord{Phase: r.Phase, Proposals: r.Proposals, Accepted: r.Accepted,
+			GameEdges: r.GameEdges, GameRounds: r.GameRounds, TokensMoved: r.TokensMoved, MaxBadness: r.MaxBadness})
+	}
+	return out
+}
+
+// FromAssignSnapshot converts an assignment snapshot to its on-disk
+// form, bound to the bipartite network it was captured on.
+func FromAssignSnapshot(snap *assign.Snapshot, fb *graph.CSRBipartite, meta RunMetaJSON) *SnapshotJSON {
+	return &SnapshotJSON{
+		Version:    SnapshotVersion,
+		Layer:      LayerAssign,
+		GraphHash:  GraphHashBipartite(fb),
+		Meta:       meta,
+		Phase:      snap.Phase,
+		Rounds:     snap.Rounds,
+		ServerOf:   append([]int32(nil), snap.ServerOf...),
+		Load:       append([]int32(nil), snap.Load...),
+		Unassigned: append([]int32(nil), snap.Unassigned...),
+		CustRng:    append([]uint64(nil), snap.CustRng...),
+		ServRng:    append([]uint64(nil), snap.ServRng...),
+		PhaseLog: fromPhaseRecords(snap.PhaseLog, func(r assign.PhaseRecord) PhaseRecordJSON {
+			return PhaseRecordJSON{Phase: r.Phase, Proposals: r.Proposals, Accepted: r.Accepted,
+				GameEdges: r.GameEdges, GameRounds: r.GameRounds, TokensMoved: r.TokensMoved, MaxBadness: r.MaxBadness}
+		}),
+	}
+}
+
+// ToAssignSnapshot validates the on-disk form against the network a
+// resume will run on and rebuilds the in-memory snapshot. Deep state
+// validation happens in assign.SolveSharded.
+func (sj *SnapshotJSON) ToAssignSnapshot(fb *graph.CSRBipartite) (*assign.Snapshot, error) {
+	if err := sj.checkBinding(LayerAssign, GraphHashBipartite(fb)); err != nil {
+		return nil, err
+	}
+	snap := &assign.Snapshot{
+		Phase:      sj.Phase,
+		Rounds:     sj.Rounds,
+		ServerOf:   append([]int32(nil), sj.ServerOf...),
+		Load:       append([]int32(nil), sj.Load...),
+		Unassigned: append([]int32(nil), sj.Unassigned...),
+		CustRng:    append([]uint64(nil), sj.CustRng...),
+		ServRng:    append([]uint64(nil), sj.ServRng...),
+	}
+	for _, r := range sj.PhaseLog {
+		snap.PhaseLog = append(snap.PhaseLog, assign.PhaseRecord{Phase: r.Phase, Proposals: r.Proposals,
+			Accepted: r.Accepted, GameEdges: r.GameEdges, GameRounds: r.GameRounds,
+			TokensMoved: r.TokensMoved, MaxBadness: r.MaxBadness})
+	}
+	return snap, nil
+}
+
+// FromBoundedSnapshot converts a k-bounded assignment snapshot to its
+// on-disk form, bound to the bipartite network it was captured on.
+func FromBoundedSnapshot(snap *bounded.Snapshot, fb *graph.CSRBipartite, meta RunMetaJSON) *SnapshotJSON {
+	return &SnapshotJSON{
+		Version:    SnapshotVersion,
+		Layer:      LayerBounded,
+		GraphHash:  GraphHashBipartite(fb),
+		Meta:       meta,
+		K:          snap.K,
+		Phase:      snap.Phase,
+		Rounds:     snap.Rounds,
+		ServerOf:   append([]int32(nil), snap.ServerOf...),
+		Load:       append([]int32(nil), snap.Load...),
+		Unassigned: append([]int32(nil), snap.Unassigned...),
+		CustRng:    append([]uint64(nil), snap.CustRng...),
+		ServRng:    append([]uint64(nil), snap.ServRng...),
+		PhaseLog: fromPhaseRecords(snap.PhaseLog, func(r bounded.PhaseRecord) PhaseRecordJSON {
+			return PhaseRecordJSON{Phase: r.Phase, Proposals: r.Proposals, Accepted: r.Accepted,
+				GameEdges: r.GameEdges, GameRounds: r.GameRounds, MaxKBadness: r.MaxKBadness}
+		}),
+	}
+}
+
+// ToBoundedSnapshot validates the on-disk form against the network a
+// resume will run on and rebuilds the in-memory snapshot. The threshold
+// and deep state are validated in bounded.SolveSharded.
+func (sj *SnapshotJSON) ToBoundedSnapshot(fb *graph.CSRBipartite) (*bounded.Snapshot, error) {
+	if err := sj.checkBinding(LayerBounded, GraphHashBipartite(fb)); err != nil {
+		return nil, err
+	}
+	snap := &bounded.Snapshot{
+		K:          sj.K,
+		Phase:      sj.Phase,
+		Rounds:     sj.Rounds,
+		ServerOf:   append([]int32(nil), sj.ServerOf...),
+		Load:       append([]int32(nil), sj.Load...),
+		Unassigned: append([]int32(nil), sj.Unassigned...),
+		CustRng:    append([]uint64(nil), sj.CustRng...),
+		ServRng:    append([]uint64(nil), sj.ServRng...),
+	}
+	for _, r := range sj.PhaseLog {
+		snap.PhaseLog = append(snap.PhaseLog, bounded.PhaseRecord{Phase: r.Phase, Proposals: r.Proposals,
+			Accepted: r.Accepted, GameEdges: r.GameEdges, GameRounds: r.GameRounds, MaxKBadness: r.MaxKBadness})
+	}
+	return snap, nil
+}
+
+// WriteSnapshot streams a snapshot as indented JSON. The encoding is
+// deterministic (struct field order), which the golden-file tests pin.
+func WriteSnapshot(w io.Writer, sj *SnapshotJSON) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sj)
+}
+
+// ReadSnapshot parses a snapshot from JSON. Unknown fields and unknown
+// versions are rejected — format drift fails here, never as a corrupted
+// resume.
+func ReadSnapshot(r io.Reader) (*SnapshotJSON, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var sj SnapshotJSON
+	if err := dec.Decode(&sj); err != nil {
+		return nil, fmt.Errorf("encode: %w", err)
+	}
+	if sj.Version != SnapshotVersion {
+		return nil, fmt.Errorf("encode: snapshot version %d, this build reads %d", sj.Version, SnapshotVersion)
+	}
+	switch sj.Layer {
+	case LayerCore, LayerOrient, LayerAssign, LayerBounded:
+	default:
+		return nil, fmt.Errorf("encode: unknown snapshot layer %q", sj.Layer)
+	}
+	return &sj, nil
+}
+
+// SaveSnapshotFile writes a snapshot crash-consistently: to a temporary
+// file in the target directory, synced, then renamed over path, so a
+// crash mid-write leaves either the old snapshot or the new one, never a
+// torn file.
+func SaveSnapshotFile(path string, sj *SnapshotJSON) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := WriteSnapshot(tmp, sj); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadSnapshotFile reads a snapshot written by SaveSnapshotFile.
+func ReadSnapshotFile(path string) (*SnapshotJSON, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSnapshot(f)
+}

@@ -1,0 +1,388 @@
+package encode
+
+import (
+	"bytes"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tokendrop/internal/assign"
+	"tokendrop/internal/bounded"
+	"tokendrop/internal/core"
+	"tokendrop/internal/graph"
+	"tokendrop/internal/orient"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden snapshot files under testdata/")
+
+// Deterministic fixtures: one mid-solve snapshot per layer, captured at a
+// fixed cursor on a fixed seeded input. The golden files pin their byte
+// encoding; the round-trip tests pin the bindings.
+
+func coreFixture(t *testing.T) (*core.Snapshot, *core.FlatInstance, RunMetaJSON) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	fi := core.FlatRandomLayered(core.LayeredConfig{
+		Levels: 4, Width: 6, ParentDeg: 2, TokenProb: 0.6, FreeBottom: true,
+	}, rng)
+	var snap *core.Snapshot
+	_, err := core.SolveProposalSharded(fi, core.ShardedSolveOptions{
+		Tie: core.TieFirstPort, MaxRounds: 1 << 16, Shards: 2,
+		SnapshotAt: 2,
+		OnSnapshot: func(s *core.Snapshot) error { snap = s; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil {
+		t.Fatal("fixture solve finished before round 2")
+	}
+	meta := RunMetaJSON{Workload: "layered levels=4 width=6", GenSeed: 42,
+		Tie: TieName(core.TieFirstPort), Shards: 2}
+	return snap, fi, meta
+}
+
+func orientFixture(t *testing.T) (*orient.Snapshot, *graph.CSR, RunMetaJSON) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	c := graph.CSRRandomRegular(24, 4, rng)
+	var snap *orient.Snapshot
+	_, err := orient.SolveSharded(c, orient.ShardedOptions{
+		Tie: core.TieRandom, Seed: 7, Shards: 2,
+		SnapshotAt: 1,
+		OnSnapshot: func(s *orient.Snapshot) error { snap = s; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil {
+		t.Fatal("fixture solve finished before phase 1")
+	}
+	meta := RunMetaJSON{Workload: "regular n=24 d=4", GenSeed: 42,
+		Tie: TieName(core.TieRandom), Seed: 7, Shards: 2}
+	return snap, c, meta
+}
+
+func bipartiteFixture(t *testing.T) *graph.CSRBipartite {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	return graph.NewCSRBipartiteFromBipartite(
+		graph.MustBipartite(graph.RandomBipartite(24, 6, 3, rng), 24))
+}
+
+func assignFixture(t *testing.T) (*assign.Snapshot, *graph.CSRBipartite, RunMetaJSON) {
+	t.Helper()
+	fb := bipartiteFixture(t)
+	var snap *assign.Snapshot
+	_, err := assign.SolveSharded(fb, assign.ShardedOptions{
+		Tie: core.TieFirstPort, Seed: 1, Shards: 2,
+		SnapshotAt: 1,
+		OnSnapshot: func(s *assign.Snapshot) error { snap = s; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil {
+		t.Fatal("fixture solve finished before phase 1")
+	}
+	meta := RunMetaJSON{Workload: "bipartite customers=24 servers=6 cdeg=3", GenSeed: 42,
+		Tie: TieName(core.TieFirstPort), Seed: 1, Shards: 2}
+	return snap, fb, meta
+}
+
+func boundedFixture(t *testing.T) (*bounded.Snapshot, *graph.CSRBipartite, RunMetaJSON) {
+	t.Helper()
+	fb := bipartiteFixture(t)
+	var snap *bounded.Snapshot
+	_, err := bounded.SolveSharded(fb, bounded.ShardedOptions{
+		K: 2, Tie: core.TieFirstPort, Seed: 1, Shards: 2,
+		SnapshotAt: 1,
+		OnSnapshot: func(s *bounded.Snapshot) error { snap = s; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil {
+		t.Fatal("fixture solve finished before phase 1")
+	}
+	meta := RunMetaJSON{Workload: "bipartite customers=24 servers=6 cdeg=3", GenSeed: 42,
+		Tie: TieName(core.TieFirstPort), Seed: 1, Shards: 2}
+	return snap, fb, meta
+}
+
+// TestSnapshotBindingsRoundTrip: for every layer, in-memory snapshot →
+// JSON → bytes → JSON → in-memory snapshot is the identity.
+func TestSnapshotBindingsRoundTrip(t *testing.T) {
+	encodeDecode := func(t *testing.T, sj *SnapshotJSON) *SnapshotJSON {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, sj); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadSnapshot(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sj, got) {
+			t.Fatal("snapshot changed across encode/decode")
+		}
+		return got
+	}
+
+	t.Run("core", func(t *testing.T) {
+		snap, fi, meta := coreFixture(t)
+		sj := encodeDecode(t, FromCoreSnapshot(snap, fi, meta))
+		back, err := sj.ToCoreSnapshot(fi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(snap, back) {
+			t.Fatal("core snapshot round trip diverged")
+		}
+	})
+	t.Run("orient", func(t *testing.T) {
+		snap, c, meta := orientFixture(t)
+		sj := encodeDecode(t, FromOrientSnapshot(snap, c, meta))
+		back, err := sj.ToOrientSnapshot(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(snap, back) {
+			t.Fatal("orient snapshot round trip diverged")
+		}
+	})
+	t.Run("assign", func(t *testing.T) {
+		snap, fb, meta := assignFixture(t)
+		sj := encodeDecode(t, FromAssignSnapshot(snap, fb, meta))
+		back, err := sj.ToAssignSnapshot(fb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(snap, back) {
+			t.Fatal("assign snapshot round trip diverged")
+		}
+	})
+	t.Run("bounded", func(t *testing.T) {
+		snap, fb, meta := boundedFixture(t)
+		sj := encodeDecode(t, FromBoundedSnapshot(snap, fb, meta))
+		back, err := sj.ToBoundedSnapshot(fb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(snap, back) {
+			t.Fatal("bounded snapshot round trip diverged")
+		}
+	})
+}
+
+// TestSnapshotBindingRejectsMismatch: a binding refuses a snapshot of
+// the wrong layer, the wrong graph, or an unknown version.
+func TestSnapshotBindingRejectsMismatch(t *testing.T) {
+	snap, fi, meta := coreFixture(t)
+	sj := FromCoreSnapshot(snap, fi, meta)
+
+	t.Run("wrong layer", func(t *testing.T) {
+		_, c, _ := orientFixture(t)
+		if _, err := sj.ToOrientSnapshot(c); err == nil {
+			t.Fatal("core snapshot bound to an orient run")
+		}
+	})
+	t.Run("wrong graph", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(43))
+		other := core.FlatRandomLayered(core.LayeredConfig{
+			Levels: 4, Width: 6, ParentDeg: 2, TokenProb: 0.6, FreeBottom: true,
+		}, rng)
+		if _, err := sj.ToCoreSnapshot(other); err == nil {
+			t.Fatal("snapshot bound to a different graph")
+		}
+	})
+	t.Run("wrong version", func(t *testing.T) {
+		bad := *sj
+		bad.Version = SnapshotVersion + 1
+		if _, err := bad.ToCoreSnapshot(fi); err == nil {
+			t.Fatal("future-version snapshot accepted")
+		}
+	})
+	t.Run("duplicate token vertex", func(t *testing.T) {
+		bad := *sj
+		bad.Occupied = append(append([]int(nil), sj.Occupied...), sj.Occupied[0])
+		if _, err := bad.ToCoreSnapshot(fi); err == nil {
+			t.Fatal("duplicate token vertex accepted")
+		}
+	})
+}
+
+// TestGoldenSnapshots pins the on-disk byte encoding: each committed
+// golden file must decode, re-encode byte-identically, and still bind to
+// the regenerated fixture input. Run with -update to rewrite the files
+// after an intentional format change (which must also bump
+// SnapshotVersion).
+func TestGoldenSnapshots(t *testing.T) {
+	cases := []struct {
+		file  string
+		build func(t *testing.T) (*SnapshotJSON, func(*SnapshotJSON) error)
+	}{
+		{"golden_core.json", func(t *testing.T) (*SnapshotJSON, func(*SnapshotJSON) error) {
+			snap, fi, meta := coreFixture(t)
+			return FromCoreSnapshot(snap, fi, meta), func(sj *SnapshotJSON) error {
+				_, err := sj.ToCoreSnapshot(fi)
+				return err
+			}
+		}},
+		{"golden_orient.json", func(t *testing.T) (*SnapshotJSON, func(*SnapshotJSON) error) {
+			snap, c, meta := orientFixture(t)
+			return FromOrientSnapshot(snap, c, meta), func(sj *SnapshotJSON) error {
+				_, err := sj.ToOrientSnapshot(c)
+				return err
+			}
+		}},
+		{"golden_assign.json", func(t *testing.T) (*SnapshotJSON, func(*SnapshotJSON) error) {
+			snap, fb, meta := assignFixture(t)
+			return FromAssignSnapshot(snap, fb, meta), func(sj *SnapshotJSON) error {
+				_, err := sj.ToAssignSnapshot(fb)
+				return err
+			}
+		}},
+		{"golden_bounded.json", func(t *testing.T) (*SnapshotJSON, func(*SnapshotJSON) error) {
+			snap, fb, meta := boundedFixture(t)
+			return FromBoundedSnapshot(snap, fb, meta), func(sj *SnapshotJSON) error {
+				_, err := sj.ToBoundedSnapshot(fb)
+				return err
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			sj, bind := tc.build(t)
+			path := filepath.Join("testdata", tc.file)
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := SaveSnapshotFile(path, sj); err != nil {
+					t.Fatal(err)
+				}
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			decoded, err := ReadSnapshot(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatalf("golden file no longer decodes: %v", err)
+			}
+			var buf bytes.Buffer
+			if err := WriteSnapshot(&buf, decoded); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(raw, buf.Bytes()) {
+				t.Fatal("golden file re-encodes differently: the on-disk format drifted; bump SnapshotVersion and regenerate with -update")
+			}
+			if !reflect.DeepEqual(sj, decoded) {
+				t.Fatal("freshly captured snapshot differs from the golden file: determinism or format drift")
+			}
+			if err := bind(decoded); err != nil {
+				t.Fatalf("golden snapshot no longer binds to its input: %v", err)
+			}
+		})
+	}
+}
+
+// TestReadSnapshotRejectsDrift: unknown versions, unknown layers, and
+// unknown fields fail at decode time.
+func TestReadSnapshotRejectsDrift(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"unknown version", `{"version":999,"layer":"core","graph_hash":"fnv1a:0","meta":{"tie":"first-port"}}`, "version 999"},
+		{"zero version", `{"layer":"core","graph_hash":"fnv1a:0","meta":{"tie":"first-port"}}`, "version 0"},
+		{"unknown layer", `{"version":1,"layer":"quantum","graph_hash":"fnv1a:0","meta":{"tie":"first-port"}}`, "unknown snapshot layer"},
+		{"unknown field", `{"version":1,"layer":"core","graph_hash":"fnv1a:0","meta":{"tie":"first-port"},"surprise":1}`, "unknown field"},
+		{"unknown meta field", `{"version":1,"layer":"core","graph_hash":"fnv1a:0","meta":{"tie":"first-port","color":"red"}}`, "unknown field"},
+		{"malformed", `{"version":1,`, "unexpected EOF"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadSnapshot(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatal("hostile snapshot decoded without error")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestSaveSnapshotFileAtomicOverwrite: overwriting an existing snapshot
+// leaves no temp files behind and the file always holds a full snapshot.
+func TestSaveSnapshotFileAtomicOverwrite(t *testing.T) {
+	snap, fi, meta := coreFixture(t)
+	sj := FromCoreSnapshot(snap, fi, meta)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snapshot.json")
+	for i := 0; i < 3; i++ {
+		sj.Round = i + 1
+		if err := SaveSnapshotFile(path, sj); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadSnapshotFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Round != i+1 {
+			t.Fatalf("read round %d after writing %d", got.Round, i+1)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "snapshot.json" {
+		t.Fatalf("directory holds %v, want only snapshot.json", entries)
+	}
+}
+
+// TestDiffSnapshots: identical snapshots diff to nil; each perturbation
+// is localized to a named field.
+func TestDiffSnapshots(t *testing.T) {
+	snap, fb, meta := assignFixture(t)
+	base := FromAssignSnapshot(snap, fb, meta)
+	if d := DiffSnapshots(base, base); d != nil {
+		t.Fatalf("identical snapshots diff: %v", d)
+	}
+	cases := []struct {
+		name, where string
+		mutate      func(sj *SnapshotJSON)
+	}{
+		{"layer", "layer", func(sj *SnapshotJSON) { sj.Layer = LayerBounded }},
+		{"graph hash", "graph_hash", func(sj *SnapshotJSON) { sj.GraphHash = "fnv1a:0" }},
+		{"tie", "meta.tie", func(sj *SnapshotJSON) { sj.Meta.Tie = "random" }},
+		{"seed", "meta.seed", func(sj *SnapshotJSON) { sj.Meta.Seed++ }},
+		{"phase", "phase", func(sj *SnapshotJSON) { sj.Phase++ }},
+		{"rounds", "rounds", func(sj *SnapshotJSON) { sj.Rounds++ }},
+		{"server_of entry", "server_of[0]", func(sj *SnapshotJSON) { sj.ServerOf[0]++ }},
+		{"load length", "len(load)", func(sj *SnapshotJSON) { sj.Load = sj.Load[:len(sj.Load)-1] }},
+		{"phase log", "phase_log[0].proposals", func(sj *SnapshotJSON) { sj.PhaseLog[0].Proposals++ }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			other := *base
+			other.ServerOf = append([]int32(nil), base.ServerOf...)
+			other.Load = append([]int32(nil), base.Load...)
+			other.PhaseLog = append([]PhaseRecordJSON(nil), base.PhaseLog...)
+			tc.mutate(&other)
+			d := DiffSnapshots(base, &other)
+			if d == nil {
+				t.Fatal("perturbed snapshot diffs to nil")
+			}
+			if d.Where != tc.where {
+				t.Fatalf("divergence at %q, want %q", d.Where, tc.where)
+			}
+		})
+	}
+}

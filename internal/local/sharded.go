@@ -81,6 +81,17 @@ type ShardedOptions struct {
 	Shards int
 	// OnRound, if non-nil, runs on the coordinating goroutine after every
 	// round with the round number and how many vertices are still awake.
+	//
+	// Quiescence contract: OnRound fires at the round barrier, after every
+	// worker has reported done for the round and before any worker is
+	// started on the next one. The workers are parked for the whole call,
+	// so the hook may read all program state — and the engine's halted
+	// array — without synchronization and sees exactly the state after
+	// `round` complete rounds. This is what makes OnRound a
+	// crash-consistent snapshot point: the snapshot layers (core, orient,
+	// assign, bounded) capture mid-solve state from this hook and nowhere
+	// else. The hook must not retain references into program state past
+	// its return, and must not call back into the session.
 	OnRound func(round, awake int)
 	// Stop, if non-nil, is consulted after every round; returning true
 	// ends the run even though vertices are still awake (used by
