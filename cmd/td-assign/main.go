@@ -22,6 +22,7 @@ import (
 	"path/filepath"
 
 	"tokendrop"
+	"tokendrop/internal/cliutil"
 )
 
 // recordMeta canonicalizes the generator flags as run provenance.
@@ -63,10 +64,12 @@ func main() {
 		seed     = flag.Int64("seed", 1, "seed")
 		loads    = flag.Bool("loads", false, "print the server load histogram")
 		engine   = flag.String("engine", "local", "local (goroutine-per-node simulator) | sharded (flat CSR engine)")
-		shards   = flag.Int("shards", 0, "sharded engine worker count (0 = runtime.GOMAXPROCS(0), i.e. one worker per core)")
+		shards   = cliutil.ShardsFlag()
 		record   = flag.String("record", "", "record the run into this directory (snapshot.json per phase, run.json final state); requires -engine sharded")
+		version  = cliutil.VersionFlag()
 	)
 	flag.Parse()
+	cliutil.HandleVersionFlag(version)
 
 	if *record != "" && *engine != "sharded" {
 		log.Fatal("-record requires -engine sharded (snapshots capture the flat engine's state)")

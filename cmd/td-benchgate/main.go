@@ -19,14 +19,18 @@ import (
 	"os"
 
 	"tokendrop/internal/bench"
+	"tokendrop/internal/cliutil"
 )
 
 func main() {
 	basePath := flag.String("base", "BENCH_sharded_quick.json", "committed baseline report")
 	freshPath := flag.String("fresh", "", "freshly measured report to gate (required)")
 	tolerance := flag.Float64("tolerance", 0, "fractional rounds/s drop tolerated per entry (0 = the 0.15 default)")
-	allocSlack := flag.Float64("allocslack", 0, "absolute allocs/round increase tolerated on sharded entries (0 = the 0.5 default)")
+	allocSlack := flag.Float64("allocslack", 0, "absolute allocs/round increase tolerated on steady-state entries (0 = the 0.5 default)")
+	latTolerance := flag.Float64("lattolerance", 0, "fractional p99 delta-latency growth tolerated on the serve entry (0 = the 0.5 default)")
+	version := cliutil.VersionFlag()
 	flag.Parse()
+	cliutil.HandleVersionFlag(version)
 	if *freshPath == "" {
 		fmt.Fprintln(os.Stderr, "td-benchgate: -fresh is required")
 		os.Exit(2)
@@ -50,8 +54,9 @@ func main() {
 	fresh := read(*freshPath)
 
 	violations, warnings := bench.CompareShardedReports(base, fresh, bench.RegressionOptions{
-		RoundsTolerance: *tolerance,
-		AllocSlack:      *allocSlack,
+		RoundsTolerance:  *tolerance,
+		AllocSlack:       *allocSlack,
+		LatencyTolerance: *latTolerance,
 	})
 	for _, w := range warnings {
 		fmt.Printf("warning: %s\n", w)

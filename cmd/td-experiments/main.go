@@ -24,16 +24,19 @@ import (
 	"strings"
 
 	"tokendrop/internal/bench"
+	"tokendrop/internal/cliutil"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "small instance sizes (sub-second total)")
 	seed := flag.Int64("seed", 42, "base seed for all workloads")
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E4a,E7); empty = all")
-	shards := flag.Int("shards", 0, "sharded engine worker count (0 = runtime.GOMAXPROCS(0), i.e. one worker per core)")
-	shardedJSON := flag.String("shardedjson", "", "write the machine-readable engine benchmark report (E22–E26) to this file")
+	shards := cliutil.ShardsFlag()
+	shardedJSON := flag.String("shardedjson", "", "write the machine-readable engine benchmark report (E22–E27) to this file")
 	benchRepeat := flag.Int("benchrepeat", 5, "measurements per -shardedjson report entry (best run recorded)")
+	version := cliutil.VersionFlag()
 	flag.Parse()
+	cliutil.HandleVersionFlag(version)
 
 	p := bench.Profile{Quick: *quick, Seed: *seed, Shards: *shards, Repeat: *benchRepeat}
 	want := map[string]bool{}

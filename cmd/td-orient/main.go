@@ -38,6 +38,7 @@ import (
 	"path/filepath"
 
 	"tokendrop"
+	"tokendrop/internal/cliutil"
 )
 
 func main() {
@@ -49,14 +50,16 @@ func main() {
 		depth     = flag.Int("depth", 4, "tree depth (tree)")
 		alpha     = flag.Float64("alpha", 2.0, "power-law degree exponent (powerlaw)")
 		engine    = flag.String("engine", "local", "local (goroutine-per-node simulator) | sharded (flat CSR engine)")
-		shards    = flag.Int("shards", 0, "sharded engine worker count (0 = runtime.GOMAXPROCS(0), i.e. one worker per core)")
+		shards    = cliutil.ShardsFlag()
 		seed      = flag.Int64("seed", 1, "seed")
 		random    = flag.Bool("random-ties", false, "randomized tie-breaking")
 		phases    = flag.Bool("phases", false, "print the per-phase log")
 		baselines = flag.Bool("baselines", false, "also run the sequential greedy and selfish-flip baselines (local engine only)")
 		record    = flag.String("record", "", "record the run into this directory (snapshot.json per phase, run.json final state); requires -engine sharded")
+		version   = cliutil.VersionFlag()
 	)
 	flag.Parse()
+	cliutil.HandleVersionFlag(version)
 
 	if *engine != "local" && *engine != "sharded" {
 		log.Fatalf("unknown engine %q (want local or sharded)", *engine)

@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"tokendrop"
+	"tokendrop/internal/cliutil"
 )
 
 func main() {
@@ -31,7 +32,7 @@ func main() {
 		tokens    = flag.Float64("tokens", 0.6, "token density (layered)")
 		solver    = flag.String("solver", "proposal", "proposal | threelevel | sequential | parallel")
 		engine    = flag.String("engine", "local", "local (goroutine-per-node simulator) | sharded (flat CSR engine)")
-		shards    = flag.Int("shards", 0, "sharded engine worker count (0 = runtime.GOMAXPROCS(0), i.e. one worker per core)")
+		shards    = cliutil.ShardsFlag()
 		alpha     = flag.Float64("alpha", 2.0, "power-law degree exponent (powerlaw)")
 		seed      = flag.Int64("seed", 1, "workload and tie-break seed")
 		random    = flag.Bool("random-ties", false, "randomized tie-breaking")
@@ -43,8 +44,10 @@ func main() {
 		record    = flag.String("record", "", "record the run into this directory (instance.json, snapshot.json, run.json); requires -engine sharded")
 		replay    = flag.String("replay", "", "replay a recorded run directory and verify bit-identical results; exits non-zero with the first divergence")
 		snapEvery = flag.Int("snapshot-every", 32, "with -record: snapshot every k completed rounds")
+		version   = cliutil.VersionFlag()
 	)
 	flag.Parse()
+	cliutil.HandleVersionFlag(version)
 
 	if *replay != "" {
 		tie := tokendrop.TieFirstPort

@@ -2,6 +2,7 @@ package assign
 
 import (
 	"fmt"
+	"slices"
 
 	"tokendrop/internal/core"
 	"tokendrop/internal/graph"
@@ -94,6 +95,145 @@ type ShardedOptions struct {
 	// same network with the same Tie and Seed; shape and consistency are
 	// validated, semantic mismatches surface as divergent results.
 	ResumeFrom *Snapshot
+
+	// Session, when non-nil, is the engine session every phase runs on;
+	// the caller keeps ownership (it is not closed) and Shards is
+	// ignored. Long-running callers — the incremental Resolver, serving
+	// daemons — hold one warmed session across many solves so repeat
+	// solves stay allocation-lean.
+	Session *local.Session
+	// Workspace, when non-nil, is the hypergame workspace the per-phase
+	// subgames are assembled in; the caller keeps ownership. Single-
+	// caller, like the session.
+	Workspace *hypergame.Workspace
+	// WarmStart seeds the solve from a prior assignment on the same
+	// network instead of from scratch, so a perturbed instance re-solves
+	// at the cost of its dirty region: the phase loop's unassigned scans
+	// are seeded from the listed dirty customers plus the closure their
+	// release destabilizes, and the per-phase subgames stay proportional
+	// to the badness the perturbation created. Incompatible with
+	// ResumeFrom.
+	WarmStart *WarmStart
+}
+
+// WarmStart is a prior assignment SolveSharded can continue from. The
+// prior must be stable (the usual case: it is a previous solve's
+// output); the solver releases the dirty customers plus the closure
+// their release destabilizes, so the clean region re-enters the phase
+// loop at badness ≤ 1 — the inter-phase invariant — without the caller
+// computing anything beyond the directly-perturbed set. The arrays are
+// copied, never aliased.
+type WarmStart struct {
+	// ServerOf holds the prior assignment as a server index per customer
+	// (-1 for unassigned; every unassigned customer must be listed in
+	// Dirty).
+	ServerOf []int32
+	// Load holds the prior per-server load, consistent with ServerOf.
+	Load []int32
+	// Dirty lists the perturbed customers in ascending order — the seed
+	// of the re-solve. Their prior assignments (if any) are released
+	// before the first phase, and the phase loop solves only them.
+	Dirty []int32
+}
+
+// applyWarmStart seeds serverOf/load/unassigned from ws, validates its
+// shape, and releases the dirty closure: dropping a dirty customer's
+// assignment lowers its server's load, which can push an untouched
+// neighbor's badness to 2 (its cheapest alternative got cheaper), so the
+// release cascades — any assigned customer whose badness reaches 2 is
+// released too, each release strictly shrinking the assigned set until
+// the remaining clean region is back at badness ≤ 1 (the inter-phase
+// invariant the phase loop needs). Returns the ascending unassigned
+// list: the dirty customers plus the closure.
+func applyWarmStart(ws *WarmStart, fb *graph.CSRBipartite, serverOf, load, unassigned []int32) ([]int32, error) {
+	nl, ns := fb.NumLeft, fb.NumServers()
+	if len(ws.ServerOf) != nl || len(ws.Load) != ns {
+		return nil, fmt.Errorf("warm start shaped %d/%d for a %d/%d network",
+			len(ws.ServerOf), len(ws.Load), nl, ns)
+	}
+	copy(serverOf, ws.ServerOf)
+	copy(load, ws.Load)
+	unassigned = unassigned[:0]
+	prev := int32(-1)
+	for _, c := range ws.Dirty {
+		if c <= prev || int(c) >= nl {
+			return nil, fmt.Errorf("warm start dirty list not ascending in [0,%d): %d after %d", nl, c, prev)
+		}
+		prev = c
+		if so := serverOf[c]; so >= 0 {
+			if int(so) >= ns {
+				return nil, fmt.Errorf("warm start assigns customer %d to server %d (ns=%d)", c, so, ns)
+			}
+			load[so]--
+			serverOf[c] = -1
+		}
+		unassigned = append(unassigned, c)
+	}
+	di := 0
+	var total int64
+	for c := 0; c < nl; c++ {
+		if di < len(unassigned) && unassigned[di] == int32(c) {
+			di++
+			continue
+		}
+		if serverOf[c] < 0 {
+			return nil, fmt.Errorf("warm start leaves customer %d unassigned but not dirty", c)
+		}
+		if int(serverOf[c]) >= ns {
+			return nil, fmt.Errorf("warm start assigns customer %d to server %d (ns=%d)", c, serverOf[c], ns)
+		}
+		total++
+	}
+	var loadSum int64
+	for _, l := range load {
+		if l < 0 {
+			return nil, fmt.Errorf("warm start load went negative")
+		}
+		loadSum += int64(l)
+	}
+	if loadSum != total {
+		return nil, fmt.Errorf("warm start loads sum to %d for %d assigned customers", loadSum, total)
+	}
+
+	// The closure cascade. Work is proportional to the perturbed
+	// neighborhood: only customers incident to a load-dropped server are
+	// ever re-examined (a release at server d can only raise badness at
+	// customers that can see d).
+	csr := fb.C
+	var dropped []int32
+	for _, c := range ws.Dirty {
+		if so := ws.ServerOf[c]; so >= 0 {
+			dropped = append(dropped, so)
+		}
+	}
+	for len(dropped) > 0 {
+		d := dropped[len(dropped)-1]
+		dropped = dropped[:len(dropped)-1]
+		slo, shi := csr.ArcRange(nl + int(d))
+		for i := slo; i < shi; i++ {
+			c := csr.Col[i]
+			so := serverOf[c]
+			if so < 0 {
+				continue
+			}
+			alo, ahi := csr.ArcRange(int(c))
+			min := int32(-1)
+			for j := alo; j < ahi; j++ {
+				if l := load[int(csr.Col[j])-nl]; min < 0 || l < min {
+					min = l
+				}
+			}
+			if load[so]-min < 2 {
+				continue
+			}
+			load[so]--
+			serverOf[c] = -1
+			unassigned = append(unassigned, c)
+			dropped = append(dropped, so)
+		}
+	}
+	slices.Sort(unassigned)
+	return unassigned, nil
 }
 
 // ShardedResult is the outcome of SolveSharded: the assignment in flat
@@ -277,10 +417,18 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 	// pool and message buffers) plays every phase's hypergame, and one
 	// workspace rebuilds the incidence network and the flat program state
 	// in place per phase, so the steady-state phase loop performs no
-	// engine or program allocations.
-	sess := local.NewSession(opt.Shards)
-	defer sess.Close()
-	gws := hypergame.NewWorkspace()
+	// engine or program allocations. Callers with many solves to run
+	// (warm-started re-solves, serving daemons) pass their own session
+	// and workspace through the options and keep them across calls.
+	sess := opt.Session
+	if sess == nil {
+		sess = local.NewSession(opt.Shards)
+		defer sess.Close()
+	}
+	gws := opt.Workspace
+	if gws == nil {
+		gws = hypergame.NewWorkspace()
+	}
 
 	// The central per-phase passes run as flat kernels on the session's
 	// parked workers (Session.ParallelFor); the kernels are hoisted out
@@ -453,6 +601,24 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 	}
 
 	startPhase := 1
+	if ws := opt.WarmStart; ws != nil {
+		if opt.ResumeFrom != nil {
+			return nil, fmt.Errorf("assign: WarmStart and ResumeFrom are mutually exclusive")
+		}
+		ua, err := applyWarmStart(ws, fb, serverOf, load, unassigned)
+		if err != nil {
+			return nil, fmt.Errorf("assign: %w", err)
+		}
+		unassigned = ua
+		if opt.CheckInvariants {
+			if err := recountWarmLoads(fb, serverOf, load); err != nil {
+				return nil, fmt.Errorf("assign: warm start: %w", err)
+			}
+			if mb := flatMaxBadness(fb, serverOf, load); mb > 1 {
+				return nil, fmt.Errorf("assign: warm start clean region has badness %d", mb)
+			}
+		}
+	}
 	if rs := opt.ResumeFrom; rs != nil {
 		ua, err := restoreAssignSnapshot(rs, nl, ns, opt.Tie, serverOf, load, unassigned, custRng, servRng)
 		if err != nil {
@@ -595,6 +761,35 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 		}
 	}
 	return res, nil
+}
+
+// recountWarmLoads checks a warm start's cached loads against a
+// from-scratch recount and every assignment against the adjacency.
+func recountWarmLoads(fb *graph.CSRBipartite, serverOf, load []int32) error {
+	fresh := make([]int32, len(load))
+	for c, so := range serverOf {
+		if so < 0 {
+			continue
+		}
+		found := false
+		lo, hi := fb.C.ArcRange(c)
+		for i := lo; i < hi; i++ {
+			if int(fb.C.Col[i])-fb.NumLeft == int(so) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("customer %d assigned to non-adjacent server %d", c, so)
+		}
+		fresh[so]++
+	}
+	for s := range fresh {
+		if fresh[s] != load[s] {
+			return fmt.Errorf("load of server %d drifted: recomputed %d, cached %d", s, fresh[s], load[s])
+		}
+	}
+	return nil
 }
 
 // checkFlatPhaseInvariants enforces the Section 7.2 analogues of Lemmas

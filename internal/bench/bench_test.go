@@ -90,6 +90,13 @@ func TestShardedBenchQuick(t *testing.T) {
 			t.Fatalf("E25 entry %+v malformed or shard-variant", e)
 		}
 	}
+	serve := byExp["E27"]
+	if len(serve) != 1 || serve[0].Layer != "serving" || serve[0].Engine != "incremental" {
+		t.Fatalf("E27: want one serving/incremental entry, got %+v", serve)
+	}
+	if e := serve[0]; e.P50Micros <= 0 || e.P99Micros < e.P50Micros {
+		t.Fatalf("E27 latency percentiles malformed: %+v", e)
+	}
 }
 
 // TestAllExperimentsQuick runs every experiment on the quick profile and

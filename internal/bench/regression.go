@@ -27,24 +27,32 @@ type RegressionOptions struct {
 	// it — a genuine serial-path regression lands well past 15%.
 	RoundsTolerance float64
 	// AllocSlack is the absolute allocs/round increase tolerated on
-	// sharded (steady-state) entries; 0 means the 0.5 default. The
-	// contract is "no new allocation churn": warmed sharded entries sit
-	// at a few allocs/round or less, so half an allocation of slack
-	// absorbs runtime background noise while any real per-round
-	// allocation (one object per round = +1.0) still fails.
+	// sharded and incremental (steady-state) entries; 0 means the 0.5
+	// default. The contract is "no new allocation churn": warmed
+	// steady-state entries sit at a few allocs/round or less, so half an
+	// allocation of slack absorbs runtime background noise while any real
+	// per-round allocation (one object per round = +1.0) still fails.
 	AllocSlack float64
+	// LatencyTolerance is the fractional p99-latency growth tolerated on
+	// entries that record latency percentiles (the serve-mode entry); 0
+	// means the 0.5 default. Tail latency is far noisier than throughput
+	// on a shared runner — a single descheduling under the p99 sample
+	// moves it — so the gate only catches gross regressions (a repair
+	// cascade gone quadratic), not drift.
+	LatencyTolerance float64
 }
 
 // CompareShardedReports diffs a freshly measured report against a
 // committed baseline, entry by entry (keyed by experiment, layer,
 // engine, and shard count). It returns hard violations — rounds/s
-// regressions beyond the tolerance on any entry, and allocs/round
-// increases beyond the slack on sharded entries — separately from
-// warnings (baseline entries the fresh report no longer measures, e.g. a
-// wider scaling sweep on the baseline machine than on the runner).
-// Comparing reports from different profiles (quick vs full) is itself a
-// violation: their workload sizes differ, so their numbers are not
-// comparable.
+// regressions beyond the tolerance on any entry, allocs/round increases
+// beyond the slack on sharded and incremental entries, and p99-latency
+// growth beyond the latency tolerance on entries that record
+// percentiles — separately from warnings (baseline entries the fresh
+// report no longer measures, e.g. a wider scaling sweep on the baseline
+// machine than on the runner). Comparing reports from different
+// profiles (quick vs full) is itself a violation: their workload sizes
+// differ, so their numbers are not comparable.
 func CompareShardedReports(base, fresh *ShardedBenchReport, opt RegressionOptions) (violations, warnings []string) {
 	tol := opt.RoundsTolerance
 	if tol == 0 {
@@ -53,6 +61,10 @@ func CompareShardedReports(base, fresh *ShardedBenchReport, opt RegressionOption
 	slack := opt.AllocSlack
 	if slack == 0 {
 		slack = 0.5
+	}
+	latTol := opt.LatencyTolerance
+	if latTol == 0 {
+		latTol = 0.5
 	}
 	if base.Quick != fresh.Quick {
 		return []string{fmt.Sprintf("profiles differ: baseline quick=%v, fresh quick=%v (regenerate the baseline)",
@@ -82,10 +94,15 @@ func CompareShardedReports(base, fresh *ShardedBenchReport, opt RegressionOption
 				"%s: rounds/s regressed %.1f%% (baseline %.0f, fresh %.0f; tolerance %.0f%%)",
 				k, 100*(1-f.RoundsPerSec/b.RoundsPerSec), b.RoundsPerSec, f.RoundsPerSec, 100*tol))
 		}
-		if b.Engine == "sharded" && f.AllocsPerRound > b.AllocsPerRound+slack {
+		if (b.Engine == "sharded" || b.Engine == "incremental") && f.AllocsPerRound > b.AllocsPerRound+slack {
 			violations = append(violations, fmt.Sprintf(
 				"%s: allocs/round grew from %.1f to %.1f (slack %.1f) — steady-state allocation churn",
 				k, b.AllocsPerRound, f.AllocsPerRound, slack))
+		}
+		if b.P99Micros > 0 && f.P99Micros > b.P99Micros*(1+latTol) {
+			violations = append(violations, fmt.Sprintf(
+				"%s: p99 delta latency grew %.0f%% (baseline %.1fµs, fresh %.1fµs; tolerance %.0f%%)",
+				k, 100*(f.P99Micros/b.P99Micros-1), b.P99Micros, f.P99Micros, 100*latTol))
 		}
 	}
 	return violations, warnings

@@ -63,6 +63,33 @@ func TestCompareShardedReportsAllocRegression(t *testing.T) {
 	}
 }
 
+// TestCompareShardedReportsServeEntry pins the gate on the serve-mode
+// entry: the alloc check covers the incremental engine and p99 latency
+// growth past the tolerance is a violation.
+func TestCompareShardedReportsServeEntry(t *testing.T) {
+	mk := func(rps, apr, p99 float64) *ShardedBenchReport {
+		e := gateEntry("E27", "serving", "incremental", 2, rps, apr)
+		e.P50Micros, e.P99Micros = p99/4, p99
+		return gateReport(e)
+	}
+	base := mk(100_000, 0.1, 40)
+	v, w := CompareShardedReports(base, mk(98_000, 0.2, 50), RegressionOptions{})
+	if len(v) != 0 || len(w) != 0 {
+		t.Fatalf("healthy serve entry flagged: violations %v warnings %v", v, w)
+	}
+	if v, _ := CompareShardedReports(base, mk(98_000, 1.2, 50), RegressionOptions{}); len(v) != 1 ||
+		!strings.Contains(v[0], "allocs/round grew") {
+		t.Fatalf("incremental alloc churn not flagged: %v", v)
+	}
+	if v, _ := CompareShardedReports(base, mk(98_000, 0.1, 70), RegressionOptions{}); len(v) != 1 ||
+		!strings.Contains(v[0], "p99 delta latency grew") {
+		t.Fatalf("75%% p99 growth not flagged: %v", v)
+	}
+	if v, _ := CompareShardedReports(base, mk(98_000, 0.1, 70), RegressionOptions{LatencyTolerance: 2}); len(v) != 0 {
+		t.Fatalf("p99 growth flagged despite widened tolerance: %v", v)
+	}
+}
+
 func TestCompareShardedReportsProfileAndKeys(t *testing.T) {
 	base := gateReport(gateEntry("E22", "game", "sharded", 2, 1000, 0))
 	fresh := gateReport(gateEntry("E22", "game", "sharded", 2, 1000, 0))
@@ -97,7 +124,7 @@ func TestShardedBenchJSONRoundTrip(t *testing.T) {
 	if len(rep.Entries) == 0 || !rep.Quick {
 		t.Fatalf("report did not round-trip: %+v", rep)
 	}
-	for _, want := range []string{"E22", "E23", "E24", "E25", "E26"} {
+	for _, want := range []string{"E22", "E23", "E24", "E25", "E26", "E27"} {
 		found := false
 		for _, e := range rep.Entries {
 			if e.Experiment == want {

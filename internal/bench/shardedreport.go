@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/rand"
 	"runtime"
+	"slices"
 	"time"
 
 	"tokendrop/internal/assign"
@@ -16,20 +17,24 @@ import (
 )
 
 // This file produces BENCH_sharded.json, the machine-readable companion
-// of the engine experiments E22–E26: rounds/s and allocs/round for the
-// seed and sharded runtimes of every paper layer, plus the shard-scaling
-// sweeps of the bare engine (E25) and of the whole phase loops (E26). CI
-// regenerates it on the quick profile each run, diffs it against the
-// committed quick baseline with the bench-regression gate
-// (CompareShardedReports, cmd/td-benchgate), and the repo records a
-// full-profile snapshot, so future PRs have a perf trajectory to diff
-// against instead of prose numbers in CHANGES.md alone.
+// of the engine experiments E22–E27: rounds/s and allocs/round for the
+// seed and sharded runtimes of every paper layer, the shard-scaling
+// sweeps of the bare engine (E25) and of the whole phase loops (E26),
+// and the serve-mode steady-state churn of the incremental Resolver
+// (E27: deltas/s plus p50/p99 per-delta latency). CI regenerates it on
+// the quick profile each run, diffs it against the committed quick
+// baseline with the bench-regression gate (CompareShardedReports,
+// cmd/td-benchgate), and the repo records a full-profile snapshot, so
+// future PRs have a perf trajectory to diff against instead of prose
+// numbers in CHANGES.md alone.
 
-// ShardedBenchEntry is one measured run.
+// ShardedBenchEntry is one measured run. For the serve-mode entry (E27)
+// a "round" is one applied delta, so RoundsPerSec is sustained deltas/s
+// and the latency percentiles below are populated.
 type ShardedBenchEntry struct {
-	Experiment     string  `json:"experiment"`       // E22–E26
-	Layer          string  `json:"layer"`            // game | orientation | assignment
-	Engine         string  `json:"engine"`           // seed | sharded
+	Experiment     string  `json:"experiment"`       // E22–E27
+	Layer          string  `json:"layer"`            // game | orientation | assignment | serving
+	Engine         string  `json:"engine"`           // seed | sharded | incremental
 	Workload       string  `json:"workload"`         // generator description
 	N              int     `json:"n"`                // vertices (or customers)
 	M              int     `json:"m"`                // edges
@@ -40,6 +45,10 @@ type ShardedBenchEntry struct {
 	AllocsPerRound float64 `json:"allocs_per_round"`
 	BytesPerRound  float64 `json:"bytes_per_round"`
 	SpeedupVsSeed  float64 `json:"speedup_vs_seed,omitempty"`
+	// P50Micros and P99Micros are per-delta latency percentiles in
+	// microseconds, measured on the serve-mode entry only.
+	P50Micros float64 `json:"p50_micros,omitempty"`
+	P99Micros float64 `json:"p99_micros,omitempty"`
 }
 
 // ShardedBenchReport is the full report.
@@ -312,6 +321,135 @@ func ShardedBench(p Profile) (*ShardedBenchReport, error) {
 		finishEntry(&e, "E26", "assignment", "sharded", assignWorkload, nl, afb.C.M())
 		e.Shards = shards
 		if err := add(e, err); err != nil {
+			return nil, err
+		}
+	}
+
+	// E27 — the serving layer: steady-state churn on a warmed Resolver.
+	// A "round" is one applied delta (arrivals and departures through a
+	// bounded ring of churned customers, edge additions, and periodic
+	// drain-and-replace server rotations), so RoundsPerSec is sustained
+	// deltas/s; per-delta latency is sampled around every operation and
+	// reported as p50/p99. Unlike the batch entries, the wall-clock,
+	// allocation, and latency figures all come from the single fastest
+	// rep, so the percentiles describe the recorded run.
+	{
+		snl, snr, scdeg := 1_000_000, 250_000, 3
+		sdeltas := 50_000
+		if p.Quick {
+			// The network shrinks but the delta count stays high: per-delta
+			// cost is near-constant, and a run under ~10ms would time too
+			// noisily for the regression gate.
+			snl, snr, sdeltas = 20_000, 5_000, 20_000
+		}
+		sb := graph.MustBipartite(graph.RandomBipartite(snl, snr, scdeg, rng), snl)
+		sfb := graph.NewCSRBipartiteFromBipartite(sb)
+		res, err := assign.NewResolver(sfb, nil, assign.ResolverOptions{Seed: p.Seed, Shards: p.Shards})
+		if err != nil {
+			return nil, fmt.Errorf("bench: E27 resolver: %w", err)
+		}
+		serveWorkload := fmt.Sprintf("mixed churn over random bipartite cdeg=%d", scdeg)
+		servPool := make([]int32, snr) // live server ids; drained slots are replaced in place
+		for s := range servPool {
+			servPool[s] = int32(s)
+		}
+		ring := make([]int32, 0, 512) // churned customers, oldest first
+		ports := make([]int32, scdeg)
+		lat := make([]time.Duration, 0, sdeltas)
+		crng := rand.New(rand.NewSource(p.Seed + 27))
+		churn := func() (int, error) {
+			lat = lat[:0]
+			for i := 0; i < sdeltas; i++ {
+				t0 := time.Now()
+				var err error
+				switch {
+				case i%97 == 96:
+					// Rotate a random server out and a fresh one in. A
+					// drain can legitimately be refused when some incident
+					// customer has no other port; the rotation is skipped.
+					j := crng.Intn(len(servPool))
+					if derr := res.DrainServer(int(servPool[j])); derr == nil {
+						ns, aerr := res.AddServer()
+						if aerr != nil {
+							err = aerr
+						} else {
+							servPool[j] = int32(ns)
+						}
+					}
+				case i%13 == 5 && len(ring) > 0:
+					// Grow a churned customer's adjacency by one port,
+					// unless the draw already is one.
+					c := ring[crng.Intn(len(ring))]
+					s := servPool[crng.Intn(len(servPool))]
+					dup := false
+					for _, t := range res.Overlay().Adj(int(c)) {
+						if t == s {
+							dup = true
+							break
+						}
+					}
+					if !dup {
+						err = res.AddEdge(int(c), int(s))
+					}
+				case len(ring) == cap(ring):
+					c := ring[0]
+					copy(ring, ring[1:])
+					ring = ring[:len(ring)-1]
+					err = res.RemoveCustomer(int(c))
+				default:
+					for k := range ports {
+					redraw:
+						ports[k] = servPool[crng.Intn(len(servPool))]
+						for _, prev := range ports[:k] {
+							if prev == ports[k] {
+								goto redraw
+							}
+						}
+					}
+					c, aerr := res.AddCustomer(ports)
+					if aerr != nil {
+						err = aerr
+					} else {
+						ring = append(ring, int32(c))
+					}
+				}
+				lat = append(lat, time.Since(t0))
+				if err != nil {
+					return i, err
+				}
+			}
+			return sdeltas, nil
+		}
+		if _, err := churn(); err != nil { // warm the resolver's grow-only state
+			res.Close()
+			return nil, fmt.Errorf("bench: E27 warm-up: %w", err)
+		}
+		var best ShardedBenchEntry
+		for r := 0; r < p.Repeat || r == 0; r++ {
+			e, err := measured(churn)
+			if err != nil {
+				res.Close()
+				return nil, fmt.Errorf("bench: E27 serving incremental: %w", err)
+			}
+			slices.Sort(lat)
+			e.P50Micros = float64(lat[len(lat)/2]) / 1e3
+			e.P99Micros = float64(lat[len(lat)*99/100]) / 1e3
+			if r == 0 || e.RoundsPerSec > best.RoundsPerSec {
+				wasBest := best
+				best = e
+				if r > 0 && wasBest.AllocsPerRound < best.AllocsPerRound {
+					best.AllocsPerRound = wasBest.AllocsPerRound
+					best.BytesPerRound = wasBest.BytesPerRound
+				}
+			} else if e.AllocsPerRound < best.AllocsPerRound {
+				best.AllocsPerRound = e.AllocsPerRound
+				best.BytesPerRound = e.BytesPerRound
+			}
+		}
+		res.Close()
+		finishEntry(&best, "E27", "serving", "incremental", serveWorkload, snl, sfb.C.M())
+		best.Shards = resolvedShards
+		if err := add(best, nil); err != nil {
 			return nil, err
 		}
 	}

@@ -2,6 +2,7 @@ package bounded
 
 import (
 	"fmt"
+	"slices"
 
 	"tokendrop/internal/core"
 	"tokendrop/internal/graph"
@@ -68,6 +69,127 @@ type ShardedOptions struct {
 	// consistency are validated, semantic mismatches surface as divergent
 	// results.
 	ResumeFrom *Snapshot
+
+	// Session, when non-nil, is the engine session every phase runs on;
+	// the caller keeps ownership (it is not closed) and Shards is
+	// ignored. See assign.ShardedOptions.Session.
+	Session *local.Session
+	// Workspace, when non-nil, is the hypergame workspace the per-phase
+	// subgames are assembled in; the caller keeps ownership.
+	Workspace *hypergame.Workspace
+	// WarmStart seeds the solve from a prior k-bounded assignment on the
+	// same network instead of from scratch: the phase loop's unassigned
+	// scans are seeded from the listed dirty customers plus the closure
+	// their release destabilizes (under effective loads). Incompatible
+	// with ResumeFrom.
+	WarmStart *WarmStart
+}
+
+// WarmStart is a prior assignment SolveSharded can continue from; the
+// assign package documents the contract (ascending dirty list, stable
+// prior, automatic release of the destabilized closure — here under
+// effective loads). The arrays are copied, never aliased.
+type WarmStart struct {
+	// ServerOf holds the prior assignment (-1 for unassigned; every
+	// unassigned customer must be listed in Dirty).
+	ServerOf []int32
+	// Load holds the prior per-server true (untruncated) load.
+	Load []int32
+	// Dirty lists the perturbed customers in ascending order.
+	Dirty []int32
+}
+
+// applyWarmStart seeds serverOf/load/unassigned from ws, validates its
+// shape, and releases the dirty closure under effective loads: a
+// release can lower a server's effective level and push an untouched
+// neighbor's k-badness to 2, so any such customer is released too until
+// the clean region is back at k-badness ≤ 1 (see assign.applyWarmStart
+// for the rationale). Returns the ascending unassigned list.
+func applyWarmStart(ws *WarmStart, fb *graph.CSRBipartite, eff, serverOf, load, unassigned []int32) ([]int32, error) {
+	nl, ns := fb.NumLeft, fb.NumServers()
+	if len(ws.ServerOf) != nl || len(ws.Load) != ns {
+		return nil, fmt.Errorf("warm start shaped %d/%d for a %d/%d network",
+			len(ws.ServerOf), len(ws.Load), nl, ns)
+	}
+	copy(serverOf, ws.ServerOf)
+	copy(load, ws.Load)
+	unassigned = unassigned[:0]
+	prev := int32(-1)
+	for _, c := range ws.Dirty {
+		if c <= prev || int(c) >= nl {
+			return nil, fmt.Errorf("warm start dirty list not ascending in [0,%d): %d after %d", nl, c, prev)
+		}
+		prev = c
+		if so := serverOf[c]; so >= 0 {
+			if int(so) >= ns {
+				return nil, fmt.Errorf("warm start assigns customer %d to server %d (ns=%d)", c, so, ns)
+			}
+			load[so]--
+			serverOf[c] = -1
+		}
+		unassigned = append(unassigned, c)
+	}
+	di := 0
+	var total int64
+	for c := 0; c < nl; c++ {
+		if di < len(unassigned) && unassigned[di] == int32(c) {
+			di++
+			continue
+		}
+		if serverOf[c] < 0 {
+			return nil, fmt.Errorf("warm start leaves customer %d unassigned but not dirty", c)
+		}
+		if int(serverOf[c]) >= ns {
+			return nil, fmt.Errorf("warm start assigns customer %d to server %d (ns=%d)", c, serverOf[c], ns)
+		}
+		total++
+	}
+	var loadSum int64
+	for _, l := range load {
+		if l < 0 {
+			return nil, fmt.Errorf("warm start load went negative")
+		}
+		loadSum += int64(l)
+	}
+	if loadSum != total {
+		return nil, fmt.Errorf("warm start loads sum to %d for %d assigned customers", loadSum, total)
+	}
+
+	csr := fb.C
+	var dropped []int32
+	for _, c := range ws.Dirty {
+		if so := ws.ServerOf[c]; so >= 0 {
+			dropped = append(dropped, so)
+		}
+	}
+	for len(dropped) > 0 {
+		d := dropped[len(dropped)-1]
+		dropped = dropped[:len(dropped)-1]
+		slo, shi := csr.ArcRange(nl + int(d))
+		for i := slo; i < shi; i++ {
+			c := csr.Col[i]
+			so := serverOf[c]
+			if so < 0 {
+				continue
+			}
+			alo, ahi := csr.ArcRange(int(c))
+			min := int32(-1)
+			for j := alo; j < ahi; j++ {
+				if l := eff[load[int(csr.Col[j])-nl]]; min < 0 || l < min {
+					min = l
+				}
+			}
+			if eff[load[so]]-min < 2 {
+				continue
+			}
+			load[so]--
+			serverOf[c] = -1
+			unassigned = append(unassigned, c)
+			dropped = append(dropped, so)
+		}
+	}
+	slices.Sort(unassigned)
+	return unassigned, nil
 }
 
 // ShardedResult is the outcome of SolveSharded: the assignment in flat
@@ -253,9 +375,15 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 	// phase's hypergame, and one workspace rebuilds the incidence
 	// network and the flat program state (of both the three-level and
 	// the generic program) in place per phase; see assign.SolveSharded.
-	sess := local.NewSession(opt.Shards)
-	defer sess.Close()
-	gws := hypergame.NewWorkspace()
+	sess := opt.Session
+	if sess == nil {
+		sess = local.NewSession(opt.Shards)
+		defer sess.Close()
+	}
+	gws := opt.Workspace
+	if gws == nil {
+		gws = hypergame.NewWorkspace()
+	}
 
 	// The central per-phase passes as hoisted kernels for
 	// Session.ParallelFor, mirroring assign.SolveSharded with effective
@@ -412,6 +540,24 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 	}
 
 	startPhase := 1
+	if ws := opt.WarmStart; ws != nil {
+		if opt.ResumeFrom != nil {
+			return nil, fmt.Errorf("bounded: WarmStart and ResumeFrom are mutually exclusive")
+		}
+		ua, err := applyWarmStart(ws, fb, eff, serverOf, load, unassigned)
+		if err != nil {
+			return nil, fmt.Errorf("bounded: %w", err)
+		}
+		unassigned = ua
+		if opt.CheckInvariants {
+			if err := recountLoadsFlat(fb, serverOf, load); err != nil {
+				return nil, fmt.Errorf("bounded: warm start: %w", err)
+			}
+			if mb := flatMaxKBadness(fb, eff, serverOf, load); mb > 1 {
+				return nil, fmt.Errorf("bounded: warm start clean region has k-badness %d", mb)
+			}
+		}
+	}
 	if rs := opt.ResumeFrom; rs != nil {
 		ua, err := restoreBoundedSnapshot(rs, k, nl, ns, opt.Tie, serverOf, load, unassigned, custRng, servRng)
 		if err != nil {
@@ -556,6 +702,32 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 		}
 	}
 	return res, nil
+}
+
+// flatMaxKBadness recomputes the maximum k-badness (badness on effective
+// loads eff[l] = min(l, k)) over all assigned customers — the sequential
+// twin of kbadnessKernel, used to validate warm starts.
+func flatMaxKBadness(fb *graph.CSRBipartite, eff, serverOf, load []int32) int32 {
+	csr := fb.C
+	nl := fb.NumLeft
+	max := int32(0)
+	for c := 0; c < nl; c++ {
+		so := serverOf[c]
+		if so < 0 {
+			continue
+		}
+		alo, ahi := csr.ArcRange(c)
+		min := int32(-1)
+		for i := alo; i < ahi; i++ {
+			if l := eff[load[int(csr.Col[i])-nl]]; min < 0 || l < min {
+				min = l
+			}
+		}
+		if b := eff[load[so]] - min; b > max {
+			max = b
+		}
+	}
+	return max
 }
 
 // recountLoadsFlat checks the cached loads against a from-scratch recount

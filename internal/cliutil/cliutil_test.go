@@ -1,0 +1,16 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVersionShape(t *testing.T) {
+	v := Version()
+	if !strings.HasPrefix(v, "tokendrop ") {
+		t.Fatalf("version line %q does not name the module", v)
+	}
+	if !strings.Contains(v, "go1") {
+		t.Fatalf("version line %q does not name the toolchain", v)
+	}
+}

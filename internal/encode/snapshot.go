@@ -45,6 +45,12 @@ const (
 	LayerAssign = "assign"
 	// LayerBounded marks a snapshot of a k-bounded assignment phase loop.
 	LayerBounded = "bounded"
+	// LayerOverlay marks a snapshot of a live mutable overlay and its
+	// incremental assignment (assign.Resolver). Unlike the phase-loop
+	// layers it is self-contained: the graph travels inside the snapshot
+	// (live ids, port-ordered adjacency), so GraphHash is empty and a
+	// restore needs no external input to bind to.
+	LayerOverlay = "overlay"
 )
 
 // RunMetaJSON records the provenance of a recorded run: enough to
@@ -133,6 +139,17 @@ type SnapshotJSON struct {
 	ServRng    []uint64 `json:"serv_rng,omitempty"`
 
 	PhaseLog []PhaseRecordJSON `json:"phase_log,omitempty"`
+
+	// LayerOverlay state: the live graph in serialized overlay form.
+	// CustIDs lists the live customer ids ascending; customer CustIDs[i]
+	// is assigned to server ServerOf[i] (the field above, repurposed as
+	// parallel-to-CustIDs here) and its port-ordered adjacency is
+	// AdjServer[AdjPtr[i]:AdjPtr[i+1]]. ServIDs lists the live server
+	// ids ascending, isolated servers included.
+	CustIDs   []int32 `json:"cust_ids,omitempty"`
+	AdjPtr    []int32 `json:"adj_ptr,omitempty"`
+	AdjServer []int32 `json:"adj_server,omitempty"`
+	ServIDs   []int32 `json:"serv_ids,omitempty"`
 }
 
 // hashInts folds a label and an int32 slice into an FNV-1a stream.
@@ -396,6 +413,67 @@ func (sj *SnapshotJSON) ToBoundedSnapshot(fb *graph.CSRBipartite) (*bounded.Snap
 	return snap, nil
 }
 
+// FromResolver serializes a live Resolver — overlay graph plus
+// assignment — into the self-contained overlay layer. Captures must
+// happen at a delta boundary (the Resolver is quiescent between
+// operations; serving layers hold their mutex across the walk).
+func FromResolver(r *assign.Resolver, meta RunMetaJSON) *SnapshotJSON {
+	ov := r.Overlay()
+	sj := &SnapshotJSON{
+		Version: SnapshotVersion,
+		Layer:   LayerOverlay,
+		Meta:    meta,
+		AdjPtr:  []int32{0},
+	}
+	for c := 0; c < ov.CustomerIDs(); c++ {
+		if !ov.CustomerLive(c) {
+			continue
+		}
+		sj.CustIDs = append(sj.CustIDs, int32(c))
+		sj.ServerOf = append(sj.ServerOf, int32(r.ServerOf(c)))
+		sj.AdjServer = append(sj.AdjServer, ov.Adj(c)...)
+		sj.AdjPtr = append(sj.AdjPtr, int32(len(sj.AdjServer)))
+	}
+	for s := 0; s < ov.ServerIDs(); s++ {
+		if ov.ServerLive(s) {
+			sj.ServIDs = append(sj.ServIDs, int32(s))
+		}
+	}
+	return sj
+}
+
+// ToResolver restores a Resolver from an overlay-layer snapshot:
+// identifiers survive the round-trip exactly, and the restored
+// assignment is the snapshot's (repaired only if it fails stability,
+// which a faithful snapshot of a quiescent Resolver never does). The
+// options' Tie and Seed should come from the snapshot's Meta for a
+// faithful continuation; the caller owns and closes the Resolver.
+func (sj *SnapshotJSON) ToResolver(opt assign.ResolverOptions) (*assign.Resolver, error) {
+	if sj.Layer != LayerOverlay {
+		return nil, fmt.Errorf("encode: snapshot of layer %q applied to an overlay restore", sj.Layer)
+	}
+	if len(sj.ServerOf) != len(sj.CustIDs) {
+		return nil, fmt.Errorf("encode: overlay snapshot has %d assignments for %d customers",
+			len(sj.ServerOf), len(sj.CustIDs))
+	}
+	ov, err := graph.RestoreBipartiteOverlay(sj.CustIDs, sj.AdjPtr, sj.AdjServer, sj.ServIDs)
+	if err != nil {
+		return nil, fmt.Errorf("encode: %w", err)
+	}
+	prior := make([]int32, ov.CustomerIDs())
+	for i := range prior {
+		prior[i] = -1
+	}
+	for i, c := range sj.CustIDs {
+		prior[c] = sj.ServerOf[i]
+	}
+	r, err := assign.NewResolverFromOverlay(ov, prior, opt)
+	if err != nil {
+		return nil, fmt.Errorf("encode: %w", err)
+	}
+	return r, nil
+}
+
 // WriteSnapshot streams a snapshot as indented JSON. The encoding is
 // deterministic (struct field order), which the golden-file tests pin.
 func WriteSnapshot(w io.Writer, sj *SnapshotJSON) error {
@@ -418,7 +496,7 @@ func ReadSnapshot(r io.Reader) (*SnapshotJSON, error) {
 		return nil, fmt.Errorf("encode: snapshot version %d, this build reads %d", sj.Version, SnapshotVersion)
 	}
 	switch sj.Layer {
-	case LayerCore, LayerOrient, LayerAssign, LayerBounded:
+	case LayerCore, LayerOrient, LayerAssign, LayerBounded, LayerOverlay:
 	default:
 		return nil, fmt.Errorf("encode: unknown snapshot layer %q", sj.Layer)
 	}

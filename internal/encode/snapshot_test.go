@@ -114,6 +114,37 @@ func boundedFixture(t *testing.T) (*bounded.Snapshot, *graph.CSRBipartite, RunMe
 	return snap, fb, meta
 }
 
+// resolverFixture builds a live Resolver a few deterministic deltas away
+// from its seed network, so the overlay snapshot has recycled ids, a
+// fresh server, and appended edges to pin.
+func resolverFixture(t *testing.T) (*assign.Resolver, RunMetaJSON) {
+	t.Helper()
+	fb := bipartiteFixture(t)
+	r, err := assign.NewResolver(fb, nil, assign.ResolverOptions{
+		Tie: core.TieFirstPort, Seed: 1, Shards: 2, SelfCheck: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	if err := r.RemoveCustomer(5); err != nil {
+		t.Fatal(err)
+	}
+	s, err := r.AddServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddCustomer([]int32{int32(s), 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddEdge(7, s); err != nil {
+		t.Fatal(err)
+	}
+	meta := RunMetaJSON{Workload: "bipartite customers=24 servers=6 cdeg=3", GenSeed: 42,
+		Tie: TieName(core.TieFirstPort), Seed: 1, Shards: 2}
+	return r, meta
+}
+
 // TestSnapshotBindingsRoundTrip: for every layer, in-memory snapshot →
 // JSON → bytes → JSON → in-memory snapshot is the identity.
 func TestSnapshotBindingsRoundTrip(t *testing.T) {
@@ -175,6 +206,30 @@ func TestSnapshotBindingsRoundTrip(t *testing.T) {
 		}
 		if !reflect.DeepEqual(snap, back) {
 			t.Fatal("bounded snapshot round trip diverged")
+		}
+	})
+	t.Run("overlay", func(t *testing.T) {
+		r, meta := resolverFixture(t)
+		sj := encodeDecode(t, FromResolver(r, meta))
+		back, err := sj.ToResolver(assign.ResolverOptions{Tie: core.TieFirstPort, Seed: 1, Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer back.Close()
+		if err := back.Verify(); err != nil {
+			t.Fatalf("restored resolver fails the oracle: %v", err)
+		}
+		// A faithful snapshot of a stable resolver restores without any
+		// repair moves, and re-serializing the restored resolver is the
+		// identity — ids, port order, and assignment all survive.
+		if moves := back.Stats().Moves; moves != 0 {
+			t.Fatalf("restore repaired a stable snapshot (%d moves)", moves)
+		}
+		if again := FromResolver(back, meta); !reflect.DeepEqual(sj, again) {
+			t.Fatal("overlay snapshot round trip diverged")
+		}
+		if _, err := FromAssignSnapshot(&assign.Snapshot{}, bipartiteFixture(t), meta).ToResolver(assign.ResolverOptions{}); err == nil {
+			t.Fatal("assign snapshot restored as an overlay")
 		}
 	})
 }
@@ -251,6 +306,16 @@ func TestGoldenSnapshots(t *testing.T) {
 			snap, fb, meta := boundedFixture(t)
 			return FromBoundedSnapshot(snap, fb, meta), func(sj *SnapshotJSON) error {
 				_, err := sj.ToBoundedSnapshot(fb)
+				return err
+			}
+		}},
+		{"golden_overlay.json", func(t *testing.T) (*SnapshotJSON, func(*SnapshotJSON) error) {
+			r, meta := resolverFixture(t)
+			return FromResolver(r, meta), func(sj *SnapshotJSON) error {
+				back, err := sj.ToResolver(assign.ResolverOptions{Tie: core.TieFirstPort, Seed: 1})
+				if err == nil {
+					back.Close()
+				}
 				return err
 			}
 		}},

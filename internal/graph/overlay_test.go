@@ -1,0 +1,387 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refOverlay is the obvious map/slice model the arena-backed overlay is
+// differentially tested against.
+type refOverlay struct {
+	adj  map[int][]int // customer -> servers, port order
+	serv map[int]bool
+}
+
+func newRefOverlay() *refOverlay {
+	return &refOverlay{adj: map[int][]int{}, serv: map[int]bool{}}
+}
+
+func checkAgainstRef(t *testing.T, o *BipartiteOverlay, ref *refOverlay) {
+	t.Helper()
+	if o.NumCustomers() != len(ref.adj) {
+		t.Fatalf("live customers: overlay %d, ref %d", o.NumCustomers(), len(ref.adj))
+	}
+	if o.NumServers() != len(ref.serv) {
+		t.Fatalf("live servers: overlay %d, ref %d", o.NumServers(), len(ref.serv))
+	}
+	edges := 0
+	for c, servers := range ref.adj {
+		edges += len(servers)
+		if !o.CustomerLive(c) {
+			t.Fatalf("customer %d live in ref, dead in overlay", c)
+		}
+		adj := o.Adj(c)
+		if len(adj) != len(servers) {
+			t.Fatalf("customer %d degree: overlay %d, ref %d", c, len(adj), len(servers))
+		}
+		for p, s := range servers {
+			if int(adj[p]) != s {
+				t.Fatalf("customer %d port %d: overlay %d, ref %d", c, p, adj[p], s)
+			}
+		}
+	}
+	if o.NumEdges() != edges {
+		t.Fatalf("edges: overlay %d, ref %d", o.NumEdges(), edges)
+	}
+	// Incidence lists must hold exactly the incident customers (order is
+	// maintenance-defined, so compare as sets).
+	for s := range ref.serv {
+		if !o.ServerLive(s) {
+			t.Fatalf("server %d live in ref, dead in overlay", s)
+		}
+		want := map[int]bool{}
+		for c, servers := range ref.adj {
+			for _, t := range servers {
+				if t == s {
+					want[c] = true
+				}
+			}
+		}
+		inc := o.Incident(s)
+		if len(inc) != len(want) {
+			t.Fatalf("server %d incidence size: overlay %d, ref %d", s, len(inc), len(want))
+		}
+		for _, c := range inc {
+			if !want[int(c)] {
+				t.Fatalf("server %d incidence holds non-incident customer %d", s, c)
+			}
+		}
+	}
+}
+
+// TestOverlayDifferential drives random deltas through the overlay and a
+// reference model, checking adjacency (port order included), incidence,
+// and the compacted CSR after every few steps — including across the
+// automatic arena compactions the churn triggers.
+func TestOverlayDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	o := NewBipartiteOverlay(nil)
+	o.FragThreshold = 0.3 // compact eagerly so the test crosses it often
+	ref := newRefOverlay()
+	b := NewCSRBuilder(0, 0)
+	var oc OverlayCSR
+
+	liveServers := func() []int {
+		var ids []int
+		for s := range ref.serv {
+			ids = append(ids, s)
+		}
+		return ids
+	}
+	liveCustomers := func() []int {
+		var ids []int
+		for c := range ref.adj {
+			ids = append(ids, c)
+		}
+		return ids
+	}
+
+	for step := 0; step < 4000; step++ {
+		op := rng.Intn(10)
+		switch {
+		case op < 2 || len(ref.serv) == 0: // add server
+			s := o.AddServer()
+			if ref.serv[s] {
+				t.Fatalf("step %d: AddServer returned live id %d", step, s)
+			}
+			ref.serv[s] = true
+		case op < 5: // add customer
+			ids := liveServers()
+			rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+			d := 1 + rng.Intn(min(3, len(ids)))
+			servers := make([]int32, d)
+			for i := 0; i < d; i++ {
+				servers[i] = int32(ids[i])
+			}
+			c, err := o.AddCustomer(servers)
+			if err != nil {
+				t.Fatalf("step %d: AddCustomer: %v", step, err)
+			}
+			if _, ok := ref.adj[c]; ok {
+				t.Fatalf("step %d: AddCustomer returned live id %d", step, c)
+			}
+			ref.adj[c] = nil
+			for _, s := range servers {
+				ref.adj[c] = append(ref.adj[c], int(s))
+			}
+		case op < 7: // remove customer
+			ids := liveCustomers()
+			if len(ids) == 0 {
+				continue
+			}
+			c := ids[rng.Intn(len(ids))]
+			if err := o.RemoveCustomer(c); err != nil {
+				t.Fatalf("step %d: RemoveCustomer(%d): %v", step, c, err)
+			}
+			delete(ref.adj, c)
+		case op < 8: // add edge
+			cs, ss := liveCustomers(), liveServers()
+			if len(cs) == 0 {
+				continue
+			}
+			c := cs[rng.Intn(len(cs))]
+			s := ss[rng.Intn(len(ss))]
+			present := false
+			for _, t := range ref.adj[c] {
+				if t == s {
+					present = true
+				}
+			}
+			err := o.AddEdge(c, s)
+			if present {
+				if err == nil {
+					t.Fatalf("step %d: duplicate AddEdge(%d,%d) accepted", step, c, s)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("step %d: AddEdge(%d,%d): %v", step, c, s, err)
+			}
+			ref.adj[c] = append(ref.adj[c], s)
+		case op < 9: // remove edge
+			cs := liveCustomers()
+			if len(cs) == 0 {
+				continue
+			}
+			c := cs[rng.Intn(len(cs))]
+			if len(ref.adj[c]) == 0 {
+				continue
+			}
+			p := rng.Intn(len(ref.adj[c]))
+			s := ref.adj[c][p]
+			if err := o.RemoveEdge(c, s); err != nil {
+				t.Fatalf("step %d: RemoveEdge(%d,%d): %v", step, c, s, err)
+			}
+			ref.adj[c] = append(ref.adj[c][:p], ref.adj[c][p+1:]...)
+		default: // remove an empty server
+			ids := liveServers()
+			s := ids[rng.Intn(len(ids))]
+			incident := false
+			for _, servers := range ref.adj {
+				for _, t := range servers {
+					if t == s {
+						incident = true
+					}
+				}
+			}
+			err := o.RemoveServer(s)
+			if incident {
+				if err == nil {
+					t.Fatalf("step %d: RemoveServer(%d) accepted with incident customers", step, s)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("step %d: RemoveServer(%d): %v", step, s, err)
+			}
+			delete(ref.serv, s)
+		}
+		if step%137 == 0 {
+			checkAgainstRef(t, o, ref)
+			checkBuildCSR(t, o, ref, b, &oc)
+		}
+	}
+	checkAgainstRef(t, o, ref)
+	checkBuildCSR(t, o, ref, b, &oc)
+	if o.Compactions() == 0 {
+		t.Fatalf("churn never crossed the fragmentation threshold (frag=%.2f)", o.Frag())
+	}
+	// An explicit compaction reclaims everything and changes nothing.
+	o.CompactArenas()
+	if o.Frag() != 0 {
+		t.Fatalf("explicit compaction left frag=%.2f", o.Frag())
+	}
+	checkAgainstRef(t, o, ref)
+}
+
+// checkBuildCSR compacts the overlay and validates the flat graph: CSR
+// invariants, the bipartition, the id maps, and every live customer's
+// ports in overlay order.
+func checkBuildCSR(t *testing.T, o *BipartiteOverlay, ref *refOverlay, b *CSRBuilder, oc *OverlayCSR) {
+	t.Helper()
+	o.BuildCSR(b, oc)
+	if err := oc.C.Validate(); err != nil {
+		t.Fatalf("compacted CSR invalid: %v", err)
+	}
+	if _, err := NewCSRBipartite(&oc.C, oc.NumLeft); err != nil {
+		t.Fatalf("compacted CSR not bipartite: %v", err)
+	}
+	if oc.NumLeft != len(ref.adj) {
+		t.Fatalf("compacted NumLeft %d, ref %d", oc.NumLeft, len(ref.adj))
+	}
+	for d := 0; d < oc.NumLeft; d++ {
+		c := int(oc.CustID[d])
+		if int(oc.CustDense[c]) != d {
+			t.Fatalf("customer id maps disagree at dense %d", d)
+		}
+		want := ref.adj[c]
+		lo, hi := oc.C.ArcRange(d)
+		if hi-lo != len(want) {
+			t.Fatalf("customer %d compacted degree %d, ref %d", c, hi-lo, len(want))
+		}
+		for p := 0; p < len(want); p++ {
+			s := int(oc.ServID[int(oc.C.Col[lo+p])-oc.NumLeft])
+			if s != want[p] {
+				t.Fatalf("customer %d port %d: compacted server %d, ref %d", c, p, s, want[p])
+			}
+		}
+	}
+}
+
+// TestOverlayFromCSR checks that ingesting a CSRBipartite preserves ids
+// and port order, and that compacting it straight back yields the same
+// graph.
+func TestOverlayFromCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bip := MustBipartite(RandomBipartite(40, 12, 3, rng), 40)
+	fb := NewCSRBipartiteFromBipartite(bip)
+	o := NewBipartiteOverlay(fb)
+	if o.NumCustomers() != 40 || o.NumServers() != 12 || o.NumEdges() != fb.C.M() {
+		t.Fatalf("ingest counts wrong: %d/%d/%d", o.NumCustomers(), o.NumServers(), o.NumEdges())
+	}
+	for c := 0; c < 40; c++ {
+		lo, hi := fb.C.ArcRange(c)
+		adj := o.Adj(c)
+		for p := 0; p < hi-lo; p++ {
+			if int(adj[p]) != int(fb.C.Col[lo+p])-40 {
+				t.Fatalf("ingest broke port order at customer %d port %d", c, p)
+			}
+		}
+	}
+	b := NewCSRBuilder(0, 0)
+	var oc OverlayCSR
+	o.BuildCSR(b, &oc)
+	if err := oc.C.Validate(); err != nil {
+		t.Fatalf("round-trip CSR invalid: %v", err)
+	}
+	for c := 0; c < 40; c++ {
+		lo, hi := fb.C.ArcRange(c)
+		clo, chi := oc.C.ArcRange(c)
+		if hi-lo != chi-clo {
+			t.Fatalf("round-trip degree drifted at customer %d", c)
+		}
+		for p := 0; p < hi-lo; p++ {
+			if oc.C.Col[clo+p] != fb.C.Col[lo+p] {
+				t.Fatalf("round-trip port order drifted at customer %d port %d", c, p)
+			}
+		}
+	}
+}
+
+// TestOverlayIDRecycling pins the LIFO id-recycling contract: the id
+// space stays bounded by the peak live count under churn.
+func TestOverlayIDRecycling(t *testing.T) {
+	o := NewBipartiteOverlay(nil)
+	s := o.AddServer()
+	var ids []int
+	for i := 0; i < 8; i++ {
+		c, err := o.AddCustomer([]int32{int32(s)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, c)
+	}
+	for _, c := range ids {
+		if err := o.RemoveCustomer(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		c, err := o.AddCustomer([]int32{int32(s)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c >= 8 {
+			t.Fatalf("churn leaked into fresh id %d despite free ids", c)
+		}
+		if err := o.RemoveCustomer(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.CustomerIDs() != 8 {
+		t.Fatalf("id space grew to %d under churn", o.CustomerIDs())
+	}
+}
+
+// TestOverlaySteadyStateAllocs pins the zero-allocation contract for a
+// warmed overlay under assign/release churn.
+func TestOverlaySteadyStateAllocs(t *testing.T) {
+	o := NewBipartiteOverlay(nil)
+	var servers []int32
+	for s := 0; s < 16; s++ {
+		servers = append(servers, int32(o.AddServer()))
+	}
+	adj := make([]int32, 3)
+	churn := func() {
+		for i := 0; i < 64; i++ {
+			adj[0] = servers[i%16]
+			adj[1] = servers[(i+5)%16]
+			adj[2] = servers[(i+11)%16]
+			c, err := o.AddCustomer(adj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := o.RemoveCustomer(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 50; i++ { // warm arenas past the churn's high-water mark
+		churn()
+	}
+	if avg := testing.AllocsPerRun(20, churn); avg != 0 {
+		t.Fatalf("warmed overlay churn allocates %.1f times per round", avg)
+	}
+}
+
+// TestResetShrink pins the builder's release policy: Reset retains peak
+// capacity, ResetShrink drops it to the requested budget.
+func TestResetShrink(t *testing.T) {
+	b := NewCSRBuilder(4, 0)
+	for i := 0; i < 1000; i++ {
+		b.AddEdge(i%4, (i+1)%4+0) // duplicates are fine for capacity accounting
+	}
+	b.Build()
+	b.Reset(4)
+	if cap(b.us) < 1000 {
+		t.Fatalf("Reset released the edge buffer (cap %d)", cap(b.us))
+	}
+	b.ResetShrink(4, 16)
+	if cap(b.us) > 16 || cap(b.vs) > 16 {
+		t.Fatalf("ResetShrink kept cap %d/%d over budget 16", cap(b.us), cap(b.vs))
+	}
+	if b.N() != 4 || b.M() != 0 {
+		t.Fatalf("ResetShrink broke the reset: n=%d m=%d", b.N(), b.M())
+	}
+	// Still fully usable afterwards.
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	c := b.Build()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b.ResetShrink(0, 0)
+	if cap(b.us) != 0 || cap(b.deg) != 0 {
+		t.Fatalf("ResetShrink(0,0) kept buffers (cap %d, deg %d)", cap(b.us), cap(b.deg))
+	}
+}

@@ -1,0 +1,51 @@
+package tokendrop
+
+import (
+	"tokendrop/internal/assign"
+	"tokendrop/internal/encode"
+	"tokendrop/internal/graph"
+)
+
+// Serving-side facade: the mutable bipartite overlay and the incremental
+// Resolver that keeps a stable assignment repaired under churn — the
+// online counterpart of StableAssignmentSharded, used by cmd/td-serve.
+
+type (
+	// BipartiteOverlay is a mutable customer/server network layered over
+	// the CSR form: customers, servers, and edges insert and delete
+	// without a full rebuild, compacting only when fragmentation crosses
+	// the threshold.
+	BipartiteOverlay = graph.BipartiteOverlay
+	// Resolver maintains a stable assignment on a BipartiteOverlay under
+	// churn, repairing after every delta instead of re-solving. Not safe
+	// for concurrent use; serving layers wrap it in a mutex.
+	Resolver = assign.Resolver
+	// ResolverOptions configure NewResolver.
+	ResolverOptions = assign.ResolverOptions
+	// ResolverStats counts a Resolver's deltas, repair moves, fallback
+	// solves, and live network size.
+	ResolverStats = assign.ResolverStats
+)
+
+// NewBipartiteOverlay wraps fb (nil means start empty) as a mutable
+// overlay. Solvers are driven through a Resolver, which owns the
+// overlay's assignment state.
+func NewBipartiteOverlay(fb *FlatBipartite) *BipartiteOverlay {
+	return graph.NewBipartiteOverlay(fb)
+}
+
+// NewResolver returns a Resolver over fb (nil means start empty). A
+// non-nil prior assignment (one adjacent server index per customer, or
+// -1 to let the Resolver place that customer) is adopted and repaired;
+// a nil prior triggers one from-scratch sharded solve. Close releases
+// the Resolver's engine session.
+func NewResolver(fb *FlatBipartite, prior []int32, opt ResolverOptions) (*Resolver, error) {
+	return assign.NewResolver(fb, prior, opt)
+}
+
+// ResolverSnapshotJSON converts a Resolver's live network and assignment
+// to the on-disk snapshot form (layer "overlay", self-contained). The
+// inverse is SnapshotJSON.ToResolver.
+func ResolverSnapshotJSON(r *Resolver, meta RunMetaJSON) *SnapshotJSON {
+	return encode.FromResolver(r, meta)
+}
