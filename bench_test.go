@@ -183,6 +183,12 @@ func BenchmarkE26CentralStepScaling(b *testing.B) {
 	}
 }
 
+func BenchmarkE28ArenaPareto(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.E28ArenaPareto(quick())
+	}
+}
+
 func BenchmarkFixedScheduleOrientation(b *testing.B) {
 	g := tokendrop.CycleGraph(10)
 	for i := 0; i < b.N; i++ {

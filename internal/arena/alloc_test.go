@@ -1,0 +1,61 @@
+package arena
+
+import (
+	"testing"
+
+	"tokendrop/internal/assign"
+	"tokendrop/internal/core"
+)
+
+// TestTokenDroppingZeroAllocWarmed pins the arena-facing contract of the
+// sharded-engine adapter: once warmed on a workload, repeat Assign calls
+// allocate nothing — the scoreboard can spin the engine in a tight loop
+// without GC noise polluting the wall-clock axis.
+func TestTokenDroppingZeroAllocWarmed(t *testing.T) {
+	w := Uniform(150, 30, 3, 4)
+	td := &TokenDropping{Shards: 2}
+	defer td.Close()
+	run := func() {
+		if _, err := td.Assign(w, 9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the session, workspace, scratch, and result arrays
+	if allocs := testing.AllocsPerRun(5, run); allocs != 0 {
+		t.Errorf("warmed token-dropping Assign allocated %.1f objects per run; want 0", allocs)
+	}
+}
+
+// TestResolverReplayZeroAllocWarmed pins the churn-replay contract: a
+// steady-state drain-and-replace segment applied to a warmed resolver
+// allocates nothing. The segment removes and immediately re-adds
+// customers, so LIFO id recycling hands every replacement its
+// predecessor's id and the same events stay valid on every repetition.
+func TestResolverReplayZeroAllocWarmed(t *testing.T) {
+	w := Uniform(80, 16, 3, 6)
+	rv, err := assign.NewResolver(w.FB, nil, assign.ResolverOptions{
+		Tie: core.TieRandom, Seed: 3, Shards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rv.Close()
+	// A NewResolver over fb numbers overlay ids densely, so customer ids
+	// 0..9 are live and adjacency can name overlay servers 0..15.
+	var events []TraceEvent
+	for c := 0; c < 10; c++ {
+		events = append(events,
+			TraceEvent{Op: OpRemoveCustomer, Customer: c},
+			TraceEvent{Op: OpAddCustomer, Servers: []int32{int32(c % 16), int32((c + 5) % 16), int32((c + 11) % 16)}},
+		)
+	}
+	run := func() {
+		if err := ReplayInto(rv, events); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the repair queue and rng streams for the new adjacency
+	if allocs := testing.AllocsPerRun(5, run); allocs != 0 {
+		t.Errorf("warmed churn replay allocated %.1f objects per run; want 0", allocs)
+	}
+}

@@ -1,0 +1,157 @@
+// Package arena races assignment strategies against each other on shared
+// bipartite customer/server workloads: the paper's token-dropping
+// assignment layer (both engines), the selfish best-response comparator,
+// and the greedy baselines practitioners actually deploy (random,
+// round-robin, least-loaded, power-of-k-choices, Robin-Hood stealing),
+// plus a deterministic rotor and a threshold protocol adapted from the
+// quasirandom and simple load-balancing literature. Every strategy
+// produces the same artifact — a complete adjacent assignment with final
+// loads, rounds, steps, messages, and wall-clock — so experiment E28 can
+// lay them out on one Pareto surface per workload family and the oracle
+// suite can hold every competitor to the same validity bar.
+//
+// Message accounting is exact where the strategy is genuinely
+// distributed (the engines and the selfish dynamic report engine-counted
+// messages) and modeled where it is sequential: a sequential baseline is
+// charged one probe message per server load it inspects and two messages
+// per placement or move (the claim and its acknowledgement). The model
+// is deliberately charitable to the baselines — it prices the cheapest
+// conceivable RPC realization — so the engines never win the message
+// axis by accounting fiat.
+package arena
+
+import (
+	"fmt"
+	"time"
+
+	"tokendrop/internal/graph"
+)
+
+// Workload is one arena instance: a bipartite customer/server network,
+// its family tag, and — for churn families — the replayable trace the
+// network was materialized from.
+type Workload struct {
+	// Name identifies the concrete instance (family plus parameters).
+	Name string
+	// Family is the generator family: "uniform", "zipf", "hotspot",
+	// "adversarial", or "churn".
+	Family string
+	// FB is the network every one-shot strategy assigns. For churn
+	// workloads it is the final network after the whole trace.
+	FB *graph.CSRBipartite
+	// MinMaxLoad is a proven lower bound on the maximum server load of
+	// any complete assignment (0 when none is known). The adversarial
+	// family sets the Lemma 6.2 floor ⌈d/2⌉.
+	MinMaxLoad int
+	// Trace, when non-nil, is the churn history behind FB; trace-capable
+	// strategies (the Resolver adapter) replay it instead of assigning
+	// FB from scratch.
+	Trace *Trace
+	// Dense, for churn workloads, maps FB's dense vertex ids to the
+	// overlay ids the trace speaks (graph.BipartiteOverlay.BuildCSR's
+	// mapping), so trace replayers can report in FB's id space.
+	Dense *graph.OverlayCSR
+}
+
+// Result is the common artifact every strategy produces.
+type Result struct {
+	// Strategy and Workload name the matchup (filled by Run).
+	Strategy string
+	Workload string
+	// ServerOf holds the final server index (in [0, NumServers)) of
+	// every customer of the workload's FB.
+	ServerOf []int32
+	// Load holds the final per-server-index load.
+	Load []int32
+	// MaxLoad is the maximum entry of Load (filled by Run).
+	MaxLoad int
+	// Rounds counts communication rounds for distributed strategies and
+	// passes over the customers for sequential ones.
+	Rounds int
+	// Steps counts individual placement/move decisions.
+	Steps int64
+	// Messages counts delivered messages — engine-exact for the
+	// distributed strategies, probe+claim modeled for the sequential
+	// ones (see the package comment).
+	Messages int64
+	// Seconds is the wall-clock of the Assign call (filled by Run).
+	Seconds float64
+}
+
+// Strategy is the arena contract: produce a complete adjacent assignment
+// of the workload's customers. Implementations may reuse internal
+// storage across calls (the engine adapters do, for the zero-allocation
+// contract), in which case the returned Result is only valid until the
+// next Assign on the same value — Run's caller copies what it keeps.
+type Strategy interface {
+	Name() string
+	Assign(w *Workload, seed int64) (*Result, error)
+}
+
+// Run times one matchup and normalizes the result's identity fields.
+func Run(s Strategy, w *Workload, seed int64) (*Result, error) {
+	start := time.Now()
+	res, err := s.Assign(w, seed)
+	if err != nil {
+		return nil, fmt.Errorf("arena: %s on %s: %w", s.Name(), w.Name, err)
+	}
+	res.Seconds = time.Since(start).Seconds()
+	res.Strategy = s.Name()
+	res.Workload = w.Name
+	res.MaxLoad = 0
+	for _, l := range res.Load {
+		if int(l) > res.MaxLoad {
+			res.MaxLoad = int(l)
+		}
+	}
+	return res, nil
+}
+
+// CheckResult is the oracle every arena entry must pass: the assignment
+// is complete and adjacent, the reported loads match an exact recount,
+// and MaxLoad (when filled) matches the loads. It never trusts the
+// strategy's own bookkeeping.
+func CheckResult(w *Workload, res *Result) error {
+	fb := w.FB
+	nl, ns := fb.NumCustomers(), fb.NumServers()
+	if len(res.ServerOf) != nl {
+		return fmt.Errorf("arena: %d assignments for %d customers", len(res.ServerOf), nl)
+	}
+	if len(res.Load) != ns {
+		return fmt.Errorf("arena: %d loads for %d servers", len(res.Load), ns)
+	}
+	fresh := make([]int32, ns)
+	for c, s := range res.ServerOf {
+		if s < 0 || int(s) >= ns {
+			return fmt.Errorf("arena: customer %d assigned out of range (%d)", c, s)
+		}
+		lo, hi := fb.C.ArcRange(c)
+		ok := false
+		for i := lo; i < hi; i++ {
+			if int(fb.C.Col[i]) == nl+int(s) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("arena: customer %d assigned to non-adjacent server %d", c, s)
+		}
+		fresh[s]++
+	}
+	max := 0
+	for s := range fresh {
+		if fresh[s] != res.Load[s] {
+			return fmt.Errorf("arena: server %d load reported %d, recounted %d", s, res.Load[s], fresh[s])
+		}
+		if int(fresh[s]) > max {
+			max = int(fresh[s])
+		}
+	}
+	if res.MaxLoad != 0 && res.MaxLoad != max {
+		return fmt.Errorf("arena: MaxLoad reported %d, recounted %d", res.MaxLoad, max)
+	}
+	if w.MinMaxLoad > 0 && max < w.MinMaxLoad {
+		return fmt.Errorf("arena: max load %d beats the workload's proven floor %d — impossible", max, w.MinMaxLoad)
+	}
+	return nil
+}

@@ -1,0 +1,277 @@
+package arena
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tokendrop/internal/graph"
+)
+
+// The sequential greedy baselines. Each one is the textbook assigner a
+// practitioner would reach for first, implemented faithfully (no secret
+// coordination, no global repair unless the strategy's name promises it)
+// and charged messages under the probe+claim model from the package
+// comment: one probe per server load inspected, two messages per
+// placement or move. Rounds counts passes over the customer set.
+
+// newResult allocates the assignment arrays for workload w.
+func newResult(w *Workload) *Result {
+	return &Result{
+		ServerOf: make([]int32, w.FB.NumCustomers()),
+		Load:     make([]int32, w.FB.NumServers()),
+	}
+}
+
+// eachPort calls f with every adjacent server index of customer c.
+func eachPort(fb *graph.CSRBipartite, c int, f func(s int32)) {
+	lo, hi := fb.C.ArcRange(c)
+	for i := lo; i < hi; i++ {
+		f(fb.C.Col[i] - int32(fb.NumLeft))
+	}
+}
+
+// portAt returns the k-th adjacent server index of customer c.
+func portAt(fb *graph.CSRBipartite, c, k int) int32 {
+	lo, _ := fb.C.ArcRange(c)
+	return fb.C.Col[lo+k] - int32(fb.NumLeft)
+}
+
+// degree returns customer c's port count.
+func degree(fb *graph.CSRBipartite, c int) int {
+	lo, hi := fb.C.ArcRange(c)
+	return hi - lo
+}
+
+// place records c→s in res and charges the claim+ack pair.
+func place(res *Result, c int, s int32) {
+	res.ServerOf[c] = s
+	res.Load[s]++
+	res.Steps++
+	res.Messages += 2
+}
+
+// Random assigns every customer a uniformly random adjacent server —
+// the no-information baseline.
+type Random struct{}
+
+func (Random) Name() string { return "random" }
+
+func (Random) Assign(w *Workload, seed int64) (*Result, error) {
+	rng := rand.New(rand.NewSource(seed))
+	res := newResult(w)
+	res.Rounds = 1
+	for c := 0; c < w.FB.NumCustomers(); c++ {
+		place(res, c, portAt(w.FB, c, rng.Intn(degree(w.FB, c))))
+	}
+	return res, nil
+}
+
+// RoundRobin rotates a single global cursor through each customer's port
+// list — deterministic, seed-free, load-oblivious.
+type RoundRobin struct{}
+
+func (RoundRobin) Name() string { return "round-robin" }
+
+func (RoundRobin) Assign(w *Workload, _ int64) (*Result, error) {
+	res := newResult(w)
+	res.Rounds = 1
+	cursor := 0
+	for c := 0; c < w.FB.NumCustomers(); c++ {
+		place(res, c, portAt(w.FB, c, cursor%degree(w.FB, c)))
+		cursor++
+	}
+	return res, nil
+}
+
+// leastLoadedPort probes every port of c (charging one probe each) and
+// returns the least-loaded one, lowest server index on ties.
+func leastLoadedPort(fb *graph.CSRBipartite, c int, res *Result) int32 {
+	best := int32(-1)
+	var bestLoad int32
+	eachPort(fb, c, func(s int32) {
+		res.Messages++
+		if best < 0 || res.Load[s] < bestLoad || (res.Load[s] == bestLoad && s < best) {
+			best, bestLoad = s, res.Load[s]
+		}
+	})
+	return best
+}
+
+// LeastLoaded greedily sends each customer, in arrival order, to its
+// currently least-loaded adjacent server (full probe, lowest index on
+// ties).
+type LeastLoaded struct{}
+
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+func (LeastLoaded) Assign(w *Workload, _ int64) (*Result, error) {
+	res := newResult(w)
+	res.Rounds = 1
+	for c := 0; c < w.FB.NumCustomers(); c++ {
+		place(res, c, leastLoadedPort(w.FB, c, res))
+	}
+	return res, nil
+}
+
+// PowerOfK probes K distinct random ports per customer (all of them when
+// the degree is at most K) and takes the least loaded — the classic
+// power-of-d-choices rule restricted to the customer's adjacency.
+type PowerOfK struct {
+	// K is the probe count; 0 means 2 (power of two choices).
+	K int
+}
+
+func (p PowerOfK) Name() string { return fmt.Sprintf("power-of-%d", p.k()) }
+
+func (p PowerOfK) k() int {
+	if p.K <= 0 {
+		return 2
+	}
+	return p.K
+}
+
+func (p PowerOfK) Assign(w *Workload, seed int64) (*Result, error) {
+	rng := rand.New(rand.NewSource(seed))
+	res := newResult(w)
+	res.Rounds = 1
+	picked := make([]int32, p.k())
+	for c := 0; c < w.FB.NumCustomers(); c++ {
+		deg := degree(w.FB, c)
+		if deg <= p.k() {
+			place(res, c, leastLoadedPort(w.FB, c, res))
+			continue
+		}
+		best := int32(-1)
+		var bestLoad int32
+		for i := 0; i < p.k(); {
+			s := portAt(w.FB, c, rng.Intn(deg))
+			if !distinct(picked, i, s) {
+				continue
+			}
+			picked[i] = s
+			i++
+			res.Messages++ // probe
+			if best < 0 || res.Load[s] < bestLoad {
+				best, bestLoad = s, res.Load[s]
+			}
+		}
+		place(res, c, best)
+	}
+	return res, nil
+}
+
+// RobinHood starts from the least-loaded greedy assignment and then runs
+// stealing passes: any customer whose server is at least 2 above its
+// cheapest alternative moves there. Each move strictly decreases
+// Σ load·(load+1)/2, so the passes terminate; the result is a stable
+// assignment in the paper's sense, found centrally.
+type RobinHood struct {
+	// MaxPasses bounds the repair passes; 0 means 1<<20.
+	MaxPasses int
+}
+
+func (RobinHood) Name() string { return "robin-hood" }
+
+func (r RobinHood) Assign(w *Workload, _ int64) (*Result, error) {
+	maxPasses := r.MaxPasses
+	if maxPasses == 0 {
+		maxPasses = 1 << 20
+	}
+	res, err := LeastLoaded{}.Assign(w, 0)
+	if err != nil {
+		return nil, err
+	}
+	for pass := 0; ; pass++ {
+		if pass >= maxPasses {
+			return nil, fmt.Errorf("arena: robin-hood did not stabilize in %d passes", maxPasses)
+		}
+		res.Rounds++
+		moved := false
+		for c := 0; c < w.FB.NumCustomers(); c++ {
+			cur := res.ServerOf[c]
+			best := leastLoadedPort(w.FB, c, res)
+			if res.Load[cur]-res.Load[best] >= 2 {
+				res.Load[cur]--
+				place(res, c, best)
+				moved = true
+			}
+		}
+		if !moved {
+			return res, nil
+		}
+	}
+}
+
+// Rotor is the deterministic quasirandom baseline: one rotor cursor per
+// customer degree class, so equal-degree customers take successive ports
+// in rotation. Seed-free and load-oblivious, but spreads perfectly
+// within each degree class of a regular workload.
+type Rotor struct{}
+
+func (Rotor) Name() string { return "rotor" }
+
+func (Rotor) Assign(w *Workload, _ int64) (*Result, error) {
+	res := newResult(w)
+	res.Rounds = 1
+	rotors := make(map[int]int)
+	for c := 0; c < w.FB.NumCustomers(); c++ {
+		deg := degree(w.FB, c)
+		k := rotors[deg]
+		rotors[deg] = k + 1
+		place(res, c, portAt(w.FB, c, k%deg))
+	}
+	return res, nil
+}
+
+// Threshold is the simple threshold protocol: in each round every
+// unplaced customer proposes to one random adjacent server, and a server
+// with load below the threshold T accepts proposals (in customer order)
+// until it reaches T. A round that places nobody raises T by one, so the
+// protocol always finishes. Every proposal costs one message and earns
+// one response.
+type Threshold struct {
+	// MaxRounds bounds the protocol; 0 means 1<<20.
+	MaxRounds int
+}
+
+func (Threshold) Name() string { return "threshold" }
+
+func (th Threshold) Assign(w *Workload, seed int64) (*Result, error) {
+	maxRounds := th.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 1 << 20
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res := newResult(w)
+	nl := w.FB.NumCustomers()
+	for c := range res.ServerOf {
+		res.ServerOf[c] = -1
+	}
+	unplaced := nl
+	threshold := int32(1)
+	for round := 0; unplaced > 0; round++ {
+		if round >= maxRounds {
+			return nil, fmt.Errorf("arena: threshold did not finish in %d rounds", maxRounds)
+		}
+		res.Rounds++
+		placedThisRound := 0
+		for c := 0; c < nl; c++ {
+			if res.ServerOf[c] >= 0 {
+				continue
+			}
+			s := portAt(w.FB, c, rng.Intn(degree(w.FB, c)))
+			res.Messages += 2 // proposal and response
+			if res.Load[s] < threshold {
+				res.ServerOf[c] = s
+				res.Load[s]++
+				res.Steps++
+				placedThisRound++
+			}
+		}
+		unplaced -= placedThisRound
+		if placedThisRound == 0 {
+			threshold++
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,226 @@
+package arena
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"tokendrop/internal/encode"
+	"tokendrop/internal/graph"
+)
+
+// The replayable trace format of the churn workload family, following
+// internal/encode's versioned JSON conventions: an explicit version
+// field, readers that reject unknown versions AND unknown fields
+// (json.DisallowUnknownFields), and a graph hash binding the trace to
+// its materialization so a drifted generator fails loudly instead of
+// silently benchmarking a different network.
+//
+// A trace starts from Servers empty servers and no customers; events
+// speak graph.BipartiteOverlay ids, which are deterministic (LIFO
+// recycling, insertion-ordered ports), so one event list reproduces one
+// network bit-for-bit on every replayer — the one-shot strategies
+// assign the materialized final network, the Resolver adapter applies
+// the same events incrementally, and both report in the final network's
+// dense id space.
+
+// TraceVersion is the current trace format version.
+const TraceVersion = 1
+
+// Trace event operations.
+const (
+	// OpAddCustomer adds a customer adjacent to Servers (overlay ids);
+	// the overlay assigns its id deterministically.
+	OpAddCustomer = "add-customer"
+	// OpRemoveCustomer removes customer Customer (overlay id).
+	OpRemoveCustomer = "remove-customer"
+	// OpAddServer adds one server.
+	OpAddServer = "add-server"
+)
+
+// TraceEvent is one churn operation.
+type TraceEvent struct {
+	Op       string  `json:"op"`
+	Customer int     `json:"customer,omitempty"`
+	Servers  []int32 `json:"servers,omitempty"`
+}
+
+// Trace is a replayable churn history.
+type Trace struct {
+	Version int    `json:"version"`
+	Name    string `json:"name"`
+	// Servers is the initial server count (ids 0..Servers-1).
+	Servers int          `json:"servers"`
+	Events  []TraceEvent `json:"events"`
+	// FinalHash, when non-empty, is encode.GraphHashBipartite of the
+	// materialized final network; Materialize verifies it.
+	FinalHash string `json:"final_hash,omitempty"`
+}
+
+// WriteTrace writes the trace as indented JSON.
+func WriteTrace(w io.Writer, t *Trace) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadTrace parses a trace. Unknown fields and unknown versions are
+// rejected — format drift fails here, never as a corrupted replay — and
+// every event is shape-checked; id-level validity (liveness, adjacency)
+// is the overlay's job during Materialize.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var t Trace
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("arena: %w", err)
+	}
+	if t.Version != TraceVersion {
+		return nil, fmt.Errorf("arena: trace version %d, this build reads %d", t.Version, TraceVersion)
+	}
+	if t.Servers < 0 {
+		return nil, fmt.Errorf("arena: negative initial server count %d", t.Servers)
+	}
+	for i, ev := range t.Events {
+		switch ev.Op {
+		case OpAddCustomer:
+			if len(ev.Servers) == 0 {
+				return nil, fmt.Errorf("arena: event %d adds a customer with no servers", i)
+			}
+			for _, s := range ev.Servers {
+				if s < 0 {
+					return nil, fmt.Errorf("arena: event %d references negative server %d", i, s)
+				}
+			}
+			if ev.Customer != 0 {
+				return nil, fmt.Errorf("arena: event %d (%s) carries a customer id", i, ev.Op)
+			}
+		case OpRemoveCustomer:
+			if ev.Customer < 0 {
+				return nil, fmt.Errorf("arena: event %d removes negative customer %d", i, ev.Customer)
+			}
+			if len(ev.Servers) != 0 {
+				return nil, fmt.Errorf("arena: event %d (%s) carries a server list", i, ev.Op)
+			}
+		case OpAddServer:
+			if ev.Customer != 0 || len(ev.Servers) != 0 {
+				return nil, fmt.Errorf("arena: event %d (%s) carries operands", i, ev.Op)
+			}
+		default:
+			return nil, fmt.Errorf("arena: event %d has unknown op %q", i, ev.Op)
+		}
+	}
+	return &t, nil
+}
+
+// emptyNetwork builds a CSRBipartite with ns servers and no customers —
+// the starting point of every trace replay.
+func emptyNetwork(ns int) *graph.CSRBipartite {
+	return graph.MustCSRBipartite(graph.NewCSRBuilder(ns, 0).Build(), 0)
+}
+
+// Replay applies the trace's events to a fresh overlay, invoking visit
+// after each event (the Resolver adapter drives its incremental engine
+// from the same hook). visit may be nil.
+func (t *Trace) Replay(visit func(ev *TraceEvent, ov *graph.BipartiteOverlay) error) (*graph.BipartiteOverlay, error) {
+	ov := graph.NewBipartiteOverlay(emptyNetwork(t.Servers))
+	for i := range t.Events {
+		ev := &t.Events[i]
+		switch ev.Op {
+		case OpAddCustomer:
+			if _, err := ov.AddCustomer(ev.Servers); err != nil {
+				return nil, fmt.Errorf("arena: event %d: %w", i, err)
+			}
+		case OpRemoveCustomer:
+			if err := ov.RemoveCustomer(ev.Customer); err != nil {
+				return nil, fmt.Errorf("arena: event %d: %w", i, err)
+			}
+		case OpAddServer:
+			ov.AddServer()
+		default:
+			return nil, fmt.Errorf("arena: event %d has unknown op %q", i, ev.Op)
+		}
+		if visit != nil {
+			if err := visit(ev, ov); err != nil {
+				return nil, fmt.Errorf("arena: event %d: %w", i, err)
+			}
+		}
+	}
+	return ov, nil
+}
+
+// Materialize replays the trace and compacts the final network,
+// verifying FinalHash when the trace carries one. The returned OverlayCSR
+// maps dense ids to the overlay ids the trace speaks.
+func (t *Trace) Materialize() (*graph.CSRBipartite, *graph.OverlayCSR, error) {
+	ov, err := t.Replay(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	oc := new(graph.OverlayCSR)
+	ov.BuildCSR(graph.NewCSRBuilder(0, 0), oc)
+	fb := oc.Bipartite()
+	if t.FinalHash != "" {
+		if h := encode.GraphHashBipartite(fb); h != t.FinalHash {
+			return nil, nil, fmt.Errorf("arena: trace materializes to %s, expected %s", h, t.FinalHash)
+		}
+	}
+	return fb, oc, nil
+}
+
+// ChurnTrace generates a drain-and-replace churn history: nl customers
+// arrive with deg distinct uniform servers each, then churns cycles each
+// remove a random live customer and admit a freshly-wired replacement,
+// with an occasional server addition mixed in. The trace is stamped with
+// the final network's hash.
+func ChurnTrace(name string, nl, nr, deg, churns int, rng *rand.Rand) (*Trace, error) {
+	if deg < 1 || deg > nr {
+		return nil, fmt.Errorf("arena: churn degree %d outside [1,%d]", deg, nr)
+	}
+	t := &Trace{Version: TraceVersion, Name: name, Servers: nr}
+	ov := graph.NewBipartiteOverlay(emptyNetwork(nr))
+	live := make([]int, 0, nl)
+	servers := nr
+	addCustomer := func() error {
+		picked := rng.Perm(servers)[:deg]
+		adj := make([]int32, deg)
+		for i, s := range picked {
+			adj[i] = int32(s)
+		}
+		id, err := ov.AddCustomer(adj)
+		if err != nil {
+			return err
+		}
+		live = append(live, id)
+		t.Events = append(t.Events, TraceEvent{Op: OpAddCustomer, Servers: adj})
+		return nil
+	}
+	for i := 0; i < nl; i++ {
+		if err := addCustomer(); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < churns; i++ {
+		if i%16 == 15 { // grow the server side now and then
+			ov.AddServer()
+			servers++
+			t.Events = append(t.Events, TraceEvent{Op: OpAddServer})
+		}
+		victim := rng.Intn(len(live))
+		id := live[victim]
+		live[victim] = live[len(live)-1]
+		live = live[:len(live)-1]
+		if err := ov.RemoveCustomer(id); err != nil {
+			return nil, err
+		}
+		t.Events = append(t.Events, TraceEvent{Op: OpRemoveCustomer, Customer: id})
+		if err := addCustomer(); err != nil {
+			return nil, err
+		}
+	}
+	oc := new(graph.OverlayCSR)
+	ov.BuildCSR(graph.NewCSRBuilder(0, 0), oc)
+	t.FinalHash = encode.GraphHashBipartite(oc.Bipartite())
+	return t, nil
+}

@@ -1,0 +1,146 @@
+package arena
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = os.Getenv("UPDATE_GOLDEN") != ""
+
+// goldenTrace is the pinned trace behind testdata/churn_trace_v1.json:
+// fixed parameters, fixed seed.
+func goldenTrace(t *testing.T) *Trace {
+	t.Helper()
+	tr, err := ChurnTrace("golden", 12, 6, 2, 10, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestTraceGolden pins the on-disk format: the generated golden trace
+// must serialize byte-for-byte to the checked-in file, and the file must
+// decode and re-encode to itself (encode→decode→re-encode identity).
+// Any intentional format change regenerates with UPDATE_GOLDEN=1.
+func TestTraceGolden(t *testing.T) {
+	path := filepath.Join("testdata", "churn_trace_v1.json")
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, goldenTrace(t)); err != nil {
+		t.Fatal(err)
+	}
+	if updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with UPDATE_GOLDEN=1)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("generated golden trace drifted from %s (regenerate with UPDATE_GOLDEN=1 if intended)", path)
+	}
+	tr, err := ReadTrace(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := WriteTrace(&again, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), want) {
+		t.Fatal("decode→re-encode is not byte-identical to the golden file")
+	}
+	if _, _, err := tr.Materialize(); err != nil {
+		t.Fatalf("golden trace does not materialize: %v", err)
+	}
+}
+
+// TestTraceRoundTrip: every generated trace round-trips through the
+// codec byte-identically and materializes to its stamped hash.
+func TestTraceRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		tr, err := ChurnTrace("rt", 20, 8, 3, 15, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var a bytes.Buffer
+		if err := WriteTrace(&a, tr); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadTrace(bytes.NewReader(a.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := WriteTrace(&b, back); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("seed %d: encode→decode→re-encode not byte-identical", seed)
+		}
+		if _, _, err := back.Materialize(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestReadTraceRejects drives the decoder through its failure modes.
+func TestReadTraceRejects(t *testing.T) {
+	cases := []struct {
+		name, json, wantErr string
+	}{
+		{"unknown field", `{"version":1,"name":"x","servers":1,"pwned":true}`, "pwned"},
+		{"future version", `{"version":2,"name":"x","servers":1}`, "version"},
+		{"negative servers", `{"version":1,"name":"x","servers":-1}`, "negative"},
+		{"unknown op", `{"version":1,"name":"x","servers":1,"events":[{"op":"drain"}]}`, "unknown op"},
+		{"add without servers", `{"version":1,"name":"x","servers":1,"events":[{"op":"add-customer"}]}`, "no servers"},
+		{"add with negative server", `{"version":1,"name":"x","servers":1,"events":[{"op":"add-customer","servers":[-1]}]}`, "negative server"},
+		{"add with customer id", `{"version":1,"name":"x","servers":1,"events":[{"op":"add-customer","customer":3,"servers":[0]}]}`, "customer id"},
+		{"remove negative", `{"version":1,"name":"x","servers":1,"events":[{"op":"remove-customer","customer":-2}]}`, "negative customer"},
+		{"remove with servers", `{"version":1,"name":"x","servers":1,"events":[{"op":"remove-customer","customer":0,"servers":[0]}]}`, "server list"},
+		{"add-server with operands", `{"version":1,"name":"x","servers":1,"events":[{"op":"add-server","customer":1}]}`, "operands"},
+		{"not json", `hello`, "invalid"},
+	}
+	for _, tc := range cases {
+		_, err := ReadTrace(strings.NewReader(tc.json))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestMaterializeDetectsDrift: a tampered hash must fail materialization.
+func TestMaterializeDetectsDrift(t *testing.T) {
+	tr := goldenTrace(t)
+	tr.FinalHash = "fnv1a:0000000000000000"
+	if _, _, err := tr.Materialize(); err == nil {
+		t.Fatal("materialized against a wrong hash")
+	}
+}
+
+// TestReplayRejectsBadEvents: id-level validity errors surface from the
+// overlay with event positions attached.
+func TestReplayRejectsBadEvents(t *testing.T) {
+	tr := &Trace{Version: TraceVersion, Name: "bad", Servers: 2, Events: []TraceEvent{
+		{Op: OpAddCustomer, Servers: []int32{5}}, // no such server
+	}}
+	if _, err := tr.Replay(nil); err == nil {
+		t.Fatal("replayed an edge to a nonexistent server")
+	}
+	tr.Events = []TraceEvent{{Op: OpRemoveCustomer, Customer: 0}}
+	if _, err := tr.Replay(nil); err == nil {
+		t.Fatal("removed a customer that never existed")
+	}
+}

@@ -1,0 +1,169 @@
+package arena
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"tokendrop/internal/graph"
+	"tokendrop/internal/lowerbound"
+)
+
+// The workload families of the arena. All generators are deterministic
+// functions of their parameters and seed, every customer gets at least
+// one adjacent server, and each family stresses a different failure mode
+// of an assigner: uniform is the calibration baseline, zipf skews demand
+// onto popular servers (rank-frequency by server id), hotspot moves the
+// popular set over time (arrival-ordered windows), adversarial is the
+// Lemma 6.2 family where any assigner is forced to ⌈d/2⌉, and churn
+// exercises incremental re-solving through a replayable trace.
+
+// buildBipartite assembles a CSRBipartite from per-customer adjacency.
+func buildBipartite(nl, nr int, adj [][]int32) *graph.CSRBipartite {
+	arcs := 0
+	for _, a := range adj {
+		arcs += len(a)
+	}
+	b := graph.NewCSRBuilder(nl+nr, arcs)
+	for c, a := range adj {
+		for _, s := range a {
+			b.AddEdge(c, nl+int(s))
+		}
+	}
+	return graph.MustCSRBipartite(b.Build(), nl)
+}
+
+// distinct reports whether s already occurs in picked[:n].
+func distinct(picked []int32, n int, s int32) bool {
+	for i := 0; i < n; i++ {
+		if picked[i] == s {
+			return false
+		}
+	}
+	return true
+}
+
+// Uniform builds the calibration family: nl customers, each adjacent to
+// deg distinct uniformly random servers out of nr.
+func Uniform(nl, nr, deg int, seed int64) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	adj := make([][]int32, nl)
+	for c := range adj {
+		a := make([]int32, deg)
+		for i := 0; i < deg; {
+			s := int32(rng.Intn(nr))
+			if distinct(a, i, s) {
+				a[i] = s
+				i++
+			}
+		}
+		adj[c] = a
+	}
+	return &Workload{
+		Name:   fmt.Sprintf("uniform/nl=%d,nr=%d,deg=%d", nl, nr, deg),
+		Family: "uniform",
+		FB:     buildBipartite(nl, nr, adj),
+	}
+}
+
+// Zipf builds the skewed-demand family: server s is drawn with weight
+// (s+1)^-alpha, so server id is popularity rank — low ids are hot, and
+// the empirical incident-degree curve is monotone in expectation (the
+// property test's invariant). Customers still get deg distinct servers.
+func Zipf(nl, nr, deg int, alpha float64, seed int64) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	cum := make([]float64, nr)
+	total := 0.0
+	for s := 0; s < nr; s++ {
+		total += math.Pow(float64(s+1), -alpha)
+		cum[s] = total
+	}
+	draw := func() int32 {
+		x := rng.Float64() * total
+		return int32(sort.SearchFloat64s(cum, x))
+	}
+	adj := make([][]int32, nl)
+	for c := range adj {
+		a := make([]int32, deg)
+		for i := 0; i < deg; {
+			s := draw()
+			if s >= int32(nr) { // Float64 edge: x == total
+				s = int32(nr - 1)
+			}
+			if distinct(a, i, s) {
+				a[i] = s
+				i++
+			}
+		}
+		adj[c] = a
+	}
+	return &Workload{
+		Name:   fmt.Sprintf("zipf/nl=%d,nr=%d,deg=%d,a=%g", nl, nr, deg, alpha),
+		Family: "zipf",
+		FB:     buildBipartite(nl, nr, adj),
+	}
+}
+
+// HotSpot builds the time-varying family: customer arrivals split into
+// windows, and a customer in window t anchors its first edge inside the
+// window's hot server range [t·nr/w, (t+1)·nr/w) — a moving hot spot —
+// with the remaining deg−1 edges uniform over all servers. windows must
+// divide into nr at least one server per window.
+func HotSpot(nl, nr, deg, windows int, seed int64) *Workload {
+	if windows < 1 || windows > nr || windows > nl {
+		panic(fmt.Sprintf("arena: hotspot windows %d outside [1,min(nl=%d,nr=%d)]", windows, nl, nr))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	adj := make([][]int32, nl)
+	for c := range adj {
+		t := c * windows / nl
+		hotLo := t * nr / windows
+		hotHi := (t + 1) * nr / windows
+		a := make([]int32, deg)
+		a[0] = int32(hotLo + rng.Intn(hotHi-hotLo))
+		for i := 1; i < deg; {
+			s := int32(rng.Intn(nr))
+			if distinct(a, i, s) {
+				a[i] = s
+				i++
+			}
+		}
+		adj[c] = a
+	}
+	return &Workload{
+		Name:   fmt.Sprintf("hotspot/nl=%d,nr=%d,deg=%d,w=%d", nl, nr, deg, windows),
+		Family: "hotspot",
+		FB:     buildBipartite(nl, nr, adj),
+	}
+}
+
+// Adversarial builds the Lemma 6.2 family from internal/lowerbound: one
+// degree-2 customer per edge of a random d-regular server graph, with
+// the proven floor MinMaxLoad = ⌈d/2⌉ recorded on the workload.
+func Adversarial(ns, d int, seed int64) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	return &Workload{
+		Name:       fmt.Sprintf("adversarial/ns=%d,d=%d", ns, d),
+		Family:     "adversarial",
+		FB:         lowerbound.MaxLoadInstance(ns, d, rng),
+		MinMaxLoad: lowerbound.MinMaxLoad(d),
+	}
+}
+
+// Churn builds the drain-and-replace family: a generated trace (see
+// ChurnTrace) plus its materialized final network, so one-shot
+// strategies and trace replayers compete on exactly the same instance.
+func Churn(nl, nr, deg, churns int, seed int64) (*Workload, error) {
+	rng := rand.New(rand.NewSource(seed))
+	name := fmt.Sprintf("churn/nl=%d,nr=%d,deg=%d,x=%d", nl, nr, deg, churns)
+	t, err := ChurnTrace(name, nl, nr, deg, churns, rng)
+	if err != nil {
+		return nil, err
+	}
+	fb, oc, err := t.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{Name: name, Family: "churn", FB: fb, Trace: t, Dense: oc}, nil
+}

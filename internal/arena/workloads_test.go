@@ -1,0 +1,185 @@
+package arena
+
+import (
+	"testing"
+
+	"tokendrop/internal/encode"
+)
+
+// workloadHash fingerprints a workload's network.
+func workloadHash(w *Workload) string { return encode.GraphHashBipartite(w.FB) }
+
+// incidentArcs recounts each server's incident arc count (customer-side
+// demand) from the workload's network.
+func incidentArcs(w *Workload) []int {
+	fb := w.FB
+	counts := make([]int, fb.NumServers())
+	for c := 0; c < fb.NumCustomers(); c++ {
+		eachPort(fb, c, func(s int32) { counts[s]++ })
+	}
+	return counts
+}
+
+// TestUniformShape checks the calibration family: every customer has
+// exactly deg distinct adjacent servers.
+func TestUniformShape(t *testing.T) {
+	w := Uniform(200, 40, 4, 3)
+	fb := w.FB
+	if fb.NumCustomers() != 200 || fb.NumServers() != 40 {
+		t.Fatalf("shape %d×%d", fb.NumCustomers(), fb.NumServers())
+	}
+	for c := 0; c < fb.NumCustomers(); c++ {
+		if d := degree(fb, c); d != 4 {
+			t.Fatalf("customer %d has degree %d", c, d)
+		}
+		seen := map[int32]bool{}
+		eachPort(fb, c, func(s int32) {
+			if seen[s] {
+				t.Fatalf("customer %d repeats server %d", c, s)
+			}
+			seen[s] = true
+		})
+	}
+}
+
+// TestZipfRankFrequencyMonotone is the skew property: server id is
+// popularity rank, so demand bucketed by rank quartile must be strictly
+// decreasing — the head of the distribution carries more arcs than each
+// successive tail quartile. Checked on a sample large enough that the
+// expected gap dwarfs the noise, with a fixed seed so it cannot flake.
+func TestZipfRankFrequencyMonotone(t *testing.T) {
+	const nl, nr = 4000, 40
+	w := Zipf(nl, nr, 2, 1.4, 11)
+	counts := incidentArcs(w)
+	const buckets = 4
+	var sums [buckets]int
+	for s, n := range counts {
+		sums[s*buckets/nr] += n
+	}
+	for i := 1; i < buckets; i++ {
+		if sums[i-1] <= sums[i] {
+			t.Fatalf("rank buckets not monotone: %v", sums)
+		}
+	}
+	// The head quartile must dominate decisively, not by luck: at
+	// alpha=1.4 it carries well over 2x the second quartile.
+	if sums[0] < 2*sums[1] {
+		t.Fatalf("head quartile %d does not dominate second %d", sums[0], sums[1])
+	}
+}
+
+// TestHotSpotScheduleCoverage is the time-variation property: every
+// window's hot server range receives the anchor edge (port 0) of every
+// customer arriving in that window, so each hot spot is exercised and
+// the hot spot actually moves across windows.
+func TestHotSpotScheduleCoverage(t *testing.T) {
+	const nl, nr, deg, windows = 160, 32, 3, 8
+	w := HotSpot(nl, nr, deg, windows, 5)
+	fb := w.FB
+	covered := make([]bool, windows)
+	for c := 0; c < nl; c++ {
+		tw := c * windows / nl
+		hotLo := tw * nr / windows
+		hotHi := (tw + 1) * nr / windows
+		anchor := int(portAt(fb, c, 0))
+		if anchor < hotLo || anchor >= hotHi {
+			t.Fatalf("customer %d (window %d) anchored at %d outside hot range [%d,%d)",
+				c, tw, anchor, hotLo, hotHi)
+		}
+		covered[tw] = true
+	}
+	for tw, ok := range covered {
+		if !ok {
+			t.Fatalf("window %d received no customers", tw)
+		}
+	}
+}
+
+// TestHotSpotRejectsBadWindows pins the parameter guard.
+func TestHotSpotRejectsBadWindows(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("windows > servers accepted")
+		}
+	}()
+	HotSpot(100, 8, 3, 9, 1)
+}
+
+// TestAdversarialWorkloadFloor checks the family records the Lemma 6.2
+// floor and that the floor is unbeatable by the strongest competitor we
+// have (the oracle already errors on any result below it).
+func TestAdversarialWorkloadFloor(t *testing.T) {
+	for _, d := range []int{3, 4, 5} {
+		w := Adversarial(12, d, 9)
+		if want := (d + 1) / 2; w.MinMaxLoad != want {
+			t.Fatalf("d=%d floor %d, want %d", d, w.MinMaxLoad, want)
+		}
+		res, err := Run(RobinHood{}, w, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MaxLoad < w.MinMaxLoad {
+			t.Fatalf("d=%d: robin-hood reached %d below the proven floor %d",
+				d, res.MaxLoad, w.MinMaxLoad)
+		}
+	}
+}
+
+// TestChurnWorkloadConsistent checks the churn family ships a trace that
+// materializes to exactly the workload's network (hash-bound) with a
+// usable dense↔overlay mapping.
+func TestChurnWorkloadConsistent(t *testing.T) {
+	w, err := Churn(50, 14, 3, 40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Trace == nil || w.Dense == nil {
+		t.Fatal("churn workload missing trace or dense mapping")
+	}
+	if w.Trace.FinalHash == "" {
+		t.Fatal("churn trace not hash-stamped")
+	}
+	fb2, _, err := w.Trace.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb2.NumCustomers() != w.FB.NumCustomers() || fb2.NumServers() != w.FB.NumServers() {
+		t.Fatalf("re-materialized %d×%d, workload %d×%d",
+			fb2.NumCustomers(), fb2.NumServers(), w.FB.NumCustomers(), w.FB.NumServers())
+	}
+	// Dense mapping round-trips.
+	for c := 0; c < w.FB.NumCustomers(); c++ {
+		if int(w.Dense.CustDense[w.Dense.CustID[c]]) != c {
+			t.Fatalf("customer dense mapping broken at %d", c)
+		}
+	}
+	for s := 0; s < w.FB.NumServers(); s++ {
+		if int(w.Dense.ServDense[w.Dense.ServID[s]]) != s {
+			t.Fatalf("server dense mapping broken at %d", s)
+		}
+	}
+}
+
+// TestWorkloadDeterminism: same parameters and seed, same network.
+func TestWorkloadDeterminism(t *testing.T) {
+	hashes := func() []string {
+		var hs []string
+		for _, w := range []*Workload{
+			Uniform(40, 10, 3, 7), Zipf(40, 10, 3, 1.2, 7),
+			HotSpot(40, 10, 3, 4, 7), Adversarial(10, 3, 7),
+		} {
+			hs = append(hs, workloadHash(w))
+		}
+		cw, err := Churn(30, 10, 3, 16, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(hs, workloadHash(cw))
+	}
+	a, b := hashes(), hashes()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("workload %d not deterministic: %s vs %s", i, a[i], b[i])
+		}
+	}
+}

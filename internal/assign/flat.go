@@ -8,6 +8,7 @@ import (
 	"tokendrop/internal/graph"
 	"tokendrop/internal/hypergame"
 	"tokendrop/internal/local"
+	"tokendrop/internal/reuse"
 )
 
 // This file ports the Theorem 7.3 stable-assignment algorithm to the
@@ -114,6 +115,15 @@ type ShardedOptions struct {
 	// to the badness the perturbation created. Incompatible with
 	// ResumeFrom.
 	WarmStart *WarmStart
+
+	// Scratch, when non-nil, owns every per-solve allocation — the
+	// assignment arrays, the per-phase scratch, the subgame result, and
+	// the returned ShardedResult itself. Together with a caller-owned
+	// Session and Workspace it makes warmed repeat solves completely
+	// allocation-free (the arena's scoreboard contract). Single-caller,
+	// like the session; the returned result and its slices are only
+	// valid until the next solve with the same scratch.
+	Scratch *SolveScratch
 }
 
 // WarmStart is a prior assignment SolveSharded can continue from. The
@@ -136,16 +146,18 @@ type WarmStart struct {
 	Dirty []int32
 }
 
-// applyWarmStart seeds serverOf/load/unassigned from ws, validates its
-// shape, and releases the dirty closure: dropping a dirty customer's
-// assignment lowers its server's load, which can push an untouched
-// neighbor's badness to 2 (its cheapest alternative got cheaper), so the
-// release cascades — any assigned customer whose badness reaches 2 is
-// released too, each release strictly shrinking the assigned set until
-// the remaining clean region is back at badness ≤ 1 (the inter-phase
-// invariant the phase loop needs). Returns the ascending unassigned
-// list: the dirty customers plus the closure.
-func applyWarmStart(ws *WarmStart, fb *graph.CSRBipartite, serverOf, load, unassigned []int32) ([]int32, error) {
+// applyWarmStart seeds the scratch's serverOf/load/unassigned from ws,
+// validates its shape, and releases the dirty closure: dropping a dirty
+// customer's assignment lowers its server's load, which can push an
+// untouched neighbor's badness to 2 (its cheapest alternative got
+// cheaper), so the release cascades — any assigned customer whose
+// badness reaches 2 is released too, each release strictly shrinking the
+// assigned set until the remaining clean region is back at badness ≤ 1
+// (the inter-phase invariant the phase loop needs). Returns the
+// ascending unassigned list: the dirty customers plus the closure.
+func (sc *SolveScratch) applyWarmStart(ws *WarmStart) ([]int32, error) {
+	fb := sc.fb
+	serverOf, load, unassigned := sc.serverOf, sc.load, sc.unassigned
 	nl, ns := fb.NumLeft, fb.NumServers()
 	if len(ws.ServerOf) != nl || len(ws.Load) != ns {
 		return nil, fmt.Errorf("warm start shaped %d/%d for a %d/%d network",
@@ -200,7 +212,7 @@ func applyWarmStart(ws *WarmStart, fb *graph.CSRBipartite, serverOf, load, unass
 	// ever re-examined (a release at server d can only raise badness at
 	// customers that can see d).
 	csr := fb.C
-	var dropped []int32
+	dropped := sc.dropped[:0]
 	for _, c := range ws.Dirty {
 		if so := ws.ServerOf[c]; so >= 0 {
 			dropped = append(dropped, so)
@@ -232,6 +244,7 @@ func applyWarmStart(ws *WarmStart, fb *graph.CSRBipartite, serverOf, load, unass
 			dropped = append(dropped, so)
 		}
 	}
+	sc.dropped = dropped
 	slices.Sort(unassigned)
 	return unassigned, nil
 }
@@ -250,6 +263,13 @@ type ShardedResult struct {
 	// on the customer/server incidence network.
 	Rounds   int
 	PhaseLog []PhaseRecord
+	// Messages counts the messages the distributed reading of the solve
+	// delivers: per phase, one load announcement per customer-side arc
+	// (the broadcast round), one proposal per unassigned customer, one
+	// acceptance notification per accept, plus the subgame's exact
+	// message count from the engine. A ResumeFrom run counts messages
+	// from the resume point only (snapshots predate the counter).
+	Messages int64
 
 	fb *graph.CSRBipartite
 }
@@ -322,6 +342,222 @@ func flatMaxBadness(fb *graph.CSRBipartite, serverOf, load []int32) int32 {
 	return max
 }
 
+// SolveScratch owns the per-solve storage of SolveSharded: the
+// assignment arrays, the proposal/accept index, the per-phase subgame
+// scratch, the subgame result, and the ShardedResult handed back. All of
+// it is reused grow-only across solves, and the six central-pass kernels
+// are built once per scratch (capturing only the scratch pointer), so a
+// warmed solve with a caller-owned Session and Workspace performs no
+// heap allocations at all. Single-caller, like the session.
+type SolveScratch struct {
+	// Per-solve bindings the kernels read through the scratch pointer.
+	fb  *graph.CSRBipartite
+	tie core.TieBreak
+
+	serverOf   []int32
+	load       []int32
+	unassigned []int32
+	custRng    []uint64 // engine-specific TieRandom streams
+	servRng    []uint64
+	servPtr    []int32
+	servCust   []int32
+	servCursor []int32
+	propServer []int32
+
+	// Reused per-phase scratch.
+	acceptCust   []int32
+	token        []bool
+	gameLevel    []int32
+	eptr         []int32
+	ends         []int32
+	heads        []int32
+	gameCustomer []int32
+	include      []byte
+	loadsBefore  []int32
+	partAccepted []int32
+	partKept     []int32
+	partMaxBad   []int32
+	dropped      []int32
+	sol          hypergame.FlatResult
+	res          ShardedResult
+
+	propose, accept, mark, scatter, compact, badness func(sh, lo, hi int)
+}
+
+// ensureKernels builds the central per-phase kernels on first use. They
+// run as flat kernels on the engine session's parked workers
+// (Session.ParallelFor) and read all state through the scratch pointer,
+// so one set of closures serves every solve the scratch sees.
+func (sc *SolveScratch) ensureKernels() {
+	if sc.propose != nil {
+		return
+	}
+
+	// Step 1: every unassigned customer proposes to the adjacent server
+	// with the smallest load (ties to the smaller id, or seeded-random) —
+	// independent per customer, sharded over the unassigned list.
+	sc.propose = func(sh, lo, hi int) {
+		csr, nl, load := sc.fb.C, sc.fb.NumLeft, sc.load
+		for idx := lo; idx < hi; idx++ {
+			c := sc.unassigned[idx]
+			alo, ahi := csr.ArcRange(int(c))
+			best := int32(-1)
+			bestLoad := int32(0)
+			for i := alo; i < ahi; i++ {
+				s := csr.Col[i] - int32(nl)
+				if l := load[s]; best < 0 || l < bestLoad || (l == bestLoad && s < best) {
+					best, bestLoad = s, l
+				}
+			}
+			if sc.tie == core.TieRandom {
+				state := sc.custRng[c]
+				count := 0
+				for i := alo; i < ahi; i++ {
+					s := csr.Col[i] - int32(nl)
+					if load[s] != bestLoad {
+						continue
+					}
+					count++
+					var pick int
+					state, pick = core.SplitMixIntn(state, count)
+					if pick == 0 {
+						best = s
+					}
+				}
+				sc.custRng[c] = state
+			}
+			sc.propServer[c] = best
+		}
+	}
+
+	// Step 2, owner-computes per server: accept one proposing customer —
+	// the smallest id under TieFirstPort (the ascending incident scan
+	// finds it first), a uniform draw in ascending customer order under
+	// TieRandom. Stale propServer entries from earlier phases are
+	// filtered by the serverOf test (an unassigned customer rewrote its
+	// entry this phase).
+	sc.accept = func(sh, lo, hi int) {
+		serverOf, propServer := sc.serverOf, sc.propServer
+		accepted := int32(0)
+		for s := lo; s < hi; s++ {
+			best := int32(-1)
+			if sc.tie == core.TieRandom {
+				state := sc.servRng[s]
+				count := 0
+				for j := sc.servPtr[s]; j < sc.servPtr[s+1]; j++ {
+					c := sc.servCust[j]
+					if serverOf[c] >= 0 || propServer[c] != int32(s) {
+						continue
+					}
+					count++
+					var pick int
+					state, pick = core.SplitMixIntn(state, count)
+					if pick == 0 {
+						best = c
+					}
+				}
+				sc.servRng[s] = state
+			} else {
+				for j := sc.servPtr[s]; j < sc.servPtr[s+1]; j++ {
+					c := sc.servCust[j]
+					if serverOf[c] < 0 && propServer[c] == int32(s) {
+						best = c
+						break
+					}
+				}
+			}
+			sc.acceptCust[s] = best
+			sc.token[s] = best >= 0
+			if best >= 0 {
+				accepted++
+			}
+		}
+		sc.partAccepted[sh] = accepted
+	}
+
+	// Step 3's filter over customers: the min-load adjacency scan is the
+	// expensive part and runs on the kernels; the order-dependent
+	// hyperedge insertion that follows is a sequential scan of the marks
+	// (customer-id order is what matches the object network's ports).
+	sc.mark = func(sh, lo, hi int) {
+		csr, nl, load := sc.fb.C, sc.fb.NumLeft, sc.load
+		for c := lo; c < hi; c++ {
+			so := sc.serverOf[c]
+			if so < 0 {
+				sc.include[c] = 0
+				continue
+			}
+			alo, ahi := csr.ArcRange(c)
+			if ahi-alo < 2 {
+				sc.include[c] = 0
+				continue
+			}
+			min := int32(-1)
+			for i := alo; i < ahi; i++ {
+				if l := load[int(csr.Col[i])-nl]; min < 0 || l < min {
+					min = l
+				}
+			}
+			if load[so]-min == 1 {
+				sc.include[c] = 1
+			} else {
+				sc.include[c] = 0
+			}
+		}
+	}
+
+	// Step 6's scatter: each accepting server assigns its customer.
+	// Distinct servers accept distinct customers, so the writes never
+	// collide.
+	sc.scatter = func(sh, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			if c := sc.acceptCust[s]; c >= 0 {
+				sc.serverOf[c] = int32(s)
+				sc.load[s]++
+			}
+		}
+	}
+
+	// The unassigned list's compaction: each shard compacts the
+	// survivors of its own slice in place (the slices are disjoint and
+	// writes stay at or below the read cursor); the coordinator then
+	// concatenates the per-shard prefixes, preserving ascending order.
+	sc.compact = func(sh, lo, hi int) {
+		w := lo
+		for i := lo; i < hi; i++ {
+			if c := sc.unassigned[i]; sc.serverOf[c] < 0 {
+				sc.unassigned[w] = c
+				w++
+			}
+		}
+		sc.partKept[sh] = int32(w - lo)
+	}
+
+	// The per-phase max-badness recount of the phase log, as a
+	// max-reduction over customers.
+	sc.badness = func(sh, lo, hi int) {
+		csr, nl, load := sc.fb.C, sc.fb.NumLeft, sc.load
+		max := int32(0)
+		for c := lo; c < hi; c++ {
+			so := sc.serverOf[c]
+			if so < 0 {
+				continue
+			}
+			alo, ahi := csr.ArcRange(c)
+			min := int32(-1)
+			for i := alo; i < ahi; i++ {
+				if l := load[int(csr.Col[i])-nl]; min < 0 || l < min {
+					min = l
+				}
+			}
+			if b := load[so] - min; b > max {
+				max = b
+			}
+		}
+		sc.partMaxBad[sh] = max
+	}
+}
+
 // SolveSharded runs the Theorem 7.3 algorithm on fb using the sharded flat
 // runtime for every phase's hypergraph token dropping subgame. Under
 // TieFirstPort the run is bit-identical to Solve on the same network (same
@@ -340,26 +576,43 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 		maxPhases = 4*cs + 8
 	}
 
-	serverOf := make([]int32, nl)
-	unassigned := make([]int32, nl)
+	sc := opt.Scratch
+	if sc == nil {
+		sc = new(SolveScratch)
+	}
+	sc.fb = fb
+	sc.tie = opt.Tie
+	sc.ensureKernels()
+
+	sc.serverOf = reuse.Grown(sc.serverOf, nl)
+	sc.unassigned = reuse.Grown(sc.unassigned, nl)
+	serverOf := sc.serverOf
 	for c := range serverOf {
 		serverOf[c] = -1
-		unassigned[c] = int32(c)
+		sc.unassigned[c] = int32(c)
 	}
-	res := &ShardedResult{
-		ServerOf: serverOf,
-		Load:     make([]int32, ns),
-		fb:       fb,
-	}
-	load := res.Load
+	sc.load = reuse.Grown(sc.load, ns)
+	clear(sc.load)
+	load := sc.load
 
-	var custRng, servRng []uint64 // engine-specific TieRandom streams
+	res := &sc.res
+	res.ServerOf = serverOf
+	res.Load = load
+	res.Phases = 0
+	res.Rounds = 0
+	res.Messages = 0
+	res.PhaseLog = res.PhaseLog[:0]
+	res.fb = fb
+
+	var custRng, servRng []uint64
 	if opt.Tie == core.TieRandom {
-		custRng = make([]uint64, nl)
+		sc.custRng = reuse.Grown(sc.custRng, nl)
+		custRng = sc.custRng
 		for c := range custRng {
 			custRng[c] = core.SplitMix64(uint64(opt.Seed) ^ uint64(c)*0x9e3779b97f4a7c15)
 		}
-		servRng = make([]uint64, ns)
+		sc.servRng = reuse.Grown(sc.servRng, ns)
+		servRng = sc.servRng
 		for s := range servRng {
 			servRng[s] = core.SplitMix64(uint64(opt.Seed) ^ uint64(nl+s)*0x9e3779b97f4a7c15)
 		}
@@ -375,7 +628,9 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 	// ascending unassigned list presented them in. The input CSR's
 	// server-side port order may be arbitrary (CSR-native inputs), so
 	// the index is built from the customer side.
-	servPtr := make([]int32, ns+1)
+	sc.servPtr = reuse.Grown(sc.servPtr, ns+1)
+	servPtr := sc.servPtr
+	clear(servPtr)
 	custArcs := int(csr.Row[nl]) // arcs of the customer side
 	for i := 0; i < custArcs; i++ {
 		servPtr[int(csr.Col[i])-nl+1]++
@@ -383,8 +638,9 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 	for s := 0; s < ns; s++ {
 		servPtr[s+1] += servPtr[s]
 	}
-	servCust := make([]int32, custArcs)
-	servCursor := make([]int32, ns)
+	sc.servCust = reuse.Grown(sc.servCust, custArcs)
+	sc.servCursor = reuse.Grown(sc.servCursor, ns)
+	servCust, servCursor := sc.servCust, sc.servCursor
 	copy(servCursor, servPtr[:ns])
 	for c := 0; c < nl; c++ {
 		lo, hi := csr.ArcRange(c)
@@ -394,23 +650,18 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 			servCursor[s]++
 		}
 	}
-	propServer := make([]int32, nl) // customer -> proposed-to server, this phase
-	for c := range propServer {
-		propServer[c] = -1
+	sc.propServer = reuse.Grown(sc.propServer, nl) // customer -> proposed-to server, this phase
+	for c := range sc.propServer {
+		sc.propServer[c] = -1
 	}
 
 	// Reused per-phase scratch.
-	acceptCust := make([]int32, ns)
-	token := make([]bool, ns)
-	gameLevel := make([]int32, ns)
-	eptr := make([]int32, 0, nl+1)
-	ends := make([]int32, 0, csr.M())
-	heads := make([]int32, 0, nl)
-	gameCustomer := make([]int32, 0, nl)
-	include := make([]byte, nl) // game-assembly marks, indexed by customer
-	var loadsBefore []int32
+	sc.acceptCust = reuse.Grown(sc.acceptCust, ns)
+	sc.token = reuse.Grown(sc.token, ns)
+	sc.gameLevel = reuse.Grown(sc.gameLevel, ns)
+	sc.include = reuse.Grown(sc.include, nl) // game-assembly marks, indexed by customer
 	if opt.CheckInvariants {
-		loadsBefore = make([]int32, ns)
+		sc.loadsBefore = reuse.Grown(sc.loadsBefore, ns)
 	}
 
 	// The reusable execution layer: one engine session (persistent worker
@@ -430,186 +681,24 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 		gws = hypergame.NewWorkspace()
 	}
 
-	// The central per-phase passes run as flat kernels on the session's
-	// parked workers (Session.ParallelFor); the kernels are hoisted out
-	// of the phase loop (closure construction allocates) and capture the
-	// loop's flat state — including the shrinking unassigned slice — by
-	// reference.
+	// The central per-phase passes run as the kernels of ensureKernels on
+	// the session's parked workers (Session.ParallelFor); their
+	// per-shard reductions land here.
 	shards := sess.Shards()
-	partAccepted := make([]int32, shards)
-	partKept := make([]int32, shards)
-	partMaxBad := make([]int32, shards)
-
-	// Step 1: every unassigned customer proposes to the adjacent server
-	// with the smallest load (ties to the smaller id, or seeded-random) —
-	// independent per customer, sharded over the unassigned list.
-	proposeKernel := func(sh, lo, hi int) {
-		for idx := lo; idx < hi; idx++ {
-			c := unassigned[idx]
-			alo, ahi := csr.ArcRange(int(c))
-			best := int32(-1)
-			bestLoad := int32(0)
-			for i := alo; i < ahi; i++ {
-				s := csr.Col[i] - int32(nl)
-				if l := load[s]; best < 0 || l < bestLoad || (l == bestLoad && s < best) {
-					best, bestLoad = s, l
-				}
-			}
-			if opt.Tie == core.TieRandom {
-				state := custRng[c]
-				count := 0
-				for i := alo; i < ahi; i++ {
-					s := csr.Col[i] - int32(nl)
-					if load[s] != bestLoad {
-						continue
-					}
-					count++
-					var pick int
-					state, pick = core.SplitMixIntn(state, count)
-					if pick == 0 {
-						best = s
-					}
-				}
-				custRng[c] = state
-			}
-			propServer[c] = best
-		}
-	}
-
-	// Step 2, owner-computes per server: accept one proposing customer —
-	// the smallest id under TieFirstPort (the ascending incident scan
-	// finds it first), a uniform draw in ascending customer order under
-	// TieRandom. Stale propServer entries from earlier phases are
-	// filtered by the serverOf test (an unassigned customer rewrote its
-	// entry this phase).
-	acceptKernel := func(sh, lo, hi int) {
-		accepted := int32(0)
-		for s := lo; s < hi; s++ {
-			best := int32(-1)
-			if opt.Tie == core.TieRandom {
-				state := servRng[s]
-				count := 0
-				for j := servPtr[s]; j < servPtr[s+1]; j++ {
-					c := servCust[j]
-					if serverOf[c] >= 0 || propServer[c] != int32(s) {
-						continue
-					}
-					count++
-					var pick int
-					state, pick = core.SplitMixIntn(state, count)
-					if pick == 0 {
-						best = c
-					}
-				}
-				servRng[s] = state
-			} else {
-				for j := servPtr[s]; j < servPtr[s+1]; j++ {
-					c := servCust[j]
-					if serverOf[c] < 0 && propServer[c] == int32(s) {
-						best = c
-						break
-					}
-				}
-			}
-			acceptCust[s] = best
-			token[s] = best >= 0
-			if best >= 0 {
-				accepted++
-			}
-		}
-		partAccepted[sh] = accepted
-	}
-
-	// Step 3's filter over customers: the min-load adjacency scan is the
-	// expensive part and runs on the kernels; the order-dependent
-	// hyperedge insertion that follows is a sequential scan of the marks
-	// (customer-id order is what matches the object network's ports).
-	markKernel := func(sh, lo, hi int) {
-		for c := lo; c < hi; c++ {
-			so := serverOf[c]
-			if so < 0 {
-				include[c] = 0
-				continue
-			}
-			alo, ahi := csr.ArcRange(c)
-			if ahi-alo < 2 {
-				include[c] = 0
-				continue
-			}
-			min := int32(-1)
-			for i := alo; i < ahi; i++ {
-				if l := load[int(csr.Col[i])-nl]; min < 0 || l < min {
-					min = l
-				}
-			}
-			if load[so]-min == 1 {
-				include[c] = 1
-			} else {
-				include[c] = 0
-			}
-		}
-	}
-
-	// Step 6's scatter: each accepting server assigns its customer.
-	// Distinct servers accept distinct customers, so the writes never
-	// collide.
-	scatterKernel := func(sh, lo, hi int) {
-		for s := lo; s < hi; s++ {
-			if c := acceptCust[s]; c >= 0 {
-				serverOf[c] = int32(s)
-				load[s]++
-			}
-		}
-	}
-
-	// The unassigned list's compaction: each shard compacts the
-	// survivors of its own slice in place (the slices are disjoint and
-	// writes stay at or below the read cursor); the coordinator then
-	// concatenates the per-shard prefixes, preserving ascending order.
-	compactKernel := func(sh, lo, hi int) {
-		w := lo
-		for i := lo; i < hi; i++ {
-			if c := unassigned[i]; serverOf[c] < 0 {
-				unassigned[w] = c
-				w++
-			}
-		}
-		partKept[sh] = int32(w - lo)
-	}
-
-	// The per-phase max-badness recount of the phase log, as a
-	// max-reduction over customers.
-	badnessKernel := func(sh, lo, hi int) {
-		max := int32(0)
-		for c := lo; c < hi; c++ {
-			so := serverOf[c]
-			if so < 0 {
-				continue
-			}
-			alo, ahi := csr.ArcRange(c)
-			min := int32(-1)
-			for i := alo; i < ahi; i++ {
-				if l := load[int(csr.Col[i])-nl]; min < 0 || l < min {
-					min = l
-				}
-			}
-			if b := load[so] - min; b > max {
-				max = b
-			}
-		}
-		partMaxBad[sh] = max
-	}
+	sc.partAccepted = reuse.Grown(sc.partAccepted, shards)
+	sc.partKept = reuse.Grown(sc.partKept, shards)
+	sc.partMaxBad = reuse.Grown(sc.partMaxBad, shards)
 
 	startPhase := 1
 	if ws := opt.WarmStart; ws != nil {
 		if opt.ResumeFrom != nil {
 			return nil, fmt.Errorf("assign: WarmStart and ResumeFrom are mutually exclusive")
 		}
-		ua, err := applyWarmStart(ws, fb, serverOf, load, unassigned)
+		ua, err := sc.applyWarmStart(ws)
 		if err != nil {
 			return nil, fmt.Errorf("assign: %w", err)
 		}
-		unassigned = ua
+		sc.unassigned = ua
 		if opt.CheckInvariants {
 			if err := recountWarmLoads(fb, serverOf, load); err != nil {
 				return nil, fmt.Errorf("assign: warm start: %w", err)
@@ -620,74 +709,78 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 		}
 	}
 	if rs := opt.ResumeFrom; rs != nil {
-		ua, err := restoreAssignSnapshot(rs, nl, ns, opt.Tie, serverOf, load, unassigned, custRng, servRng)
+		ua, err := restoreAssignSnapshot(rs, nl, ns, opt.Tie, serverOf, load, sc.unassigned, custRng, servRng)
 		if err != nil {
 			return nil, fmt.Errorf("assign: %w", err)
 		}
-		unassigned = ua
+		sc.unassigned = ua
 		res.Rounds = rs.Rounds
 		res.PhaseLog = append(res.PhaseLog, rs.PhaseLog...)
 		res.Phases = rs.Phase
 		startPhase = rs.Phase + 1
 	}
 
-	for phase := startPhase; len(unassigned) > 0; phase++ {
+	for phase := startPhase; len(sc.unassigned) > 0; phase++ {
 		if phase > maxPhases {
 			return nil, fmt.Errorf("assign: phase %d exceeds the Lemma 7.2 budget (C·S=%d)", phase, cs)
 		}
-		rec := PhaseRecord{Phase: phase, Proposals: len(unassigned)}
+		rec := PhaseRecord{Phase: phase, Proposals: len(sc.unassigned)}
 
 		// Steps 1 and 2 — the proposal and accept passes (see
-		// proposeKernel/acceptKernel). 2 communication rounds.
-		sess.ParallelFor(len(unassigned), proposeKernel)
-		sess.ParallelFor(ns, acceptKernel)
-		for _, a := range partAccepted {
+		// ensureKernels). 2 communication rounds; in the distributed
+		// reading the broadcast costs one load announcement per
+		// customer-side arc, then one proposal and one acceptance
+		// notification per participating customer.
+		sess.ParallelFor(len(sc.unassigned), sc.propose)
+		sess.ParallelFor(ns, sc.accept)
+		for _, a := range sc.partAccepted {
 			rec.Accepted += int(a)
 		}
 		res.Rounds += 2
+		res.Messages += int64(custArcs) + int64(rec.Proposals) + int64(rec.Accepted)
 
 		// Step 3 — the virtual token hypergraph: server levels = loads,
 		// hyperedges = the assigned customers of badness exactly 1 (heads =
 		// their servers), tokens at acceptors. The badness filter runs on
-		// the kernels (markKernel); the insertion itself stays a
+		// the kernels (sc.mark); the insertion itself stays a
 		// sequential scan of the marks, because customer-id insertion
 		// order with adjacency-order endpoints is what reproduces the
 		// object network's port numbering (see the file comment).
-		copy(gameLevel, load)
-		sess.ParallelFor(nl, markKernel)
-		eptr = append(eptr[:0], 0)
-		ends = ends[:0]
-		heads = heads[:0]
-		gameCustomer = gameCustomer[:0]
+		copy(sc.gameLevel, load)
+		sess.ParallelFor(nl, sc.mark)
+		sc.eptr = append(sc.eptr[:0], 0)
+		sc.ends = sc.ends[:0]
+		sc.heads = sc.heads[:0]
+		sc.gameCustomer = sc.gameCustomer[:0]
 		for c := 0; c < nl; c++ {
-			if include[c] == 0 {
+			if sc.include[c] == 0 {
 				continue
 			}
 			lo, hi := csr.ArcRange(c)
 			for i := lo; i < hi; i++ {
-				ends = append(ends, csr.Col[i]-int32(nl))
+				sc.ends = append(sc.ends, csr.Col[i]-int32(nl))
 			}
-			eptr = append(eptr, int32(len(ends)))
-			heads = append(heads, serverOf[c])
-			gameCustomer = append(gameCustomer, int32(c))
+			sc.eptr = append(sc.eptr, int32(len(sc.ends)))
+			sc.heads = append(sc.heads, serverOf[c])
+			sc.gameCustomer = append(sc.gameCustomer, int32(c))
 		}
-		fi, err := gws.NewFlatInstance(gameLevel, token, eptr, ends, heads)
+		fi, err := gws.NewFlatInstance(sc.gameLevel, sc.token, sc.eptr, sc.ends, sc.heads)
 		if err != nil {
 			return nil, fmt.Errorf("assign: phase %d produced an invalid game: %w", phase, err)
 		}
-		rec.GameEdges = len(heads)
+		rec.GameEdges = len(sc.heads)
 
 		// Step 4 — play the game on the sharded engine.
-		sol, err := hypergame.SolveProposalSharded(fi, hypergame.ShardedSolveOptions{
+		if err := hypergame.SolveProposalShardedInto(fi, hypergame.ShardedSolveOptions{
 			RandomTies: opt.Tie == core.TieRandom,
 			Seed:       opt.Seed + int64(phase)*1_000_003,
 			MaxRounds:  1 << 20,
 			Session:    sess,
 			Workspace:  gws,
-		})
-		if err != nil {
+		}, &sc.sol); err != nil {
 			return nil, fmt.Errorf("assign: phase %d game failed: %w", phase, err)
 		}
+		sol := &sc.sol
 		if opt.VerifyGames {
 			if err := hypergame.Verify(sol.Solution(fi.Instance())); err != nil {
 				return nil, fmt.Errorf("assign: phase %d game unverified: %w", phase, err)
@@ -703,44 +796,45 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 			if got := fi.InitialPotential() - int64(len(sol.Moves)); got != finalPot {
 				return nil, fmt.Errorf("assign: phase %d potential identity broken: %d != %d", phase, got, finalPot)
 			}
-			copy(loadsBefore, load)
+			copy(sc.loadsBefore, load)
 		}
 		rec.GameRounds = sol.Stats.Rounds
 		res.Rounds += sol.Stats.Rounds
+		res.Messages += sol.Stats.Messages
 
 		// Step 5 — apply the moves: a token passed from u to v through
 		// customer e moves e's head from u to v (reassignment).
 		for _, mv := range sol.Moves {
-			c := gameCustomer[mv.Edge]
+			c := sc.gameCustomer[mv.Edge]
 			load[serverOf[c]]--
 			serverOf[c] = int32(mv.To)
 			load[mv.To]++
 			rec.TokensMoved++
 		}
-		// Step 6 — assign the accepted customers (scatterKernel), then
-		// compact the unassigned list (compactKernel + ordered concat of
+		// Step 6 — assign the accepted customers (sc.scatter), then
+		// compact the unassigned list (sc.compact + ordered concat of
 		// the per-shard survivor prefixes, using ParallelFor's documented
 		// slice split).
-		sess.ParallelFor(ns, scatterKernel)
-		u := len(unassigned)
-		sess.ParallelFor(u, compactKernel)
+		sess.ParallelFor(ns, sc.scatter)
+		u := len(sc.unassigned)
+		sess.ParallelFor(u, sc.compact)
 		kept := 0
 		for sh := 0; sh < shards; sh++ {
 			lo := u * sh / shards
-			k := int(partKept[sh])
-			copy(unassigned[kept:kept+k], unassigned[lo:lo+k])
+			k := int(sc.partKept[sh])
+			copy(sc.unassigned[kept:kept+k], sc.unassigned[lo:lo+k])
 			kept += k
 		}
-		unassigned = unassigned[:kept]
+		sc.unassigned = sc.unassigned[:kept]
 
 		if opt.CheckInvariants {
-			if err := checkFlatPhaseInvariants(fb, serverOf, load, loadsBefore, sol.Final); err != nil {
+			if err := checkFlatPhaseInvariants(fb, serverOf, load, sc.loadsBefore, sol.Final); err != nil {
 				return nil, fmt.Errorf("assign: phase %d: %w", phase, err)
 			}
 		}
-		sess.ParallelFor(nl, badnessKernel)
+		sess.ParallelFor(nl, sc.badness)
 		rec.MaxBadness = 0
-		for _, b := range partMaxBad {
+		for _, b := range sc.partMaxBad {
 			if int(b) > rec.MaxBadness {
 				rec.MaxBadness = int(b)
 			}
@@ -754,7 +848,7 @@ func SolveSharded(fb *graph.CSRBipartite, opt ShardedOptions) (*ShardedResult, e
 			if snap == nil {
 				snap = new(Snapshot)
 			}
-			captureAssignSnapshot(snap, phase, res.Rounds, serverOf, load, unassigned, custRng, servRng, res.PhaseLog)
+			captureAssignSnapshot(snap, phase, res.Rounds, serverOf, load, sc.unassigned, custRng, servRng, res.PhaseLog)
 			if err := opt.OnSnapshot(snap); err != nil {
 				return nil, fmt.Errorf("assign: snapshot at phase %d: %w", phase, err)
 			}

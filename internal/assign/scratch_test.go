@@ -1,0 +1,81 @@
+package assign
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tokendrop/internal/core"
+	"tokendrop/internal/graph"
+	"tokendrop/internal/hypergame"
+	"tokendrop/internal/local"
+)
+
+// TestSolveScratchMatchesFresh solves a varied sequence of networks
+// (growing and shrinking, both tie rules) through one scratch + session +
+// workspace and demands exactly the fresh-solve results, including the
+// new message accounting.
+func TestSolveScratchMatchesFresh(t *testing.T) {
+	sess := local.NewSession(3)
+	defer sess.Close()
+	gws := hypergame.NewWorkspace()
+	sc := new(SolveScratch)
+	rng := rand.New(rand.NewSource(21))
+	sizes := []struct{ nl, nr, c int }{{40, 10, 3}, {120, 25, 4}, {30, 8, 2}, {200, 30, 3}, {60, 12, 5}}
+	for i, sz := range sizes {
+		tie := core.TieFirstPort
+		if i%2 == 1 {
+			tie = core.TieRandom
+		}
+		g := graph.RandomBipartite(sz.nl, sz.nr, sz.c, rng)
+		fb := graph.NewCSRBipartiteFromBipartite(graph.MustBipartite(g, sz.nl))
+		fresh, err := SolveSharded(fb, ShardedOptions{Tie: tie, Seed: int64(i), Shards: 2, CheckInvariants: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reused, err := SolveSharded(fb, ShardedOptions{
+			Tie: tie, Seed: int64(i), CheckInvariants: true,
+			Session: sess, Workspace: gws, Scratch: sc,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fresh.ServerOf, reused.ServerOf) || !reflect.DeepEqual(fresh.Load, reused.Load) {
+			t.Fatalf("instance %d: scratch solve diverged from fresh solve", i)
+		}
+		if fresh.Phases != reused.Phases || fresh.Rounds != reused.Rounds ||
+			fresh.Messages != reused.Messages || !reflect.DeepEqual(fresh.PhaseLog, reused.PhaseLog) {
+			t.Fatalf("instance %d: accounting diverged: fresh {p=%d r=%d m=%d}, reused {p=%d r=%d m=%d}",
+				i, fresh.Phases, fresh.Rounds, fresh.Messages, reused.Phases, reused.Rounds, reused.Messages)
+		}
+		if fresh.Messages <= int64(fresh.Rounds) {
+			t.Fatalf("instance %d: implausible message count %d for %d rounds", i, fresh.Messages, fresh.Rounds)
+		}
+	}
+}
+
+// TestSolveShardedZeroAllocWarmed pins the scoreboard contract the arena
+// relies on: a warmed scratch + session + workspace repeat solve of the
+// full batch solver performs no heap allocations, under both tie rules.
+func TestSolveShardedZeroAllocWarmed(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.RandomBipartite(150, 30, 3, rng)
+	fb := graph.NewCSRBipartiteFromBipartite(graph.MustBipartite(g, 150))
+	for _, tie := range []core.TieBreak{core.TieFirstPort, core.TieRandom} {
+		sess := local.NewSession(2)
+		gws := hypergame.NewWorkspace()
+		sc := new(SolveScratch)
+		run := func() {
+			if _, err := SolveSharded(fb, ShardedOptions{
+				Tie: tie, Seed: 9, Session: sess, Workspace: gws, Scratch: sc,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run() // warm: grow the scratch, session, and workspace arrays once
+		if allocs := testing.AllocsPerRun(5, run); allocs != 0 {
+			t.Errorf("tie=%v: warmed SolveSharded allocated %.1f objects per run; want 0", tie, allocs)
+		}
+		sess.Close()
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"tokendrop/internal/graph"
+	"tokendrop/internal/loadbalance"
 	"tokendrop/internal/local"
 )
 
@@ -29,9 +30,9 @@ import (
 // so the run is ended by the simulator's termination oracle once every
 // edge is happy — see local.Options.Stop.
 
-type loadMsg struct{ Load int }
-type flipOffer struct{}
-type flipAck struct{}
+// The cycle's messages are the shared best-response vocabulary of
+// internal/loadbalance (LoadMsg/OfferMsg/AckMsg), defined once for every
+// comparator dynamic in this repository.
 
 // flipMachine is the per-node state machine of the selfish-flip dynamic.
 type flipMachine struct {
@@ -74,7 +75,7 @@ func (m *flipMachine) Step(round int, in []local.Payload, out []local.Payload) b
 			if raw == nil {
 				continue
 			}
-			if _, ok := raw.(flipAck); !ok {
+			if _, ok := raw.(loadbalance.AckMsg); !ok {
 				panic(fmt.Sprintf("baseline: vertex %d expected acks, got %T", m.vertex, raw))
 			}
 			if p != m.offerOut {
@@ -87,14 +88,14 @@ func (m *flipMachine) Step(round int, in []local.Payload, out []local.Payload) b
 		}
 		m.offerOut = -1
 		for p := range out {
-			out[p] = loadMsg{Load: m.load}
+			out[p] = loadbalance.LoadMsg{Load: m.load}
 		}
 	case 1: // read loads, maybe offer one unhappy in-edge for flipping
 		for p, raw := range in {
 			if raw == nil {
 				continue
 			}
-			msg, ok := raw.(loadMsg)
+			msg, ok := raw.(loadbalance.LoadMsg)
 			if !ok {
 				panic(fmt.Sprintf("baseline: vertex %d expected loads, got %T", m.vertex, raw))
 			}
@@ -115,7 +116,7 @@ func (m *flipMachine) Step(round int, in []local.Payload, out []local.Payload) b
 		}
 		if best >= 0 {
 			m.offerOut = best
-			out[best] = flipOffer{}
+			out[best] = loadbalance.OfferMsg{}
 		}
 	case 2: // acceptors take at most one offer
 		var offers []int
@@ -123,7 +124,7 @@ func (m *flipMachine) Step(round int, in []local.Payload, out []local.Payload) b
 			if raw == nil {
 				continue
 			}
-			if _, ok := raw.(flipOffer); !ok {
+			if _, ok := raw.(loadbalance.OfferMsg); !ok {
 				panic(fmt.Sprintf("baseline: vertex %d expected offers, got %T", m.vertex, raw))
 			}
 			offers = append(offers, p)
@@ -139,7 +140,7 @@ func (m *flipMachine) Step(round int, in []local.Payload, out []local.Payload) b
 		m.headIsSelf[p] = true
 		m.load++
 		m.flips++
-		out[p] = flipAck{}
+		out[p] = loadbalance.AckMsg{}
 	}
 	return false
 }

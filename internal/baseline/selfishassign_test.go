@@ -1,0 +1,100 @@
+package baseline
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tokendrop/internal/graph"
+)
+
+func selfishBip(t *testing.T, nl, nr, c int, seed int64) *graph.Bipartite {
+	t.Helper()
+	g := graph.RandomBipartite(nl, nr, c, rand.New(rand.NewSource(seed)))
+	b, err := graph.NewBipartite(g, nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// checkSelfishStable verifies validity, exact loads, and the Section 7
+// stability predicate of a SelfishAssign result.
+func checkSelfishStable(t *testing.T, b *graph.Bipartite, res *SelfishAssignResult) {
+	t.Helper()
+	a := graph.NewAssignment(b)
+	for c, s := range res.ServerOf {
+		if s < 0 || int(s) >= b.NumServers() {
+			t.Fatalf("customer %d assigned to out-of-range server %d", c, s)
+		}
+		adjacent := false
+		for _, arc := range b.G.Adj(c) {
+			if arc.To == b.NumLeft+int(s) {
+				adjacent = true
+				break
+			}
+		}
+		if !adjacent {
+			t.Fatalf("customer %d assigned to non-adjacent server %d", c, s)
+		}
+		a.Assign(c, b.NumLeft+int(s))
+	}
+	for s := 0; s < b.NumServers(); s++ {
+		if int32(a.Load(b.NumLeft+s)) != res.Load[s] {
+			t.Fatalf("server %d: reported load %d, recounted %d", s, res.Load[s], a.Load(b.NumLeft+s))
+		}
+	}
+	if !a.Stable() {
+		t.Fatalf("result not stable: max badness %d", a.MaxBadness())
+	}
+}
+
+func TestSelfishAssignStabilizes(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		seed := int64(100 + i)
+		b := selfishBip(t, 20+i, 5+i%4, 2+i%3, seed)
+		res, err := SelfishAssign(b, nil, seed, 0, 2)
+		if err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		checkSelfishStable(t, b, res)
+		if res.Rounds <= 0 || res.Messages <= 0 {
+			t.Fatalf("instance %d: implausible stats %+v", i, res)
+		}
+	}
+}
+
+func TestSelfishAssignDeterministic(t *testing.T) {
+	b := selfishBip(t, 40, 8, 3, 7)
+	r1, err := SelfishAssign(b, nil, 42, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := SelfishAssign(b, nil, 42, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", r1, r2)
+	}
+}
+
+func TestSelfishAssignInitial(t *testing.T) {
+	b := selfishBip(t, 30, 6, 3, 11)
+	// Pile everyone onto their last adjacent server; the dynamic must
+	// still reach stability from a deliberately bad start.
+	initial := make([]int32, b.NumLeft)
+	for c := 0; c < b.NumLeft; c++ {
+		adj := b.G.Adj(c)
+		initial[c] = int32(adj[len(adj)-1].To - b.NumLeft)
+	}
+	res, err := SelfishAssign(b, initial, 3, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSelfishStable(t, b, res)
+
+	if _, err := SelfishAssign(b, initial[:5], 3, 0, 1); err == nil {
+		t.Fatal("short initial assignment not rejected")
+	}
+}

@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+
+	"tokendrop/internal/arena"
+)
+
+// E28 — the baseline strategy arena. Every competing assigner (the
+// paper's token-dropping layer, the selfish best-response dynamic, and
+// the greedy baselines) runs on every workload family (uniform, zipf,
+// hotspot, the Lemma 6.2 adversarial family, drain-and-replace churn)
+// and reports the four Pareto axes: final max load, rounds, messages,
+// wall-clock. The human-readable table below goes through All(); the
+// machine-readable entries go through ShardedBench into
+// BENCH_sharded.json, where td-benchgate gates the token-dropping rows
+// (max load and rounds must not regress) and carries the competitors
+// report-only.
+
+// e28Workloads builds the family grid for the profile. The adversarial
+// instance records its proven floor; the churn instance ships its trace.
+func e28Workloads(p Profile) ([]*arena.Workload, error) {
+	nl, nr, deg := 5_000, 1_000, 3
+	churns := 2_000
+	advServers := 60
+	if p.Quick {
+		nl, nr = 300, 60
+		churns = 120
+		advServers = 24
+	}
+	ws := []*arena.Workload{
+		arena.Uniform(nl, nr, deg, p.Seed),
+		arena.Zipf(nl, nr, deg, 1.2, p.Seed),
+		arena.HotSpot(nl, nr, deg, 8, p.Seed),
+		arena.Adversarial(advServers, 4, p.Seed),
+	}
+	cw, err := arena.Churn(nl/2, nr/2, deg, churns, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return append(ws, cw), nil
+}
+
+// e28Strategies is the competitor list; the token-dropping adapter is
+// passed in so the caller controls its session lifetime, and the
+// resolver enters separately (churn workloads only).
+func e28Strategies(td *arena.TokenDropping) []arena.Strategy {
+	return []arena.Strategy{
+		td,
+		arena.Selfish{Workers: 8},
+		arena.RobinHood{},
+		arena.LeastLoaded{},
+		arena.PowerOfK{},
+		arena.Random{},
+		arena.RoundRobin{},
+		arena.Rotor{},
+		arena.Threshold{},
+	}
+}
+
+// E28ArenaPareto renders the strategy×workload Pareto surface as a
+// table: one row per matchup, every row oracle-checked (validity column).
+func E28ArenaPareto(p Profile) *Table {
+	t := &Table{
+		ID:      "E28",
+		Title:   "Baseline strategy arena: competing assigners × workload families",
+		Claim:   "token dropping holds the max-load axis of the Pareto surface against every greedy baseline",
+		Columns: []string{"workload", "strategy", "max load", "floor", "rounds", "steps", "messages", "seconds", "valid"},
+	}
+	workloads, err := e28Workloads(p)
+	if err != nil {
+		t.Notes = append(t.Notes, "error: "+err.Error())
+		return t
+	}
+	td := &arena.TokenDropping{Shards: p.Shards}
+	defer td.Close()
+	resolver := &arena.ResolverStrategy{Shards: p.Shards}
+	for _, w := range workloads {
+		strategies := e28Strategies(td)
+		if w.Trace != nil {
+			strategies = append(strategies, resolver)
+		}
+		tdMax, bestCompetitor := -1, -1
+		for _, s := range strategies {
+			res, err := arena.Run(s, w, p.Seed)
+			if err != nil {
+				t.AddRow(w.Family, s.Name(), "-", w.MinMaxLoad, "-", "-", "-", "-", "error: "+err.Error())
+				continue
+			}
+			valid := arena.CheckResult(w, res) == nil
+			t.AddRow(w.Family, s.Name(), res.MaxLoad, w.MinMaxLoad, res.Rounds,
+				res.Steps, res.Messages, res.Seconds, mark(valid))
+			if w.Family == "adversarial" {
+				if s == arena.Strategy(td) {
+					tdMax = res.MaxLoad
+				} else if bestCompetitor < 0 || res.MaxLoad < bestCompetitor {
+					bestCompetitor = res.MaxLoad
+				}
+			}
+		}
+		if w.Family == "adversarial" && tdMax >= 0 && bestCompetitor >= 0 {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"adversarial (floor %d): token dropping max load %d, best competitor %d",
+				w.MinMaxLoad, tdMax, bestCompetitor))
+		}
+	}
+	return t
+}
+
+// arenaBenchEntries measures the E28 matchups for the machine-readable
+// report. Wall-clock noise on sub-millisecond strategies would swamp a
+// throughput gate, so RoundsPerSec stays zero here — the gated axes are
+// the deterministic ones (max load and rounds on the token-dropping
+// rows); competitors ride along report-only.
+func arenaBenchEntries(p Profile) ([]ShardedBenchEntry, error) {
+	workloads, err := e28Workloads(p)
+	if err != nil {
+		return nil, err
+	}
+	td := &arena.TokenDropping{Shards: p.Shards}
+	defer td.Close()
+	resolver := &arena.ResolverStrategy{Shards: p.Shards}
+	var out []ShardedBenchEntry
+	for _, w := range workloads {
+		strategies := e28Strategies(td)
+		if w.Trace != nil {
+			strategies = append(strategies, resolver)
+		}
+		for _, s := range strategies {
+			res, err := arena.Run(s, w, p.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("E28 %s on %s: %w", s.Name(), w.Name, err)
+			}
+			if err := arena.CheckResult(w, res); err != nil {
+				return nil, fmt.Errorf("E28 %s on %s: %w", s.Name(), w.Name, err)
+			}
+			out = append(out, ShardedBenchEntry{
+				Experiment: "E28",
+				Layer:      "arena",
+				Engine:     s.Name(),
+				Workload:   w.Name,
+				N:          w.FB.NumCustomers(),
+				M:          w.FB.C.M(),
+				Rounds:     res.Rounds,
+				Seconds:    res.Seconds,
+				MaxLoad:    res.MaxLoad,
+				MinMaxLoad: w.MinMaxLoad,
+				Messages:   res.Messages,
+			})
+		}
+	}
+	return out, nil
+}

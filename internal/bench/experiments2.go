@@ -220,8 +220,10 @@ func E14SequentialGreedy(p Profile) *Table {
 // E1–E14 reproduce the paper's figures and theorems, E15–E21 are the
 // ablations and open-question probes, E22–E24 certify seed-vs-sharded
 // engine parity and speedups for the game, orientation, and assignment
-// layers, E25 sweeps the sharded engine's worker count, and E26 sweeps
-// it across whole phase-loop solves (parallel central steps included).
+// layers, E25 sweeps the sharded engine's worker count, E26 sweeps it
+// across whole phase-loop solves (parallel central steps included), and
+// E28 races the assignment strategies across the arena's workload
+// families (internal/arena).
 func All(p Profile) []*Table {
 	var out []*Table
 	out = append(out, E1StableOrientationExamples(p))
@@ -251,5 +253,6 @@ func All(p Profile) []*Table {
 	out = append(out, E24AssignSharded(p))
 	out = append(out, E25ShardScaling(p))
 	out = append(out, E26CentralStepScaling(p))
+	out = append(out, E28ArenaPareto(p))
 	return out
 }

@@ -75,6 +75,13 @@ func CompareShardedReports(base, fresh *ShardedBenchReport, opt RegressionOption
 			base.Seed, fresh.Seed))
 	}
 	key := func(e *ShardedBenchEntry) string {
+		// The workload joins the key for the arena entries, where one
+		// strategy (engine) runs once per workload family; the engine
+		// entries keep their historical keys (one workload per
+		// experiment×layer×engine×shards).
+		if e.Layer == "arena" {
+			return fmt.Sprintf("%s/%s/%s/%s", e.Experiment, e.Layer, e.Engine, e.Workload)
+		}
 		return fmt.Sprintf("%s/%s/%s/shards=%d", e.Experiment, e.Layer, e.Engine, e.Shards)
 	}
 	freshByKey := make(map[string]*ShardedBenchEntry, len(fresh.Entries))
@@ -103,6 +110,24 @@ func CompareShardedReports(base, fresh *ShardedBenchReport, opt RegressionOption
 			violations = append(violations, fmt.Sprintf(
 				"%s: p99 delta latency grew %.0f%% (baseline %.1fµs, fresh %.1fµs; tolerance %.0f%%)",
 				k, 100*(f.P99Micros/b.P99Micros-1), b.P99Micros, f.P99Micros, 100*latTol))
+		}
+		// The arena's token-dropping rows are gated on the deterministic
+		// Pareto axes: with the same seed and workload, max load and
+		// rounds reproduce exactly, so any growth is a real behavior
+		// change (regenerate the baseline if it is an intended one). The
+		// competing baselines ride along report-only — their RoundsPerSec
+		// is zero and their engine names match no steady-state check.
+		if b.Layer == "arena" && b.Engine == "token-dropping" {
+			if f.MaxLoad > b.MaxLoad {
+				violations = append(violations, fmt.Sprintf(
+					"%s: token-dropping max load grew from %d to %d — the Pareto point moved",
+					k, b.MaxLoad, f.MaxLoad))
+			}
+			if f.Rounds > b.Rounds {
+				violations = append(violations, fmt.Sprintf(
+					"%s: token-dropping rounds grew from %d to %d",
+					k, b.Rounds, f.Rounds))
+			}
 		}
 	}
 	return violations, warnings

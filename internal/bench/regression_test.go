@@ -90,6 +90,47 @@ func TestCompareShardedReportsServeEntry(t *testing.T) {
 	}
 }
 
+// TestCompareShardedReportsArenaEntries pins the E28 gate: token-dropping
+// Pareto rows fail on max-load or rounds growth; the competing baselines
+// are report-only, however badly they move.
+func TestCompareShardedReportsArenaEntries(t *testing.T) {
+	mk := func(engine, workload string, maxLoad, rounds int) ShardedBenchEntry {
+		return ShardedBenchEntry{
+			Experiment: "E28", Layer: "arena", Engine: engine, Workload: workload,
+			MaxLoad: maxLoad, MinMaxLoad: 2, Rounds: rounds, Messages: 500,
+		}
+	}
+	base := gateReport(
+		mk("token-dropping", "adversarial/ns=24,d=4", 3, 22),
+		mk("token-dropping", "uniform/nl=300,nr=60,deg=3", 6, 68),
+		mk("random", "adversarial/ns=24,d=4", 4, 1),
+	)
+	fresh := gateReport(
+		mk("token-dropping", "adversarial/ns=24,d=4", 3, 22),
+		mk("token-dropping", "uniform/nl=300,nr=60,deg=3", 6, 68),
+		mk("random", "adversarial/ns=24,d=4", 9, 1), // report-only competitor
+	)
+	if v, w := CompareShardedReports(base, fresh, RegressionOptions{}); len(v) != 0 || len(w) != 0 {
+		t.Fatalf("clean arena diff flagged: violations %v warnings %v", v, w)
+	}
+	fresh.Entries[0].MaxLoad = 4
+	v, _ := CompareShardedReports(base, fresh, RegressionOptions{})
+	if len(v) != 1 || !strings.Contains(v[0], "max load grew") {
+		t.Fatalf("token-dropping max-load growth not flagged: %v", v)
+	}
+	fresh.Entries[0].MaxLoad = 3
+	fresh.Entries[1].Rounds = 90
+	v, _ = CompareShardedReports(base, fresh, RegressionOptions{})
+	if len(v) != 1 || !strings.Contains(v[0], "rounds grew") {
+		t.Fatalf("token-dropping rounds growth not flagged: %v", v)
+	}
+	// The workload joins the arena key: the same strategy on two
+	// families gates independently (no collision).
+	if k1, k2 := fresh.Entries[0].Workload, fresh.Entries[1].Workload; k1 == k2 {
+		t.Fatalf("test fixture lost its distinct workloads: %q %q", k1, k2)
+	}
+}
+
 func TestCompareShardedReportsProfileAndKeys(t *testing.T) {
 	base := gateReport(gateEntry("E22", "game", "sharded", 2, 1000, 0))
 	fresh := gateReport(gateEntry("E22", "game", "sharded", 2, 1000, 0))
@@ -124,7 +165,7 @@ func TestShardedBenchJSONRoundTrip(t *testing.T) {
 	if len(rep.Entries) == 0 || !rep.Quick {
 		t.Fatalf("report did not round-trip: %+v", rep)
 	}
-	for _, want := range []string{"E22", "E23", "E24", "E25", "E26", "E27"} {
+	for _, want := range []string{"E22", "E23", "E24", "E25", "E26", "E27", "E28"} {
 		found := false
 		for _, e := range rep.Entries {
 			if e.Experiment == want {

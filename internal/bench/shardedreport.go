@@ -17,11 +17,13 @@ import (
 )
 
 // This file produces BENCH_sharded.json, the machine-readable companion
-// of the engine experiments E22–E27: rounds/s and allocs/round for the
+// of the engine experiments E22–E28: rounds/s and allocs/round for the
 // seed and sharded runtimes of every paper layer, the shard-scaling
 // sweeps of the bare engine (E25) and of the whole phase loops (E26),
-// and the serve-mode steady-state churn of the incremental Resolver
-// (E27: deltas/s plus p50/p99 per-delta latency). CI regenerates it on
+// the serve-mode steady-state churn of the incremental Resolver
+// (E27: deltas/s plus p50/p99 per-delta latency), and the strategy
+// arena's Pareto entries (E28: max load, rounds, messages, wall-clock
+// per strategy×workload; see internal/arena). CI regenerates it on
 // the quick profile each run, diffs it against the committed quick
 // baseline with the bench-regression gate (CompareShardedReports,
 // cmd/td-benchgate), and the repo records a full-profile snapshot, so
@@ -49,6 +51,13 @@ type ShardedBenchEntry struct {
 	// microseconds, measured on the serve-mode entry only.
 	P50Micros float64 `json:"p50_micros,omitempty"`
 	P99Micros float64 `json:"p99_micros,omitempty"`
+	// MaxLoad, MinMaxLoad, and Messages are the arena Pareto axes,
+	// populated on the E28 strategy entries only: final maximum server
+	// load, the workload's proven floor (0 when none is known), and
+	// delivered (or probe+claim modeled) messages.
+	MaxLoad    int   `json:"max_load,omitempty"`
+	MinMaxLoad int   `json:"min_max_load,omitempty"`
+	Messages   int64 `json:"messages,omitempty"`
 }
 
 // ShardedBenchReport is the full report.
@@ -453,6 +462,15 @@ func ShardedBench(p Profile) (*ShardedBenchReport, error) {
 			return nil, err
 		}
 	}
+
+	// E28 — the strategy arena's Pareto entries (max load, rounds,
+	// messages, wall-clock per strategy×workload). Deterministic in the
+	// profile seed; the gate watches the token-dropping rows.
+	arenaEntries, err := arenaBenchEntries(p)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	rep.Entries = append(rep.Entries, arenaEntries...)
 	return rep, nil
 }
 

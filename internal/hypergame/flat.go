@@ -2,7 +2,7 @@ package hypergame
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"tokendrop/internal/core"
 	"tokendrop/internal/graph"
@@ -558,19 +558,28 @@ func (st *flatHyperState) pickRandom(v, a0, a1 int, mask, want uint8) int {
 }
 
 func (st *flatHyperState) result(stats local.ShardedStats) *FlatResult {
+	out := new(FlatResult)
+	st.resultInto(stats, out)
+	return out
+}
+
+// resultInto writes the run's outcome into out, reusing its slices
+// grow-only — the allocation-free counterpart of result for callers that
+// solve many games through one workspace (the assignment phase loop).
+func (st *flatHyperState) resultInto(stats local.ShardedStats, out *FlatResult) {
 	n := st.fi.N()
 	total := 0
 	for _, ms := range st.shardMoves {
 		total += len(ms)
 	}
-	all := make([]Move, 0, total)
+	out.Moves = reuse.Grown(out.Moves, total)[:0]
 	for _, ms := range st.shardMoves {
-		all = append(all, ms...)
+		out.Moves = append(out.Moves, ms...)
 	}
 	// Within a shard, moves are appended round-major with relay vertices
 	// ascending; shards partition the vertex range in order, so the stable
 	// sort reproduces the object engine's (round, hyperedge id) order.
-	sort.SliceStable(all, func(i, j int) bool { return all[i].Round < all[j].Round })
+	slices.SortStableFunc(out.Moves, func(a, b Move) int { return a.Round - b.Round })
 	var messages int64
 	for _, ms := range st.shardMsgs {
 		messages += ms
@@ -581,13 +590,9 @@ func (st *flatHyperState) result(stats local.ShardedStats) *FlatResult {
 			maxActive = int(a)
 		}
 	}
-	final := make([]bool, n)
-	copy(final, st.occ[:n])
-	return &FlatResult{
-		Final: final,
-		Moves: all,
-		Stats: DistStats{Rounds: stats.Rounds, Messages: messages, MaxActiveRounds: maxActive},
-	}
+	out.Final = reuse.Grown(out.Final, n)
+	copy(out.Final, st.occ[:n])
+	out.Stats = DistStats{Rounds: stats.Rounds, Messages: messages, MaxActiveRounds: maxActive}
 }
 
 // flatHyperProposal is the generic proposal solver of Theorem 7.1
@@ -936,4 +941,27 @@ func SolveProposalSharded(fi *FlatInstance, opt ShardedSolveOptions) (*FlatResul
 		return nil, err
 	}
 	return pr.result(stats), nil
+}
+
+// SolveProposalShardedInto is SolveProposalSharded writing its outcome
+// into out (slices reused grow-only): with a warmed Session and Workspace
+// the whole solve performs no heap allocations, which is what the
+// assignment phase loop's own zero-allocation contract is built on.
+func SolveProposalShardedInto(fi *FlatInstance, opt ShardedSolveOptions, out *FlatResult) error {
+	if opt.MaxRounds == 0 {
+		opt.MaxRounds = 1 << 20
+	}
+	var pr *flatHyperProposal
+	if opt.Workspace != nil {
+		pr = &opt.Workspace.prop
+	} else {
+		pr = &flatHyperProposal{&flatHyperState{}}
+	}
+	pr.reset(fi, opt)
+	stats, err := runFlatHyper(fi.inc, pr, opt)
+	if err != nil {
+		return err
+	}
+	pr.resultInto(stats, out)
+	return nil
 }

@@ -2,9 +2,32 @@ package loadbalance
 
 import "math/bits"
 
-// Encoded message sizes (local.Sized): load announcements are the only
-// Θ(log load)-bit messages of the balancing dynamic.
+// The shared message vocabulary of the best-response comparators: every
+// 3-round-cycle dynamic in this repository (the locally-optimal balancer
+// here, the selfish-flip orientation players and the selfish-reassignment
+// assignment players in internal/baseline) exchanges exactly a load
+// announcement, a transfer offer, and a transfer acknowledgement. The
+// types live here once so the comparator packages share one definition
+// instead of re-declaring structurally identical messages — and one set
+// of encoded sizes (local.Sized): load announcements are the only
+// Θ(log load)-bit messages, offers and acks are constant.
 
-func (m lbLoad) Bits() int { return 2 + bits.Len(uint(m.Load)) }
-func (lbOffer) Bits() int  { return 2 }
-func (lbAck) Bits() int    { return 2 }
+// LoadMsg announces the sender's current load.
+type LoadMsg struct{ Load int }
+
+// OfferMsg offers one unit of the dynamic's currency (a load unit, an
+// edge flip, a customer move) to the receiver.
+type OfferMsg struct{}
+
+// AckMsg accepts exactly one previously received offer.
+type AckMsg struct{}
+
+// Bits returns the encoded size of a load announcement: a 2-bit tag plus
+// the load's binary representation.
+func (m LoadMsg) Bits() int { return 2 + bits.Len(uint(m.Load)) }
+
+// Bits returns the constant encoded size of an offer.
+func (OfferMsg) Bits() int { return 2 }
+
+// Bits returns the constant encoded size of an acknowledgement.
+func (AckMsg) Bits() int { return 2 }

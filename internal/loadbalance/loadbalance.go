@@ -71,12 +71,10 @@ func (s *State) Total() int {
 	return t
 }
 
-// Messages of the distributed best-response dynamic; the protocol mirrors
-// the selfish-flip comparator (3-round cycles, coin-flip roles, node-
-// disjoint transfers per cycle), with load units in place of edge flips.
-type lbLoad struct{ Load int }
-type lbOffer struct{}
-type lbAck struct{}
+// The dynamic exchanges the shared best-response messages of bits.go
+// (LoadMsg/OfferMsg/AckMsg); the protocol mirrors the selfish-flip
+// comparator (3-round cycles, coin-flip roles, node-disjoint transfers
+// per cycle), with load units in place of edge flips.
 
 type lbMachine struct {
 	vertex  int
@@ -102,7 +100,7 @@ func (m *lbMachine) Step(round int, in []local.Payload, out []local.Payload) boo
 			if raw == nil {
 				continue
 			}
-			if _, ok := raw.(lbAck); !ok {
+			if _, ok := raw.(AckMsg); !ok {
 				panic(fmt.Sprintf("loadbalance: vertex %d expected acks, got %T", m.vertex, raw))
 			}
 			if p != m.offerTo {
@@ -113,14 +111,14 @@ func (m *lbMachine) Step(round int, in []local.Payload, out []local.Payload) boo
 		}
 		m.offerTo = -1
 		for p := range out {
-			out[p] = lbLoad{Load: m.load}
+			out[p] = LoadMsg{Load: m.load}
 		}
 	case 1: // read loads; proposers offer one unit downhill
 		for p, raw := range in {
 			if raw == nil {
 				continue
 			}
-			msg, ok := raw.(lbLoad)
+			msg, ok := raw.(LoadMsg)
 			if !ok {
 				panic(fmt.Sprintf("loadbalance: vertex %d expected loads, got %T", m.vertex, raw))
 			}
@@ -140,7 +138,7 @@ func (m *lbMachine) Step(round int, in []local.Payload, out []local.Payload) boo
 		}
 		if best >= 0 {
 			m.offerTo = best
-			out[best] = lbOffer{}
+			out[best] = OfferMsg{}
 		}
 	case 2: // receivers take at most one unit
 		var offers []int
@@ -148,7 +146,7 @@ func (m *lbMachine) Step(round int, in []local.Payload, out []local.Payload) boo
 			if raw == nil {
 				continue
 			}
-			if _, ok := raw.(lbOffer); !ok {
+			if _, ok := raw.(OfferMsg); !ok {
 				panic(fmt.Sprintf("loadbalance: vertex %d expected offers, got %T", m.vertex, raw))
 			}
 			offers = append(offers, p)
@@ -159,7 +157,7 @@ func (m *lbMachine) Step(round int, in []local.Payload, out []local.Payload) boo
 		p := offers[m.rng.Intn(len(offers))]
 		m.load++
 		m.moves++
-		out[p] = lbAck{}
+		out[p] = AckMsg{}
 	}
 	return false
 }

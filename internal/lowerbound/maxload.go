@@ -1,0 +1,98 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tokendrop/internal/graph"
+)
+
+// This file turns Lemma 6.2 into an adversarial assignment workload: take
+// a d-regular graph on the servers and give every edge a degree-2
+// customer adjacent to exactly the edge's endpoints. A complete
+// assignment of the customers then IS an orientation of the server graph
+// (each customer/edge points at its chosen server/head), so by Lemma 6.2
+// every assigner — however clever, however long it runs — leaves some
+// server with load at least ⌈d/2⌉. The family pins the arena's max-load
+// axis: a strategy whose max load stays near MinMaxLoad(d) is doing
+// essentially optimal work here, while load-oblivious strategies can be
+// pushed all the way to d.
+
+// MinMaxLoad returns ⌈d/2⌉, the Lemma 6.2 floor on the maximum server
+// load of any complete assignment of a MaxLoadInstance built from a
+// d-regular server graph.
+func MinMaxLoad(d int) int { return (d + 1) / 2 }
+
+// MaxLoadInstance builds the adversarial bipartite workload from a random
+// d-regular server graph on ns vertices: one degree-2 customer per server
+// edge, customers numbered before servers. ns*d must be even and 2d < ns
+// (the CSRRandomRegular preconditions).
+func MaxLoadInstance(ns, d int, rng *rand.Rand) *graph.CSRBipartite {
+	reg := graph.CSRRandomRegular(ns, d, rng)
+	return maxLoadFromRegular(reg)
+}
+
+// maxLoadFromRegular lifts an arbitrary server graph into the edge-customer
+// bipartite form. Exposed through MaxLoadInstance; split out so tests can
+// drive fixed topologies through the same lift.
+func maxLoadFromRegular(reg *graph.CSR) *graph.CSRBipartite {
+	nc := reg.M()
+	b := graph.NewCSRBuilder(nc+reg.N(), 2*nc)
+	c := 0
+	for u := 0; u < reg.N(); u++ {
+		lo, hi := reg.ArcRange(u)
+		for i := lo; i < hi; i++ {
+			v := int(reg.Col[i])
+			if v <= u {
+				continue // each undirected edge once
+			}
+			b.AddEdge(c, nc+u)
+			b.AddEdge(c, nc+v)
+			c++
+		}
+	}
+	if c != nc {
+		panic(fmt.Sprintf("lowerbound: lifted %d customers from %d edges", c, nc))
+	}
+	return graph.MustCSRBipartite(b.Build(), nc)
+}
+
+// CheckMaxLoadBound verifies the Lemma 6.2 floor on a complete assignment
+// of a MaxLoadInstance: serverOf holds a server index per customer, d is
+// the regular degree the instance was built with. It returns the observed
+// maximum load, and an error if the assignment beats the floor — which
+// would disprove the lemma — or is structurally invalid.
+func CheckMaxLoadBound(fb *graph.CSRBipartite, serverOf []int32, d int) (int, error) {
+	nc := fb.NumCustomers()
+	if len(serverOf) != nc {
+		return 0, fmt.Errorf("lowerbound: %d assignments for %d customers", len(serverOf), nc)
+	}
+	load := make([]int, fb.NumServers())
+	for c, s := range serverOf {
+		if s < 0 || int(s) >= fb.NumServers() {
+			return 0, fmt.Errorf("lowerbound: customer %d assigned out of range (%d)", c, s)
+		}
+		lo, hi := fb.C.ArcRange(c)
+		ok := false
+		for i := lo; i < hi; i++ {
+			if int(fb.C.Col[i]) == nc+int(s) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return 0, fmt.Errorf("lowerbound: customer %d assigned to non-adjacent server %d", c, s)
+		}
+		load[s]++
+	}
+	max := 0
+	for _, l := range load {
+		if l > max {
+			max = l
+		}
+	}
+	if max < MinMaxLoad(d) {
+		return max, fmt.Errorf("lowerbound: max load %d beats the Lemma 6.2 floor %d — impossible", max, MinMaxLoad(d))
+	}
+	return max, nil
+}

@@ -1,0 +1,99 @@
+package lowerbound
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMaxLoadInstanceShape(t *testing.T) {
+	for _, tc := range []struct{ ns, d int }{{10, 3}, {12, 4}, {20, 5}, {30, 8}} {
+		rng := rand.New(rand.NewSource(int64(tc.ns*100 + tc.d)))
+		fb := MaxLoadInstance(tc.ns, tc.d, rng)
+		if err := fb.C.Validate(); err != nil {
+			t.Fatalf("ns=%d d=%d: %v", tc.ns, tc.d, err)
+		}
+		wantCustomers := tc.ns * tc.d / 2
+		if fb.NumCustomers() != wantCustomers || fb.NumServers() != tc.ns {
+			t.Fatalf("ns=%d d=%d: got %d customers / %d servers, want %d / %d",
+				tc.ns, tc.d, fb.NumCustomers(), fb.NumServers(), wantCustomers, tc.ns)
+		}
+		for c := 0; c < fb.NumCustomers(); c++ {
+			if fb.C.Degree(c) != 2 {
+				t.Fatalf("customer %d has degree %d, want 2", c, fb.C.Degree(c))
+			}
+		}
+		for s := 0; s < fb.NumServers(); s++ {
+			if fb.C.Degree(fb.NumCustomers()+s) != tc.d {
+				t.Fatalf("server %d has degree %d, want %d", s, fb.C.Degree(fb.NumCustomers()+s), tc.d)
+			}
+		}
+	}
+}
+
+// TestMaxLoadBoundHolds drives every complete assignment strategy we can
+// improvise (first-adjacent, random-adjacent) through CheckMaxLoadBound:
+// the Lemma 6.2 floor must hold for all of them.
+func TestMaxLoadBoundHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		d := 3 + trial%5
+		ns := 20 + 2*(trial%3)
+		if ns*d%2 != 0 {
+			ns++
+		}
+		fb := MaxLoadInstance(ns, d, rng)
+		nc := fb.NumCustomers()
+
+		first := make([]int32, nc)
+		random := make([]int32, nc)
+		for c := 0; c < nc; c++ {
+			lo, hi := fb.C.ArcRange(c)
+			first[c] = fb.C.Col[lo] - int32(nc)
+			random[c] = fb.C.Col[lo+rng.Intn(hi-lo)] - int32(nc)
+		}
+		for name, serverOf := range map[string][]int32{"first": first, "random": random} {
+			max, err := CheckMaxLoadBound(fb, serverOf, d)
+			if err != nil {
+				t.Fatalf("trial %d (%s): %v", trial, name, err)
+			}
+			if max > d {
+				t.Fatalf("trial %d (%s): max load %d exceeds degree ceiling %d", trial, name, max, d)
+			}
+		}
+	}
+}
+
+func TestCheckMaxLoadBoundRejectsInvalid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	fb := MaxLoadInstance(10, 3, rng)
+	nc := fb.NumCustomers()
+
+	if _, err := CheckMaxLoadBound(fb, make([]int32, nc-1), 3); err == nil {
+		t.Fatal("short assignment not rejected")
+	}
+	bad := make([]int32, nc)
+	for c := range bad {
+		lo, _ := fb.C.ArcRange(c)
+		bad[c] = fb.C.Col[lo] - int32(nc)
+	}
+	bad[0] = int32(fb.NumServers())
+	if _, err := CheckMaxLoadBound(fb, bad, 3); err == nil {
+		t.Fatal("out-of-range server not rejected")
+	}
+	// A non-adjacent (but in-range) server: customer 0's two adjacent
+	// servers are known; pick a third.
+	lo, hi := fb.C.ArcRange(0)
+	adj := map[int32]bool{}
+	for i := lo; i < hi; i++ {
+		adj[fb.C.Col[i]-int32(nc)] = true
+	}
+	for s := int32(0); int(s) < fb.NumServers(); s++ {
+		if !adj[s] {
+			bad[0] = s
+			break
+		}
+	}
+	if _, err := CheckMaxLoadBound(fb, bad, 3); err == nil {
+		t.Fatal("non-adjacent server not rejected")
+	}
+}
