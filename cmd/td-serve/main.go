@@ -2,9 +2,10 @@
 // warmed incremental Resolver (the online counterpart of the sharded
 // batch solver) absorbs customer arrivals, departures, server
 // additions, and drains as single-delta repairs instead of from-scratch
-// re-solves. The daemon seeds itself with a random bipartite network,
-// solves it once at startup, and then every request mutates the live
-// overlay under a mutex.
+// re-solves. The daemon seeds itself with a random bipartite network
+// (or restores one from its snapshot directory), solves it once at
+// startup, and then every request mutates the live overlay under a
+// mutex.
 //
 // Endpoints (request and response bodies are JSON):
 //
@@ -13,406 +14,111 @@
 //	POST /add-server  {}                    → {"server":250}
 //	POST /drain       {"server":250}        → {"ok":true}
 //	GET  /stats                             → live counters
+//	GET  /healthz                           → process liveness (always 200)
+//	GET  /readyz                            → 200 once restored, 503 while
+//	                                          booting or draining
 //
-// Rejected operations (dead ids, draining a customer's only port) come
-// back as 409 with {"error":...}; malformed bodies as 400. SIGINT or
-// SIGTERM shuts the daemon down gracefully.
+// Every error, on every endpoint, is {"error":"...","code":N} with the
+// HTTP status repeated in code. Rejected operations (dead ids, draining
+// a customer's only port) come back as 409; malformed bodies as 400;
+// unknown paths and methods as 404/405 in the same shape.
+//
+// The daemon is built to survive overload and crashes:
+//
+//   - Admission control: at most -max-inflight deltas run at once;
+//     excess requests wait up to -queue-wait and are then shed with
+//     429 + Retry-After, so latency stays bounded instead of the queue
+//     growing without limit.
+//   - Request timeouts: a delta that exceeds -request-timeout answers
+//     503 while the work completes in the background (the Resolver
+//     stays consistent; only the response is abandoned).
+//   - Crash recovery: with -snapshot DIR the daemon atomically writes
+//     its full state (graph + assignment, self-hashed) every
+//     -snapshot-every, and on boot restores from the latest snapshot —
+//     a kill -9 loses at most one snapshot interval of deltas.
+//   - Graceful drain: SIGINT/SIGTERM stops admission, lets in-flight
+//     requests finish (up to -drain-timeout), writes a final snapshot,
+//     and reports how many requests completed during the drain.
+//   - Fault injection: -fail SITE:KIND:k=v arms a failpoint (repeatable;
+//     see the fault package). Injected resolver faults roll the delta
+//     back and answer 503 + Retry-After — the client retries against a
+//     consistent assignment.
 //
 // Usage:
 //
-//	td-serve -listen :8080 -customers 1000 -servers 250
+//	td-serve -listen :8080 -customers 1000 -servers 250 -snapshot /var/lib/td
 //	td-serve -churn http://localhost:8080 -deltas 500
 //
-// The second form is the churn-load generator: it drives a fresh daemon
+// The second form is the churn-load generator: it drives a daemon
 // through a mixed delta workload (arrivals, departures, drain-and-replace
-// rotations) and prints sustained deltas/s with p50/p99 latency.
+// rotations) with exponential-backoff retries that honor Retry-After —
+// it rides out daemon restarts and overload sheds — and prints sustained
+// deltas/s with p50/p99 latency plus applied/refused/retried counts.
 package main
 
 import (
-	"bytes"
-	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
-	"log"
-	"math/rand"
-	"net/http"
-	"os"
-	"os/signal"
-	"sort"
-	"sync"
-	"syscall"
 	"time"
 
-	"tokendrop"
 	"tokendrop/internal/cliutil"
 )
 
-type assignReq struct {
-	Servers []int32 `json:"servers"`
-}
+// failFlags collects repeated -fail specs.
+type failFlags []string
 
-type assignResp struct {
-	Customer int `json:"customer"`
-	Server   int `json:"server"`
-}
+// String renders the collected specs for flag's usage output.
+func (f *failFlags) String() string { return fmt.Sprint([]string(*f)) }
 
-type releaseReq struct {
-	Customer int `json:"customer"`
-}
-
-type serverResp struct {
-	Server int `json:"server"`
-}
-
-type drainReq struct {
-	Server int `json:"server"`
-}
-
-type okResp struct {
-	OK bool `json:"ok"`
-}
-
-type errResp struct {
-	Error string `json:"error"`
-}
-
-type statsResp struct {
-	Deltas      int     `json:"deltas"`
-	Moves       int     `json:"moves"`
-	FullSolves  int     `json:"full_solves"`
-	Customers   int     `json:"customers"`
-	Servers     int     `json:"servers"`
-	Edges       int     `json:"edges"`
-	Compactions int     `json:"compactions"`
-	UptimeSec   float64 `json:"uptime_sec"`
-}
-
-// daemon wraps the Resolver in the concurrency discipline it documents:
-// one mutex, every delta and every read under it.
-type daemon struct {
-	mu      sync.Mutex
-	r       *tokendrop.Resolver
-	started time.Time
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
-}
-
-// decode parses a JSON request body strictly; unknown fields are
-// rejected so client typos fail loudly instead of silently no-opping.
-func decode(w http.ResponseWriter, req *http.Request, v any) bool {
-	dec := json.NewDecoder(req.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil && err != io.EOF {
-		writeJSON(w, http.StatusBadRequest, errResp{Error: err.Error()})
-		return false
-	}
-	return true
-}
-
-// post guards an endpoint's method; the delta endpoints are POST-only.
-func post(h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, req *http.Request) {
-		if req.Method != http.MethodPost {
-			writeJSON(w, http.StatusMethodNotAllowed, errResp{Error: "POST only"})
-			return
-		}
-		h(w, req)
-	}
-}
-
-func (d *daemon) handleAssign(w http.ResponseWriter, req *http.Request) {
-	var in assignReq
-	if !decode(w, req, &in) {
-		return
-	}
-	if len(in.Servers) == 0 {
-		writeJSON(w, http.StatusBadRequest, errResp{Error: "servers list is empty"})
-		return
-	}
-	d.mu.Lock()
-	c, err := d.r.AddCustomer(in.Servers)
-	var so int
-	if err == nil {
-		so = d.r.ServerOf(c)
-	}
-	d.mu.Unlock()
-	if err != nil {
-		writeJSON(w, http.StatusConflict, errResp{Error: err.Error()})
-		return
-	}
-	writeJSON(w, http.StatusOK, assignResp{Customer: c, Server: so})
-}
-
-func (d *daemon) handleRelease(w http.ResponseWriter, req *http.Request) {
-	var in releaseReq
-	if !decode(w, req, &in) {
-		return
-	}
-	d.mu.Lock()
-	err := d.r.RemoveCustomer(in.Customer)
-	d.mu.Unlock()
-	if err != nil {
-		writeJSON(w, http.StatusConflict, errResp{Error: err.Error()})
-		return
-	}
-	writeJSON(w, http.StatusOK, okResp{OK: true})
-}
-
-func (d *daemon) handleAddServer(w http.ResponseWriter, req *http.Request) {
-	var in struct{}
-	if !decode(w, req, &in) {
-		return
-	}
-	d.mu.Lock()
-	s, err := d.r.AddServer()
-	d.mu.Unlock()
-	if err != nil {
-		writeJSON(w, http.StatusConflict, errResp{Error: err.Error()})
-		return
-	}
-	writeJSON(w, http.StatusOK, serverResp{Server: s})
-}
-
-func (d *daemon) handleDrain(w http.ResponseWriter, req *http.Request) {
-	var in drainReq
-	if !decode(w, req, &in) {
-		return
-	}
-	d.mu.Lock()
-	err := d.r.DrainServer(in.Server)
-	d.mu.Unlock()
-	if err != nil {
-		writeJSON(w, http.StatusConflict, errResp{Error: err.Error()})
-		return
-	}
-	writeJSON(w, http.StatusOK, okResp{OK: true})
-}
-
-func (d *daemon) stats() statsResp {
-	d.mu.Lock()
-	st := d.r.Stats()
-	d.mu.Unlock()
-	return statsResp{
-		Deltas: st.Deltas, Moves: st.Moves, FullSolves: st.FullSolves,
-		Customers: st.Customers, Servers: st.Servers, Edges: st.Edges,
-		Compactions: st.Compactions,
-		UptimeSec:   time.Since(d.started).Seconds(),
-	}
-}
-
-func (d *daemon) handleStats(w http.ResponseWriter, req *http.Request) {
-	writeJSON(w, http.StatusOK, d.stats())
-}
-
-func serve(listen string, nc, ns, cdeg int, seed int64, shards int, randomTies bool) {
-	tie := tokendrop.TieFirstPort
-	if randomTies {
-		tie = tokendrop.TieRandom
-	}
-	rng := rand.New(rand.NewSource(seed))
-	b, err := tokendrop.NewBipartite(tokendrop.RandomBipartite(nc, ns, cdeg, rng), nc)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fb := tokendrop.NewFlatBipartite(b)
-	r, err := tokendrop.NewResolver(fb, nil, tokendrop.ResolverOptions{
-		Tie: tie, Seed: seed, Shards: shards,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer r.Close()
-	d := &daemon{r: r, started: time.Now()}
-
-	mux := http.NewServeMux()
-	mux.HandleFunc("/assign", post(d.handleAssign))
-	mux.HandleFunc("/release", post(d.handleRelease))
-	mux.HandleFunc("/add-server", post(d.handleAddServer))
-	mux.HandleFunc("/drain", post(d.handleDrain))
-	mux.HandleFunc("/stats", d.handleStats)
-	srv := &http.Server{Addr: listen, Handler: mux}
-
-	done := make(chan error, 1)
-	go func() { done <- srv.ListenAndServe() }()
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	fmt.Printf("td-serve: listening on %s (customers=%d servers=%d cdeg=%d shards=%d)\n",
-		listen, nc, ns, cdeg, shards)
-
-	select {
-	case err := <-done:
-		log.Fatal(err)
-	case s := <-sig:
-		fmt.Printf("td-serve: %v, shutting down\n", s)
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
-		log.Fatal(err)
-	}
-	st := d.stats()
-	fmt.Printf("td-serve: clean shutdown after %d deltas (%d moves, %d customers live)\n",
-		st.Deltas, st.Moves, st.Customers)
-}
-
-// churnClient is the load generator: a mixed delta workload against a
-// FRESH daemon (it assumes the initial server ids are 0..servers-1, as
-// the daemon's generator lays them out, and tracks rotations from
-// there). Arrivals and departures flow through a bounded window;
-// periodically a random server is drained and a fresh one added.
-type churnClient struct {
-	base   string
-	client *http.Client
-	rng    *rand.Rand
-	pool   []int // live server ids
-	window []int // churned customers, oldest first
-	lat    []time.Duration
-	errors int
-}
-
-func (cc *churnClient) call(path string, in, out any) error {
-	body, err := json.Marshal(in)
-	if err != nil {
-		return err
-	}
-	resp, err := cc.client.Post(cc.base+path, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var e errResp
-		json.NewDecoder(resp.Body).Decode(&e)
-		return fmt.Errorf("%s: %s: %s", path, resp.Status, e.Error)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
-}
-
-func (cc *churnClient) step(i, cdeg int) error {
-	t0 := time.Now()
-	defer func() { cc.lat = append(cc.lat, time.Since(t0)) }()
-	switch {
-	case i%49 == 48:
-		// Rotate a server out and a fresh one in. A drain is refused
-		// when some incident customer has no other port — count it and
-		// move on, the workload tolerates refusals.
-		j := cc.rng.Intn(len(cc.pool))
-		var ok okResp
-		if err := cc.call("/drain", drainReq{Server: cc.pool[j]}, &ok); err != nil {
-			cc.errors++
-			return nil
-		}
-		var sr serverResp
-		if err := cc.call("/add-server", struct{}{}, &sr); err != nil {
-			return err
-		}
-		cc.pool[j] = sr.Server
-	case len(cc.window) >= 256:
-		c := cc.window[0]
-		cc.window = cc.window[:copy(cc.window, cc.window[1:])]
-		var ok okResp
-		if err := cc.call("/release", releaseReq{Customer: c}, &ok); err != nil {
-			return err
-		}
-	default:
-		servers := make([]int32, 0, cdeg)
-		for len(servers) < cdeg {
-			s := int32(cc.pool[cc.rng.Intn(len(cc.pool))])
-			dup := false
-			for _, prev := range servers {
-				if prev == s {
-					dup = true
-					break
-				}
-			}
-			if !dup {
-				servers = append(servers, s)
-			}
-		}
-		var ar assignResp
-		if err := cc.call("/assign", assignReq{Servers: servers}, &ar); err != nil {
-			// A refusal here means the pool is stale (the daemon saw
-			// drains this client did not issue); count it and move on.
-			cc.errors++
-			return nil
-		}
-		cc.window = append(cc.window, ar.Customer)
-	}
+// Set appends one spec per flag occurrence.
+func (f *failFlags) Set(v string) error {
+	*f = append(*f, v)
 	return nil
-}
-
-func churn(base string, deltas, cdeg int, seed int64) {
-	cc := &churnClient{
-		base:   base,
-		client: &http.Client{Timeout: 10 * time.Second},
-		rng:    rand.New(rand.NewSource(seed)),
-	}
-	var st statsResp
-	if err := cc.callGet("/stats", &st); err != nil {
-		log.Fatalf("td-serve: cannot reach daemon: %v", err)
-	}
-	if st.Servers < cdeg {
-		log.Fatalf("td-serve: daemon has %d servers, need at least %d", st.Servers, cdeg)
-	}
-	for s := 0; s < st.Servers; s++ {
-		cc.pool = append(cc.pool, s)
-	}
-	t0 := time.Now()
-	for i := 0; i < deltas; i++ {
-		if err := cc.step(i, cdeg); err != nil {
-			log.Fatalf("td-serve: churn delta %d: %v", i, err)
-		}
-	}
-	elapsed := time.Since(t0)
-	sort.Slice(cc.lat, func(i, j int) bool { return cc.lat[i] < cc.lat[j] })
-	p50 := cc.lat[len(cc.lat)/2]
-	p99 := cc.lat[len(cc.lat)*99/100]
-	if err := cc.callGet("/stats", &st); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("td-serve churn: %d deltas in %v (%.0f deltas/s), p50 %v, p99 %v, %d refused\n",
-		deltas, elapsed.Round(time.Millisecond), float64(deltas)/elapsed.Seconds(), p50, p99, cc.errors)
-	fmt.Printf("td-serve churn: daemon now at %d customers, %d servers, %d deltas, %d repair moves\n",
-		st.Customers, st.Servers, st.Deltas, st.Moves)
-}
-
-func (cc *churnClient) callGet(path string, out any) error {
-	resp, err := cc.client.Get(cc.base + path)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("%s: %s", path, resp.Status)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 func main() {
 	var (
-		listen     = flag.String("listen", ":8080", "HTTP listen address (server mode)")
-		nc         = flag.Int("customers", 1_000, "initial customers in the seeded network")
-		ns         = flag.Int("servers", 250, "initial servers in the seeded network")
-		cdeg       = flag.Int("cdeg", 3, "servers adjacent to each customer")
-		seed       = flag.Int64("seed", 1, "workload and tie-break seed")
-		randomTies = flag.Bool("random-ties", false, "randomized tie-breaking")
-		shards     = cliutil.ShardsFlag()
-		churnURL   = flag.String("churn", "", "client mode: drive a mixed churn workload against this daemon URL")
-		deltas     = flag.Int("deltas", 500, "with -churn: number of deltas to apply")
-		version    = cliutil.VersionFlag()
+		listen        = flag.String("listen", ":8080", "HTTP listen address (server mode)")
+		nc            = flag.Int("customers", 1_000, "initial customers in the seeded network")
+		ns            = flag.Int("servers", 250, "initial servers in the seeded network")
+		cdeg          = flag.Int("cdeg", 3, "servers adjacent to each customer")
+		seed          = flag.Int64("seed", 1, "workload and tie-break seed")
+		randomTies    = flag.Bool("random-ties", false, "randomized tie-breaking")
+		shards        = cliutil.ShardsFlag()
+		snapshotDir   = flag.String("snapshot", "", "directory for periodic atomic snapshots; restore-on-boot when one exists")
+		snapshotEvery = flag.Duration("snapshot-every", 2*time.Second, "with -snapshot: capture cadence")
+		maxInflight   = flag.Int("max-inflight", 64, "admitted deltas running at once; excess requests queue")
+		queueWait     = flag.Duration("queue-wait", 100*time.Millisecond, "longest a request waits for admission before 429")
+		reqTimeout    = flag.Duration("request-timeout", 2*time.Second, "longest a delta may run before its request answers 503")
+		drainTimeout  = flag.Duration("drain-timeout", 5*time.Second, "longest shutdown waits for in-flight requests")
+		churnURL      = flag.String("churn", "", "client mode: drive a mixed churn workload against this daemon URL")
+		deltas        = flag.Int("deltas", 500, "with -churn: number of deltas to apply")
+		retries       = flag.Int("retries", 10, "with -churn: per-request retry budget for 429/503/connection errors")
+		version       = cliutil.VersionFlag()
+		fail          failFlags
 	)
+	flag.Var(&fail, "fail", "arm a failpoint, SITE:KIND:key=val,... (repeatable); e.g. resolver/repair:error:p=0.01")
 	flag.Parse()
 	cliutil.HandleVersionFlag(version)
 
 	if *churnURL != "" {
-		churn(*churnURL, *deltas, *cdeg, *seed)
+		churn(*churnURL, *deltas, *cdeg, *seed, *retries)
 		return
 	}
-	serve(*listen, *nc, *ns, *cdeg, *seed, *shards, *randomTies)
+	serve(serveConfig{
+		listen:        *listen,
+		customers:     *nc,
+		servers:       *ns,
+		cdeg:          *cdeg,
+		seed:          *seed,
+		shards:        *shards,
+		randomTies:    *randomTies,
+		snapshotDir:   *snapshotDir,
+		snapshotEvery: *snapshotEvery,
+		maxInflight:   *maxInflight,
+		queueWait:     *queueWait,
+		reqTimeout:    *reqTimeout,
+		drainTimeout:  *drainTimeout,
+		failSpecs:     fail,
+	})
 }

@@ -1,0 +1,72 @@
+package tokendrop
+
+import (
+	"tokendrop/internal/assign"
+	"tokendrop/internal/fault"
+	"tokendrop/internal/local"
+)
+
+// Fault-injection facade: the deterministic failpoint framework behind
+// the failure model (ARCHITECTURE.md §"Failure model and recovery").
+// Layers declare named sites; a FaultRegistry arms them with seeded
+// schedules, so crashes, errors, and stalls strike reproducibly. A
+// disarmed site costs one nil check and allocates nothing — the
+// framework can stay threaded through production paths.
+
+type (
+	// FaultRegistry owns a run's failpoints: seeded site streams, arm/
+	// disarm lifecycle, and the deterministic fire trace.
+	FaultRegistry = fault.Registry
+	// FaultSite is one named injection point; layers visit it at their
+	// declared boundary and apply whatever fault it returns.
+	FaultSite = fault.Site
+	// FaultSchedule says when an armed site fires (trigger-at, every-n,
+	// probability, cap) and what kind of fault it injects.
+	FaultSchedule = fault.Schedule
+	// FaultKind is the injected failure mode: error, crash, or stall.
+	FaultKind = fault.Kind
+	// FaultEvent is one entry of a registry's fire trace.
+	FaultEvent = fault.Event
+	// WorkerCrashError reports a sharded-engine worker that died mid
+	// round — injected or organic — after the session recovered and
+	// respawned it. Solves with AutoResume set retry from the last
+	// quiescent snapshot.
+	WorkerCrashError = local.WorkerCrashError
+)
+
+const (
+	// FaultError makes the visiting operation fail with an error that
+	// wraps ErrFaultInjected.
+	FaultError = fault.KindError
+	// FaultCrash kills the visiting execution context (the sharded
+	// engine panics the scheduled worker; the Resolver aborts and rolls
+	// back the delta).
+	FaultCrash = fault.KindCrash
+	// FaultStall delays the visiting operation by the schedule's Delay
+	// and then lets it proceed.
+	FaultStall = fault.KindStall
+)
+
+const (
+	// EngineFaultSite is the sharded engine's failpoint, visited once
+	// per round at the quiescent barrier (ShardedGameOptions.Fault).
+	EngineFaultSite = local.FaultSiteRound
+	// ResolverFaultSite is the incremental Resolver's failpoint, visited
+	// once per repair move (ResolverOptions.Fault); an injected failure
+	// rolls the whole delta back.
+	ResolverFaultSite = assign.FaultSiteRepair
+)
+
+// ErrFaultInjected is the sentinel wrapped by every injected fault, so
+// callers can tell deliberate chaos from organic failures.
+var ErrFaultInjected = fault.ErrInjected
+
+// NewFaultRegistry returns an empty registry; seed drives every site's
+// probability stream, so equal seeds and schedules reproduce the same
+// fire trace.
+func NewFaultRegistry(seed int64) *FaultRegistry { return fault.NewRegistry(seed) }
+
+// ParseFaultSpec parses the CLI failpoint grammar
+// "site:kind:key=val,..." (kinds error/crash/stall; keys at, every, p,
+// max, delay) into a site name and its schedule.
+func ParseFaultSpec(spec string) (string, FaultSchedule, error) { return fault.ParseSpec(spec) }

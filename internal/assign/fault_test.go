@@ -1,0 +1,433 @@
+package assign
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"tokendrop/internal/core"
+	"tokendrop/internal/fault"
+	"tokendrop/internal/graph"
+)
+
+// fireOnce arms the repair failpoint to fire on the first repair move
+// of the next delta, whatever the site's visit count is by now.
+func fireOnce(reg *fault.Registry, kind fault.Kind) {
+	reg.Arm(FaultSiteRepair, fault.Schedule{Kind: kind, Every: 1, Max: 1})
+}
+
+// sameResolverState asserts two resolvers agree on the whole protocol
+// surface: live sets, assignments, loads, and customer port orders.
+func sameResolverState(t *testing.T, tag string, a, b *Resolver) {
+	t.Helper()
+	as, bs := a.Stats(), b.Stats()
+	if as.Customers != bs.Customers || as.Servers != bs.Servers || as.Edges != bs.Edges {
+		t.Fatalf("%s: live counts %d/%d/%d vs %d/%d/%d", tag,
+			as.Customers, as.Servers, as.Edges, bs.Customers, bs.Servers, bs.Edges)
+	}
+	if as.Moves != bs.Moves || as.Deltas != bs.Deltas {
+		t.Fatalf("%s: moves/deltas %d/%d vs %d/%d", tag, as.Moves, as.Deltas, bs.Moves, bs.Deltas)
+	}
+	ids := a.Overlay().CustomerIDs()
+	if n := b.Overlay().CustomerIDs(); n > ids {
+		ids = n
+	}
+	for c := 0; c < ids; c++ {
+		if a.Overlay().CustomerLive(c) != b.Overlay().CustomerLive(c) {
+			t.Fatalf("%s: customer %d liveness differs", tag, c)
+		}
+		if !a.Overlay().CustomerLive(c) {
+			continue
+		}
+		if a.ServerOf(c) != b.ServerOf(c) {
+			t.Fatalf("%s: customer %d assigned %d vs %d", tag, c, a.ServerOf(c), b.ServerOf(c))
+		}
+		aa, ba := a.Overlay().Adj(c), b.Overlay().Adj(c)
+		if len(aa) != len(ba) {
+			t.Fatalf("%s: customer %d degree %d vs %d", tag, c, len(aa), len(ba))
+		}
+		for p := range aa {
+			if aa[p] != ba[p] {
+				t.Fatalf("%s: customer %d port %d: %d vs %d", tag, c, p, aa[p], ba[p])
+			}
+		}
+	}
+	sids := a.Overlay().ServerIDs()
+	if n := b.Overlay().ServerIDs(); n > sids {
+		sids = n
+	}
+	for s := 0; s < sids; s++ {
+		if a.Overlay().ServerLive(s) != b.Overlay().ServerLive(s) {
+			t.Fatalf("%s: server %d liveness differs", tag, s)
+		}
+		if a.Overlay().ServerLive(s) && a.Load(s) != b.Load(s) {
+			t.Fatalf("%s: server %d load %d vs %d", tag, s, a.Load(s), b.Load(s))
+		}
+	}
+}
+
+// TestRollbackRetryBitEquivalence is the tentpole resolver guarantee: a
+// faulted resolver and an unfaulted twin run the same delta sequence,
+// and every AddCustomer/AddEdge that an injected repair fault aborts is
+// rolled back and retried — after which the two resolvers must agree
+// bit-exactly on assignments, loads, and port orders, under both tie
+// rules. A perturbed RNG stream or a mis-restored load would make the
+// TieRandom twin drift within a few deltas.
+func TestRollbackRetryBitEquivalence(t *testing.T) {
+	for _, tie := range []core.TieBreak{core.TieFirstPort, core.TieRandom} {
+		rng := rand.New(rand.NewSource(31 + int64(tie)))
+		b := graph.MustBipartite(graph.RandomBipartite(40, 10, 3, rng), 40)
+		fb := graph.NewCSRBipartiteFromBipartite(b)
+		reg := fault.NewRegistry(1)
+		mk := func(reg *fault.Registry) *Resolver {
+			r, err := NewResolver(fb, nil, ResolverOptions{
+				Tie: tie, Seed: 5, Shards: 2, SelfCheck: true, Fault: reg,
+			})
+			if err != nil {
+				t.Fatalf("tie %v: NewResolver: %v", tie, err)
+			}
+			return r
+		}
+		faulted, ref := mk(reg), mk(nil)
+		defer faulted.Close()
+		defer ref.Close()
+		sameResolverState(t, "construction", faulted, ref)
+
+		var liveCust, liveServ []int32
+		for c := 0; c < fb.NumLeft; c++ {
+			liveCust = append(liveCust, int32(c))
+		}
+		for s := 0; s < fb.NumServers(); s++ {
+			liveServ = append(liveServ, int32(s))
+		}
+		rollbacks := 0
+		for step := 0; step < 500; step++ {
+			switch op := rng.Intn(4); {
+			case op == 0 && len(liveServ) > 0: // faultable: add customer
+				want := 1 + rng.Intn(3)
+				perm := rng.Perm(len(liveServ))
+				servers := make([]int32, 0, want)
+				for _, i := range perm {
+					servers = append(servers, liveServ[i])
+					if len(servers) == want {
+						break
+					}
+				}
+				fireOnce(reg, fault.KindError)
+				c, err := faulted.AddCustomer(servers)
+				if err != nil {
+					if !errors.Is(err, fault.ErrInjected) {
+						t.Fatalf("tie %v step %d: AddCustomer: %v", tie, step, err)
+					}
+					rollbacks++
+					sameResolverState(t, "post-rollback", faulted, ref)
+					reg.Disarm(FaultSiteRepair)
+					if c, err = faulted.AddCustomer(servers); err != nil {
+						t.Fatalf("tie %v step %d: retry AddCustomer: %v", tie, step, err)
+					}
+				}
+				reg.Disarm(FaultSiteRepair)
+				cr, err := ref.AddCustomer(servers)
+				if err != nil {
+					t.Fatalf("tie %v step %d: ref AddCustomer: %v", tie, step, err)
+				}
+				if c != cr {
+					t.Fatalf("tie %v step %d: ids diverged %d vs %d", tie, step, c, cr)
+				}
+				liveCust = append(liveCust, int32(c))
+			case op == 1 && len(liveCust) > 0 && len(liveServ) > 0: // faultable: add edge
+				c := liveCust[rng.Intn(len(liveCust))]
+				s := liveServ[rng.Intn(len(liveServ))]
+				dup := false
+				for _, u := range faulted.Overlay().Adj(int(c)) {
+					if u == s {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					continue
+				}
+				fireOnce(reg, fault.KindError)
+				if err := faulted.AddEdge(int(c), int(s)); err != nil {
+					if !errors.Is(err, fault.ErrInjected) {
+						t.Fatalf("tie %v step %d: AddEdge: %v", tie, step, err)
+					}
+					rollbacks++
+					sameResolverState(t, "post-rollback", faulted, ref)
+					reg.Disarm(FaultSiteRepair)
+					if err := faulted.AddEdge(int(c), int(s)); err != nil {
+						t.Fatalf("tie %v step %d: retry AddEdge: %v", tie, step, err)
+					}
+				}
+				reg.Disarm(FaultSiteRepair)
+				if err := ref.AddEdge(int(c), int(s)); err != nil {
+					t.Fatalf("tie %v step %d: ref AddEdge: %v", tie, step, err)
+				}
+			case op == 2 && len(liveCust) > 1: // plain churn: remove customer
+				i := rng.Intn(len(liveCust))
+				c := liveCust[i]
+				if err := faulted.RemoveCustomer(int(c)); err != nil {
+					t.Fatalf("tie %v step %d: RemoveCustomer: %v", tie, step, err)
+				}
+				if err := ref.RemoveCustomer(int(c)); err != nil {
+					t.Fatalf("tie %v step %d: ref RemoveCustomer: %v", tie, step, err)
+				}
+				liveCust[i] = liveCust[len(liveCust)-1]
+				liveCust = liveCust[:len(liveCust)-1]
+			default: // plain churn: remove a random non-last edge
+				if len(liveCust) == 0 {
+					continue
+				}
+				c := liveCust[rng.Intn(len(liveCust))]
+				adj := faulted.Overlay().Adj(int(c))
+				if len(adj) < 2 {
+					continue
+				}
+				s := adj[rng.Intn(len(adj))]
+				if err := faulted.RemoveEdge(int(c), int(s)); err != nil {
+					t.Fatalf("tie %v step %d: RemoveEdge: %v", tie, step, err)
+				}
+				if err := ref.RemoveEdge(int(c), int(s)); err != nil {
+					t.Fatalf("tie %v step %d: ref RemoveEdge: %v", tie, step, err)
+				}
+			}
+			sameResolverState(t, "step", faulted, ref)
+		}
+		if rollbacks < 5 {
+			t.Fatalf("tie %v: only %d injected rollbacks exercised; churn too tame", tie, rollbacks)
+		}
+		if got := faulted.Stats().Rollbacks; got != rollbacks {
+			t.Fatalf("tie %v: stats count %d rollbacks, test observed %d", tie, got, rollbacks)
+		}
+		if ref.Stats().Rollbacks != 0 {
+			t.Fatalf("tie %v: unfaulted resolver reports rollbacks", tie)
+		}
+	}
+}
+
+// TestRollbackAnywhereOracle injects repair faults into every delta kind
+// — including the removal ops whose rollback perturbs (non-protocol)
+// incidence order — and checks the resolver stays oracle-valid: every
+// rollback leaves a Verify-clean state, the final network matches the
+// model's live sets, and the batch solver agrees it is stable.
+func TestRollbackAnywhereOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	b := graph.MustBipartite(graph.RandomBipartite(60, 16, 3, rng), 60)
+	fb := graph.NewCSRBipartiteFromBipartite(b)
+	reg := fault.NewRegistry(3)
+	r, err := NewResolver(fb, nil, ResolverOptions{
+		Tie: core.TieRandom, Seed: 7, Shards: 2, SelfCheck: true,
+		FragThreshold: 0.3, Fault: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	var liveCust, liveServ []int32
+	for c := 0; c < fb.NumLeft; c++ {
+		liveCust = append(liveCust, int32(c))
+	}
+	for s := 0; s < fb.NumServers(); s++ {
+		liveServ = append(liveServ, int32(s))
+	}
+	edges := func() int { return r.Stats().Edges }
+	rollbacks := 0
+	for step := 0; step < 600; step++ {
+		// Every delta may fault on its first repair move; the injected
+		// kind alternates so crash-flavored faults abort deltas too.
+		kind := fault.KindError
+		if step%2 == 1 {
+			kind = fault.KindCrash
+		}
+		fireOnce(reg, kind)
+		before := [3]int{len(liveCust), len(liveServ), edges()}
+		var opErr error
+		switch op := rng.Intn(10); {
+		case op < 3 && len(liveServ) > 0:
+			want := 1 + rng.Intn(3)
+			perm := rng.Perm(len(liveServ))
+			servers := make([]int32, 0, want)
+			for _, i := range perm {
+				servers = append(servers, liveServ[i])
+				if len(servers) == want {
+					break
+				}
+			}
+			var c int
+			c, opErr = r.AddCustomer(servers)
+			if opErr == nil {
+				liveCust = append(liveCust, int32(c))
+			}
+		case op < 5 && len(liveCust) > 1:
+			i := rng.Intn(len(liveCust))
+			opErr = r.RemoveCustomer(int(liveCust[i]))
+			if opErr == nil {
+				liveCust[i] = liveCust[len(liveCust)-1]
+				liveCust = liveCust[:len(liveCust)-1]
+			}
+		case op < 6:
+			var s int
+			s, opErr = r.AddServer()
+			if opErr == nil {
+				liveServ = append(liveServ, int32(s))
+			}
+		case op < 7 && len(liveServ) > 1:
+			i := rng.Intn(len(liveServ))
+			s := liveServ[i]
+			drainable := true
+			for _, c := range r.Overlay().Incident(int(s)) {
+				if len(r.Overlay().Adj(int(c))) < 2 {
+					drainable = false
+					break
+				}
+			}
+			if !drainable {
+				reg.Disarm(FaultSiteRepair)
+				continue
+			}
+			opErr = r.DrainServer(int(s))
+			if opErr == nil {
+				liveServ[i] = liveServ[len(liveServ)-1]
+				liveServ = liveServ[:len(liveServ)-1]
+			}
+		case op < 9 && len(liveCust) > 0 && len(liveServ) > 0:
+			c := liveCust[rng.Intn(len(liveCust))]
+			s := liveServ[rng.Intn(len(liveServ))]
+			dup := false
+			for _, u := range r.Overlay().Adj(int(c)) {
+				if u == s {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				reg.Disarm(FaultSiteRepair)
+				continue
+			}
+			opErr = r.AddEdge(int(c), int(s))
+		default:
+			if len(liveCust) == 0 {
+				reg.Disarm(FaultSiteRepair)
+				continue
+			}
+			c := liveCust[rng.Intn(len(liveCust))]
+			adj := r.Overlay().Adj(int(c))
+			if len(adj) < 2 {
+				reg.Disarm(FaultSiteRepair)
+				continue
+			}
+			opErr = r.RemoveEdge(int(c), int(adj[rng.Intn(len(adj))]))
+		}
+		reg.Disarm(FaultSiteRepair)
+		if opErr != nil {
+			if !errors.Is(opErr, fault.ErrInjected) {
+				t.Fatalf("step %d: non-injected failure: %v", step, opErr)
+			}
+			rollbacks++
+			// SelfCheck already verified inside rollback; re-verify from
+			// the outside and pin that the live sets did not move.
+			if err := r.Verify(); err != nil {
+				t.Fatalf("step %d: verify after rollback: %v", step, err)
+			}
+			after := [3]int{len(liveCust), len(liveServ), edges()}
+			if after != before {
+				t.Fatalf("step %d: rollback changed live counts %v -> %v", step, before, after)
+			}
+		}
+	}
+	if rollbacks < 20 {
+		t.Fatalf("only %d rollbacks exercised; churn too tame", rollbacks)
+	}
+	st := r.Stats()
+	if st.Rollbacks != rollbacks {
+		t.Fatalf("stats count %d rollbacks, test observed %d", st.Rollbacks, rollbacks)
+	}
+	if st.Customers != len(liveCust) || st.Servers != len(liveServ) {
+		t.Fatalf("live counts drifted: resolver %d/%d, model %d/%d",
+			st.Customers, st.Servers, len(liveCust), len(liveServ))
+	}
+
+	var bld graph.CSRBuilder
+	bld.Reset(0)
+	var oc graph.OverlayCSR
+	r.Overlay().BuildCSR(&bld, &oc)
+	res, err := SolveSharded(oc.Bipartite(), ShardedOptions{
+		Tie: core.TieRandom, Seed: 99, Shards: 2, CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatalf("oracle solve: %v", err)
+	}
+	if !res.Stable() {
+		t.Fatal("oracle solve unstable on post-rollback network")
+	}
+}
+
+// TestRepairStallIsGraceful pins the degradation mode: a stall at the
+// repair site delays the cascade but the delta completes normally, with
+// no rollback.
+func TestRepairStallIsGraceful(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	b := graph.MustBipartite(graph.RandomBipartite(30, 8, 3, rng), 30)
+	fb := graph.NewCSRBipartiteFromBipartite(b)
+	reg := fault.NewRegistry(1)
+	r, err := NewResolver(fb, nil, ResolverOptions{Shards: 1, SelfCheck: true, Fault: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	reg.Arm(FaultSiteRepair, fault.Schedule{Kind: fault.KindStall, Every: 1, Delay: time.Millisecond})
+	for i := 0; i < 20; i++ {
+		c, err := r.AddCustomer([]int32{0, 1})
+		if err != nil {
+			t.Fatalf("delta %d under stall: %v", i, err)
+		}
+		if err := r.RemoveCustomer(c); err != nil {
+			t.Fatalf("delta %d under stall: %v", i, err)
+		}
+	}
+	if rb := r.Stats().Rollbacks; rb != 0 {
+		t.Fatalf("stalls caused %d rollbacks, want 0", rb)
+	}
+}
+
+// TestResolverFaultSteadyStateAllocs extends the steady-state pin to a
+// journaling resolver: with the registry wired in (journal armed, site
+// disarmed), warmed delta churn still allocates nothing — the undo log's
+// buffers are grow-only.
+func TestResolverFaultSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := graph.MustBipartite(graph.RandomBipartite(200, 40, 3, rng), 200)
+	fb := graph.NewCSRBipartiteFromBipartite(b)
+	reg := fault.NewRegistry(1)
+	r, err := NewResolver(fb, nil, ResolverOptions{Tie: core.TieRandom, Seed: 9, Fault: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	ports := []int32{0, 7, 21}
+	churn := func() {
+		c, err := r.AddCustomer(ports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.AddEdge(c, 33); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.RemoveEdge(c, 7); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.RemoveCustomer(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		churn()
+	}
+	if avg := testing.AllocsPerRun(100, churn); avg != 0 {
+		t.Fatalf("journaled steady-state churn allocates %v per cycle", avg)
+	}
+}

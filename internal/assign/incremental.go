@@ -32,6 +32,7 @@ import (
 	"fmt"
 
 	"tokendrop/internal/core"
+	"tokendrop/internal/fault"
 	"tokendrop/internal/graph"
 	"tokendrop/internal/hypergame"
 	"tokendrop/internal/local"
@@ -57,6 +58,12 @@ type ResolverOptions struct {
 	// failure into the operation's error. Linear per delta — tests keep
 	// it on, serving paths leave it off.
 	SelfCheck bool
+	// Fault wires a failpoint registry into the Resolver: the repair
+	// cascade visits FaultSiteRepair once per move, and an injected
+	// error or crash aborts the delta and rolls the Resolver back to
+	// the prior consistent assignment (see journal.go). Nil means no
+	// failpoints and no journaling overhead.
+	Fault *fault.Registry
 }
 
 // ResolverStats counts what a Resolver has done since creation.
@@ -71,6 +78,9 @@ type ResolverStats struct {
 	Customers, Servers, Edges int
 	// Compactions is the overlay's arena-compaction count.
 	Compactions int
+	// Rollbacks counts deltas aborted by an injected fault and rolled
+	// back to the prior consistent assignment.
+	Rollbacks int
 }
 
 // Resolver maintains a stable assignment on a mutable bipartite network
@@ -93,6 +103,9 @@ type Resolver struct {
 	selfCheck  bool
 	stats      ResolverStats
 	verifyLoad []int32 // Verify's recount buffer
+
+	failRepair *fault.Site // FaultSiteRepair; nil without a registry
+	jr         journal     // per-delta undo log; disarmed without a registry
 
 	// The persistent from-scratch machinery: one warmed session,
 	// workspace, and builder serve every FullSolve and oracle rebuild.
@@ -143,6 +156,9 @@ func NewResolverFromOverlay(ov *graph.BipartiteOverlay, prior []int32, opt Resol
 		r.ov.FragThreshold = opt.FragThreshold
 	}
 	r.selfCheck = opt.SelfCheck
+	if opt.Fault != nil {
+		r.failRepair = opt.Fault.Site(FaultSiteRepair)
+	}
 	r.growCustomers()
 	r.growServers()
 	for c := range r.serverOf {
@@ -189,7 +205,12 @@ func NewResolverFromOverlay(ov *graph.BipartiteOverlay, prior []int32, opt Resol
 			}
 			r.push(int32(c))
 		}
-		r.repair()
+		// Construction-time repair faults fail construction outright —
+		// there is no prior consistent state to roll back to.
+		if err := r.repair(); err != nil {
+			r.Close()
+			return nil, fmt.Errorf("assign: resolver construction: %w", err)
+		}
 	} else if r.ov.NumCustomers() > 0 {
 		if err := r.FullSolve(); err != nil {
 			r.Close()
@@ -200,6 +221,9 @@ func NewResolverFromOverlay(ov *graph.BipartiteOverlay, prior []int32, opt Resol
 		r.Close()
 		return nil, fmt.Errorf("assign: resolver construction: %w", err)
 	}
+	// Arm the undo journal only now: delta operations roll back to the
+	// consistent state that construction just verified.
+	r.jr.armed = opt.Fault != nil
 	return r, nil
 }
 
@@ -264,6 +288,7 @@ func (r *Resolver) growServers() {
 // creation counter keeps a recycled id's stream decorrelated from its
 // previous life's.
 func (r *Resolver) seedRng(c int) {
+	r.recordRng(int32(c))
 	r.seq++
 	r.custRng[c] = core.SplitMix64(uint64(r.seed) ^ uint64(c)*0x9e3779b97f4a7c15 ^ r.seq*0x94d049bb133111eb)
 }
@@ -297,6 +322,7 @@ func (r *Resolver) pickServer(c int32) (best, bestLoad int32) {
 		}
 	}
 	if r.tie == core.TieRandom {
+		r.recordRng(c)
 		state := r.custRng[c]
 		count := 0
 		for _, s := range adj {
@@ -319,7 +345,12 @@ func (r *Resolver) pickServer(c int32) (best, bestLoad int32) {
 // at least 2 moves to a least-loaded adjacent server, dirtying both
 // endpoints' incidences. Φ = Σ f(load) strictly decreases per move, so
 // the drain terminates with every live customer at badness ≤ 1.
-func (r *Resolver) repair() {
+//
+// The FaultSiteRepair failpoint is visited once per move, after the
+// move is chosen and before it is applied — so visit counts equal
+// repair moves, and an injected error leaves the chosen move unapplied
+// for the caller to roll back. A stall just delays the cascade.
+func (r *Resolver) repair() error {
 	for n := len(r.pending); n > 0; n = len(r.pending) {
 		c := r.pending[n-1]
 		r.pending = r.pending[:n-1]
@@ -332,13 +363,15 @@ func (r *Resolver) repair() {
 		if r.load[so]-bestLoad < 2 {
 			continue
 		}
-		r.load[so]--
-		r.load[best]++
-		r.serverOf[c] = best
+		if err := r.failRepair.Err(); err != nil {
+			return err
+		}
+		r.setServer(c, best)
 		r.stats.Moves++
 		r.dirtyServer(int(so))
 		r.dirtyServer(int(best))
 	}
+	return nil
 }
 
 // finish runs the post-delta bookkeeping shared by every mutation.
@@ -356,17 +389,20 @@ func (r *Resolver) finish() error {
 // (ports left to right), assigns it to a least-loaded one, repairs, and
 // returns the new customer's id.
 func (r *Resolver) AddCustomer(servers []int32) (int, error) {
+	r.begin()
 	c, err := r.ov.AddCustomer(servers)
 	if err != nil {
 		return -1, err
 	}
+	r.recordOp(jAddCustomer, int32(c), -1, -1)
 	r.growCustomers()
 	r.seedRng(c)
 	best, _ := r.pickServer(int32(c))
-	r.serverOf[c] = best
-	r.load[best]++
+	r.setServer(int32(c), best)
 	r.dirtyServer(int(best))
-	r.repair()
+	if err := r.repair(); err != nil {
+		return -1, r.rollback(err)
+	}
 	return c, r.finish()
 }
 
@@ -376,14 +412,17 @@ func (r *Resolver) RemoveCustomer(c int) error {
 	if !r.ov.CustomerLive(c) {
 		return fmt.Errorf("assign: resolver customer %d is not live", c)
 	}
+	r.begin()
 	from := r.serverOf[c]
+	r.recordOp(jRemoveCustomer, int32(c), -1, -1) // copies Adj(c); must precede the removal
 	if err := r.ov.RemoveCustomer(c); err != nil {
 		return err
 	}
-	r.serverOf[c] = -1
-	r.load[from]--
+	r.setServer(int32(c), -1)
 	r.dirtyServer(int(from))
-	r.repair()
+	if err := r.repair(); err != nil {
+		return r.rollback(err)
+	}
 	return r.finish()
 }
 
@@ -399,11 +438,15 @@ func (r *Resolver) AddServer() (int, error) {
 // AddEdge connects customer c to server s (appended as c's last port)
 // and repairs — the new option can make c's current server look 2 worse.
 func (r *Resolver) AddEdge(c, s int) error {
+	r.begin()
 	if err := r.ov.AddEdge(c, s); err != nil {
 		return err
 	}
+	r.recordOp(jAddEdge, int32(c), int32(s), -1)
 	r.push(int32(c))
-	r.repair()
+	if err := r.repair(); err != nil {
+		return r.rollback(err)
+	}
 	return r.finish()
 }
 
@@ -416,21 +459,32 @@ func (r *Resolver) RemoveEdge(c, s int) error {
 	if r.ov.CustomerLive(c) && len(r.ov.Adj(c)) == 1 {
 		return fmt.Errorf("assign: resolver cannot remove customer %d's last edge", c)
 	}
+	r.begin()
 	from := int32(-1)
+	port := int32(-1)
 	if r.ov.CustomerLive(c) {
 		from = r.serverOf[c]
+		if r.jr.armed {
+			for i, t := range r.ov.Adj(c) {
+				if int(t) == s {
+					port = int32(i)
+					break
+				}
+			}
+		}
 	}
 	if err := r.ov.RemoveEdge(c, s); err != nil {
 		return err
 	}
+	r.recordOp(jRemoveEdge, int32(c), int32(s), port)
 	if int(from) == s {
-		r.load[from]--
 		best, _ := r.pickServer(int32(c))
-		r.serverOf[c] = best
-		r.load[best]++
+		r.setServer(int32(c), best)
 		r.dirtyServer(s)
 		r.dirtyServer(int(best))
-		r.repair()
+		if err := r.repair(); err != nil {
+			return r.rollback(err)
+		}
 	}
 	return r.finish()
 }
@@ -450,26 +504,38 @@ func (r *Resolver) DrainServer(s int) error {
 			return fmt.Errorf("assign: resolver cannot drain server %d: customer %d has no other port", s, c)
 		}
 	}
+	r.begin()
 	r.scratch = append(r.scratch[:0], inc...) // inc aliases the arena
 	for _, c := range r.scratch {
-		if err := r.ov.RemoveEdge(int(c), s); err != nil {
-			return err
+		port := int32(-1)
+		if r.jr.armed {
+			for i, t := range r.ov.Adj(int(c)) {
+				if int(t) == s {
+					port = int32(i)
+					break
+				}
+			}
 		}
+		if err := r.ov.RemoveEdge(int(c), s); err != nil {
+			return r.abort(err)
+		}
+		r.recordOp(jRemoveEdge, c, int32(s), port)
 	}
 	if err := r.ov.RemoveServer(s); err != nil {
-		return err
+		return r.abort(err)
 	}
+	r.recordOp(jRemoveServer, int32(s), -1, -1)
 	for _, c := range r.scratch {
 		if r.serverOf[c] != int32(s) {
 			continue
 		}
-		r.load[s]--
 		best, _ := r.pickServer(c)
-		r.serverOf[c] = best
-		r.load[best]++
+		r.setServer(c, best)
 		r.dirtyServer(int(best))
 	}
-	r.repair()
+	if err := r.repair(); err != nil {
+		return r.rollback(err)
+	}
 	return r.finish()
 }
 

@@ -1,0 +1,206 @@
+package assign
+
+// The resolver's undo journal: the assign-layer side of the failure
+// model (ARCHITECTURE.md §"Failure model and recovery"). When a
+// fault.Registry is wired into ResolverOptions, every delta operation
+// records, before each mutation, what it is about to change — overlay
+// primitives, assignment/load writes, tie-break RNG draws — and a
+// repair failpoint firing mid-cascade rolls the whole delta back to the
+// prior consistent assignment by replaying the journal in reverse with
+// compensating operations. The overlay's LIFO id recycling is what
+// makes the compensations exact: re-adding the customer (or server) a
+// delta removed is guaranteed to get the same id back.
+//
+// Rollback restores the protocol surface bit-exactly: assignments,
+// loads, RNG streams, customer port order, and the live edge set all
+// return to their pre-delta state (asserted by the equivalence suites).
+// Two things may differ benignly: server incidence lists are
+// maintenance-ordered (documented non-surface — re-insertion appends),
+// and arena/id-space growth triggered by the aborted delta persists
+// (invisible to the live walk).
+//
+// A resolver with no registry records nothing and checks one nil site
+// per repair move; the journal's buffers are grow-only, so armed warmed
+// deltas stay allocation-free too.
+
+import "fmt"
+
+// FaultSiteRepair is the resolver's failpoint, visited once per repair
+// move (after the move is chosen, before it is applied). An error or
+// crash firing aborts the delta and rolls it back; a stall firing just
+// delays the cascade. Arm it through ResolverOptions.Fault.
+const FaultSiteRepair = "resolver/repair"
+
+// Journal entry kinds for overlay mutations (jOvOp.kind).
+const (
+	jAddCustomer uint8 = iota
+	jRemoveCustomer
+	jAddEdge
+	jRemoveEdge
+	jRemoveServer
+)
+
+// jMove records an assignment write: customer c was moved away from
+// server from (-1 = was unassigned). Undo moves c back and re-adjusts
+// both loads.
+type jMove struct {
+	c, from int32
+}
+
+// jRng records a tie-break stream write: customer c's stream held state
+// before the draw.
+type jRng struct {
+	c     int32
+	state uint64
+}
+
+// jOvOp records one overlay mutation. c and s are the customer/server
+// ids involved; port is the removed port position (jRemoveEdge); lo/hi
+// index the journal's shared adjacency buffer (jRemoveCustomer).
+type jOvOp struct {
+	kind   uint8
+	c, s   int32
+	port   int32
+	lo, hi int32
+}
+
+// journal is the per-delta undo log. armed is set once at construction
+// (registry wired in) and never changes; begin resets the log at every
+// delta boundary.
+type journal struct {
+	armed bool
+	moves []jMove
+	rngs  []jRng
+	ops   []jOvOp
+	adj   []int32 // shared backing for jRemoveCustomer adjacency copies
+	seq   uint64  // r.seq at delta start
+	mvs   int     // r.stats.Moves at delta start
+}
+
+// begin opens a delta's journal scope.
+func (r *Resolver) begin() {
+	if !r.jr.armed {
+		return
+	}
+	r.jr.moves = r.jr.moves[:0]
+	r.jr.rngs = r.jr.rngs[:0]
+	r.jr.ops = r.jr.ops[:0]
+	r.jr.adj = r.jr.adj[:0]
+	r.jr.seq = r.seq
+	r.jr.mvs = r.stats.Moves
+}
+
+// recordOp journals an overlay mutation about to happen.
+func (r *Resolver) recordOp(kind uint8, c, s, port int32) {
+	if !r.jr.armed {
+		return
+	}
+	op := jOvOp{kind: kind, c: c, s: s, port: port, lo: -1, hi: -1}
+	if kind == jRemoveCustomer {
+		op.lo = int32(len(r.jr.adj))
+		r.jr.adj = append(r.jr.adj, r.ov.Adj(int(c))...)
+		op.hi = int32(len(r.jr.adj))
+	}
+	r.jr.ops = append(r.jr.ops, op)
+}
+
+// recordRng journals customer c's tie-break stream before a write.
+func (r *Resolver) recordRng(c int32) {
+	if r.jr.armed {
+		r.jr.rngs = append(r.jr.rngs, jRng{c: c, state: r.custRng[c]})
+	}
+}
+
+// setServer is the single write path for assignments: it journals the
+// old binding, moves customer c to server s (-1 = unassign), and
+// adjusts both load counters.
+func (r *Resolver) setServer(c, s int32) {
+	if r.jr.armed {
+		r.jr.moves = append(r.jr.moves, jMove{c: c, from: r.serverOf[c]})
+	}
+	if old := r.serverOf[c]; old >= 0 {
+		r.load[old]--
+	}
+	r.serverOf[c] = s
+	if s >= 0 {
+		r.load[s]++
+	}
+}
+
+// rollback restores the pre-delta state after cause aborted a delta
+// mid-flight, and returns the error the operation surfaces. The journal
+// is replayed newest-first within each record class: assignment moves,
+// then RNG streams, then overlay compensations (the classes touch
+// disjoint state, so class order is free; order within a class is not).
+// Rollback failure means the journal and the overlay disagree — that is
+// corruption, and it panics rather than serving a broken assignment.
+func (r *Resolver) rollback(cause error) error {
+	for _, c := range r.pending {
+		r.inPending[c] = false
+	}
+	r.pending = r.pending[:0]
+	for i := len(r.jr.moves) - 1; i >= 0; i-- {
+		m := r.jr.moves[i]
+		if cur := r.serverOf[m.c]; cur >= 0 {
+			r.load[cur]--
+		}
+		if m.from >= 0 {
+			r.load[m.from]++
+		}
+		r.serverOf[m.c] = m.from
+	}
+	for i := len(r.jr.rngs) - 1; i >= 0; i-- {
+		e := r.jr.rngs[i]
+		r.custRng[e.c] = e.state
+	}
+	r.seq = r.jr.seq
+	for i := len(r.jr.ops) - 1; i >= 0; i-- {
+		op := r.jr.ops[i]
+		switch op.kind {
+		case jAddCustomer:
+			if err := r.ov.RemoveCustomer(int(op.c)); err != nil {
+				panic(fmt.Sprintf("assign: rollback cannot remove customer %d: %v", op.c, err))
+			}
+		case jRemoveCustomer:
+			id, err := r.ov.AddCustomer(r.jr.adj[op.lo:op.hi])
+			if err != nil {
+				panic(fmt.Sprintf("assign: rollback cannot re-add customer %d: %v", op.c, err))
+			}
+			if id != int(op.c) {
+				panic(fmt.Sprintf("assign: rollback re-added customer as %d, want recycled id %d", id, op.c))
+			}
+		case jAddEdge:
+			if err := r.ov.RemoveEdge(int(op.c), int(op.s)); err != nil {
+				panic(fmt.Sprintf("assign: rollback cannot remove edge {%d,%d}: %v", op.c, op.s, err))
+			}
+		case jRemoveEdge:
+			if err := r.ov.AddEdgeAt(int(op.c), int(op.s), int(op.port)); err != nil {
+				panic(fmt.Sprintf("assign: rollback cannot restore edge {%d,%d}@%d: %v", op.c, op.s, op.port, err))
+			}
+		case jRemoveServer:
+			if id := r.ov.AddServer(); id != int(op.c) {
+				panic(fmt.Sprintf("assign: rollback re-added server as %d, want recycled id %d", id, op.c))
+			}
+		}
+	}
+	r.stats.Moves = r.jr.mvs
+	r.stats.Rollbacks++
+	err := fmt.Errorf("assign: delta rolled back: %w", cause)
+	if r.selfCheck {
+		if verr := r.Verify(); verr != nil {
+			panic(fmt.Sprintf("assign: resolver corrupt after rollback: %v (cause: %v)", verr, cause))
+		}
+	}
+	return err
+}
+
+// abort unwinds a failed delta: rollback when the journal is armed,
+// plain error propagation otherwise (matching the unjournaled
+// behavior). For overlay errors that pre-validation should have made
+// impossible.
+func (r *Resolver) abort(err error) error {
+	if r.jr.armed {
+		return r.rollback(err)
+	}
+	return err
+}

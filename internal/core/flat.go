@@ -1,9 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
+	"tokendrop/internal/fault"
 	"tokendrop/internal/graph"
 	"tokendrop/internal/local"
 )
@@ -223,6 +225,28 @@ type ShardedSolveOptions struct {
 	// continuation past the cursor is then bit-identical to the
 	// uninterrupted run.
 	ResumeFrom *Snapshot
+
+	// Fault, if non-nil, arms the failpoints of this solve: the engine's
+	// round-barrier site (local.FaultSiteRound) is resolved from it and
+	// threaded into the run. A nil registry — the production default —
+	// costs one nil check per round and nothing else.
+	Fault *fault.Registry
+	// AutoResume, when positive, is the crash-recovery retry budget:
+	// if the run dies on an injected fault or a worker crash
+	// (local.WorkerCrashError — injected or organic) and snapshots are
+	// being captured (SnapshotEvery/SnapshotAt with OnSnapshot, or
+	// AutoResume alone, which retains captures internally), the solver
+	// re-runs from the last quiescent snapshot up to AutoResume times.
+	// Core resume is validated fast-forward, so the recovered result
+	// bit-matches the uninterrupted run. Zero disables recovery and
+	// surfaces the first failure.
+	AutoResume int
+}
+
+// engineFaultSite resolves the engine's round-barrier failpoint from
+// the options' registry (nil when no registry is armed).
+func (opt *ShardedSolveOptions) engineFaultSite() *fault.Site {
+	return opt.Fault.Site(local.FaultSiteRound)
 }
 
 // SolverWorkspace holds the reusable program state of the sharded
@@ -255,6 +279,47 @@ func runInitKernel(sess *local.Session, n int, k local.Kernel) {
 	sess.ParallelFor(n, k)
 }
 
+// snapHooks is the snapshot capture / resume-validation state of one
+// runFlat call. It exists as a struct (rather than locals captured by
+// closures) so the disabled path allocates nothing: closure-captured
+// locals that escape are heap-boxed at function entry whether or not
+// the closure is ever built, while this struct is allocated only inside
+// the snapshotsEnabled branch.
+type snapHooks struct {
+	opt     ShardedSolveOptions
+	gs      gameState
+	n       int
+	snapErr error
+	checked bool // resume cursor reached and verified
+}
+
+// onRound is the engine round-barrier hook (quiescent; see
+// local.ShardedOptions.OnRound).
+func (h *snapHooks) onRound(round, awake int) {
+	if h.snapErr != nil {
+		return
+	}
+	if rs := h.opt.ResumeFrom; rs != nil && round == rs.Round {
+		h.checked = true
+		h.snapErr = verifyCursor(h.gs, rs)
+	}
+	if h.snapErr == nil && h.opt.OnSnapshot != nil &&
+		((h.opt.SnapshotEvery > 0 && round%h.opt.SnapshotEvery == 0) || round == h.opt.SnapshotAt) {
+		snap := h.opt.SnapshotInto
+		if snap == nil {
+			snap = new(Snapshot)
+		}
+		captureInto(snap, h.gs, h.n, round)
+		h.snapErr = h.opt.OnSnapshot(snap)
+	}
+}
+
+// stop aborts the run early on a hook error, composing with the user's
+// own Stop.
+func (h *snapHooks) stop(round int) bool {
+	return h.snapErr != nil || (h.opt.Stop != nil && h.opt.Stop(round))
+}
+
 // runFlat executes prog on the options' session when one is set, else on
 // a one-shot engine, wiring the snapshot capture and resume-validation
 // hooks into the engine's round barrier when the options ask for them.
@@ -263,17 +328,16 @@ func runFlat(csr *graph.CSR, prog local.FlatProgram, opt ShardedSolveOptions) (l
 		MaxRounds: opt.MaxRounds,
 		Shards:    opt.Shards,
 		Stop:      opt.Stop,
+		Fault:     opt.engineFaultSite(),
 	}
-	var snapErr error
-	resumeChecked := false
+	var hooks *snapHooks
 	if opt.snapshotsEnabled() {
 		gs, ok := prog.(gameState)
 		if !ok {
 			return local.ShardedStats{}, fmt.Errorf("core: program %T does not support snapshots", prog)
 		}
 		n := csr.N()
-		rs := opt.ResumeFrom
-		if rs != nil {
+		if rs := opt.ResumeFrom; rs != nil {
 			if len(rs.Occupied) != n {
 				return local.ShardedStats{}, fmt.Errorf("core: resume snapshot covers %d vertices, game has %d",
 					len(rs.Occupied), n)
@@ -282,39 +346,79 @@ func runFlat(csr *graph.CSR, prog local.FlatProgram, opt ShardedSolveOptions) (l
 				return local.ShardedStats{}, fmt.Errorf("core: resume snapshot cursor at round %d (want ≥ 1)", rs.Round)
 			}
 		}
-		sopt.OnRound = func(round, awake int) {
-			if snapErr != nil {
-				return
-			}
-			if rs != nil && round == rs.Round {
-				resumeChecked = true
-				snapErr = verifyCursor(gs, rs)
-			}
-			if snapErr == nil && opt.OnSnapshot != nil &&
-				((opt.SnapshotEvery > 0 && round%opt.SnapshotEvery == 0) || round == opt.SnapshotAt) {
-				snap := opt.SnapshotInto
-				if snap == nil {
-					snap = new(Snapshot)
-				}
-				captureInto(snap, gs, n, round)
-				snapErr = opt.OnSnapshot(snap)
-			}
-		}
-		stop := opt.Stop
-		sopt.Stop = func(round int) bool {
-			return snapErr != nil || (stop != nil && stop(round))
-		}
+		hooks = &snapHooks{opt: opt, gs: gs, n: n}
+		sopt.OnRound = hooks.onRound
+		sopt.Stop = hooks.stop
 	}
 	stats, err := runEngine(csr, prog, opt, sopt)
-	if err == nil {
-		if snapErr != nil {
-			err = snapErr
-		} else if opt.ResumeFrom != nil && !resumeChecked {
+	if err == nil && hooks != nil {
+		if hooks.snapErr != nil {
+			err = hooks.snapErr
+		} else if opt.ResumeFrom != nil && !hooks.checked {
 			err = fmt.Errorf("core: resume cursor at round %d was never reached (run ended after %d rounds)",
 				opt.ResumeFrom.Round, stats.Rounds)
 		}
 	}
 	return stats, err
+}
+
+// recoverableSolveError reports whether a runFlat failure is one the
+// AutoResume loop may retry: an injected fault (KindError abort at the
+// quiescent barrier) or a worker crash (injected or organic panic,
+// recovered by the session's self-healing pool). Hook errors, resume
+// validation failures, and MaxRounds exhaustion are never retried.
+func recoverableSolveError(err error) bool {
+	var wce *local.WorkerCrashError
+	return errors.As(err, &wce) || errors.Is(err, fault.ErrInjected)
+}
+
+// runFlatRecovering is runFlat wrapped in the AutoResume crash-recovery
+// loop: every snapshot capture is teed into a privately retained copy,
+// and when a run dies on a recoverable failure the program is reset and
+// re-run with ResumeFrom set to the last retained capture (validated
+// fast-forward — the recovered run re-executes rounds 1..cursor,
+// verifies the bit-match, and continues identically to an uninterrupted
+// solve). With no capture retained yet — or no snapshot cadence
+// configured at all — the retry simply re-runs from round 1, which is
+// equivalent by determinism. reset must rebuild the program to its
+// initial state; it is also invoked before every retry.
+func runFlatRecovering(csr *graph.CSR, prog local.FlatProgram, opt ShardedSolveOptions, reset func()) (local.ShardedStats, error) {
+	var retained Snapshot
+	have := false
+	user := opt.OnSnapshot
+	if opt.SnapshotEvery > 0 || opt.SnapshotAt > 0 {
+		// The tee satisfies snapshotsEnabled even with a nil user hook,
+		// so arming AutoResume plus a cadence is enough to get capture.
+		opt.OnSnapshot = func(s *Snapshot) error {
+			if user != nil {
+				if err := user(s); err != nil {
+					return err
+				}
+			}
+			retained.Round = s.Round
+			retained.Moves = s.Moves
+			retained.Occupied = append(retained.Occupied[:0], s.Occupied...)
+			have = true
+			return nil
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		stats, err := runFlat(csr, prog, opt)
+		if err == nil || attempt >= opt.AutoResume || !recoverableSolveError(err) {
+			return stats, err
+		}
+		opt.ResumeFrom = nil
+		if have {
+			// Deep-copy: the retry's own captures overwrite retained in
+			// place while the fast-forward still reads the cursor.
+			opt.ResumeFrom = &Snapshot{
+				Round:    retained.Round,
+				Moves:    retained.Moves,
+				Occupied: append([]bool(nil), retained.Occupied...),
+			}
+		}
+		reset()
+	}
 }
 
 // runEngine dispatches to the options' session or a one-shot engine.

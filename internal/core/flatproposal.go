@@ -478,7 +478,15 @@ func SolveProposalSharded(fi *FlatInstance, opt ShardedSolveOptions) (*FlatResul
 		pr = &opt.Workspace.prop
 	}
 	pr.reset(fi, opt.Tie, opt.Seed, opt.Session)
-	stats, err := runFlat(fi.csr, pr, opt)
+	var stats local.ShardedStats
+	var err error
+	if opt.AutoResume > 0 {
+		stats, err = runFlatRecovering(fi.csr, pr, opt, func() {
+			pr.reset(fi, opt.Tie, opt.Seed, opt.Session)
+		})
+	} else {
+		stats, err = runFlat(fi.csr, pr, opt)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -452,7 +452,15 @@ func SolveThreeLevelSharded(fi *FlatInstance, opt ShardedSolveOptions) (*FlatRes
 		pr = &opt.Workspace.three
 	}
 	pr.reset(fi, opt.Tie, opt.Seed, opt.Session)
-	stats, err := runFlat(fi.csr, pr, opt)
+	var stats local.ShardedStats
+	var err error
+	if opt.AutoResume > 0 {
+		stats, err = runFlatRecovering(fi.csr, pr, opt, func() {
+			pr.reset(fi, opt.Tie, opt.Seed, opt.Session)
+		})
+	} else {
+		stats, err = runFlat(fi.csr, pr, opt)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -48,8 +48,10 @@ const (
 	// LayerOverlay marks a snapshot of a live mutable overlay and its
 	// incremental assignment (assign.Resolver). Unlike the phase-loop
 	// layers it is self-contained: the graph travels inside the snapshot
-	// (live ids, port-ordered adjacency), so GraphHash is empty and a
-	// restore needs no external input to bind to.
+	// (live ids, port-ordered adjacency), so a restore needs no external
+	// input to bind to. GraphHash covers the serialized graph itself
+	// (GraphHashOverlay) and catches torn or hand-edited state a decode
+	// would otherwise accept.
 	LayerOverlay = "overlay"
 )
 
@@ -206,6 +208,19 @@ func GraphHashFlatInstance(fi *core.FlatInstance) string {
 		}
 	}
 	hashInts(h, 'T', lt)
+	return fmt.Sprintf("fnv1a:%016x", h.Sum64())
+}
+
+// GraphHashOverlay returns a content hash of an overlay-layer
+// snapshot's serialized graph — live ids, port-ordered adjacency, live
+// servers. Assignments are excluded on purpose: the hash names the
+// network, and any stable assignment on it is a valid continuation.
+func GraphHashOverlay(sj *SnapshotJSON) string {
+	h := fnv.New64a()
+	hashInts(h, 'c', sj.CustIDs)
+	hashInts(h, 'p', sj.AdjPtr)
+	hashInts(h, 'a', sj.AdjServer)
+	hashInts(h, 's', sj.ServIDs)
 	return fmt.Sprintf("fnv1a:%016x", h.Sum64())
 }
 
@@ -439,6 +454,7 @@ func FromResolver(r *assign.Resolver, meta RunMetaJSON) *SnapshotJSON {
 			sj.ServIDs = append(sj.ServIDs, int32(s))
 		}
 	}
+	sj.GraphHash = GraphHashOverlay(sj)
 	return sj
 }
 
@@ -451,6 +467,15 @@ func FromResolver(r *assign.Resolver, meta RunMetaJSON) *SnapshotJSON {
 func (sj *SnapshotJSON) ToResolver(opt assign.ResolverOptions) (*assign.Resolver, error) {
 	if sj.Layer != LayerOverlay {
 		return nil, fmt.Errorf("encode: snapshot of layer %q applied to an overlay restore", sj.Layer)
+	}
+	// The self-hash is checked when present; snapshots predating it
+	// (empty graph_hash) still restore, they just skip the integrity
+	// check.
+	if sj.GraphHash != "" {
+		if got := GraphHashOverlay(sj); got != sj.GraphHash {
+			return nil, fmt.Errorf("encode: overlay snapshot graph hashes to %s, header claims %s (torn or edited state)",
+				got, sj.GraphHash)
+		}
 	}
 	if len(sj.ServerOf) != len(sj.CustIDs) {
 		return nil, fmt.Errorf("encode: overlay snapshot has %d assignments for %d customers",

@@ -451,3 +451,59 @@ func TestDiffSnapshots(t *testing.T) {
 		})
 	}
 }
+
+// TestOverlayHashRejectsTamper pins the overlay self-hash: a snapshot
+// whose serialized graph no longer matches its header hash is refused
+// (the restore-on-boot defense against torn or hand-edited state), while
+// a hashless snapshot from before the field was populated still
+// restores.
+func TestOverlayHashRejectsTamper(t *testing.T) {
+	r, meta := resolverFixture(t)
+	sj := FromResolver(r, meta)
+	if sj.GraphHash == "" {
+		t.Fatal("FromResolver left the self-hash empty")
+	}
+	opt := assign.ResolverOptions{Tie: core.TieFirstPort, Seed: 1}
+
+	tamper := func(name string, mutate func(*SnapshotJSON)) {
+		t.Run(name, func(t *testing.T) {
+			bad := *sj
+			mutate(&bad)
+			if back, err := bad.ToResolver(opt); err == nil {
+				back.Close()
+				t.Fatal("tampered snapshot restored")
+			}
+		})
+	}
+	tamper("rewired edge", func(bad *SnapshotJSON) {
+		bad.AdjServer = append([]int32(nil), sj.AdjServer...)
+		bad.AdjServer[0] = sj.ServIDs[len(sj.ServIDs)-1]
+	})
+	tamper("dropped customer", func(bad *SnapshotJSON) {
+		bad.CustIDs = sj.CustIDs[:len(sj.CustIDs)-1]
+	})
+	tamper("dropped server", func(bad *SnapshotJSON) {
+		bad.ServIDs = sj.ServIDs[:len(sj.ServIDs)-1]
+	})
+	tamper("swapped ports", func(bad *SnapshotJSON) {
+		bad.AdjServer = append([]int32(nil), sj.AdjServer...)
+		lo, hi := sj.AdjPtr[0], sj.AdjPtr[1]
+		if hi-lo < 2 {
+			t.Fatal("fixture customer 0 needs two ports")
+		}
+		bad.AdjServer[lo], bad.AdjServer[lo+1] = bad.AdjServer[lo+1], bad.AdjServer[lo]
+	})
+
+	t.Run("legacy hashless snapshot restores", func(t *testing.T) {
+		old := *sj
+		old.GraphHash = ""
+		back, err := old.ToResolver(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer back.Close()
+		if err := back.Verify(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

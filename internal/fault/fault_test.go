@@ -1,0 +1,297 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestTriggerAt pins exact-visit firing: the site fires on visit N and
+// only visit N.
+func TestTriggerAt(t *testing.T) {
+	reg := NewRegistry(1)
+	site := reg.Arm("s", Schedule{Kind: KindError, TriggerAt: 3})
+	for i := 1; i <= 10; i++ {
+		f, ok := site.Hit()
+		if want := i == 3; ok != want {
+			t.Fatalf("visit %d: fired=%v, want %v", i, ok, want)
+		}
+		if ok && (f.Visit != 3 || f.Site != "s" || f.Kind != KindError) {
+			t.Fatalf("visit %d: fault = %+v", i, f)
+		}
+	}
+	if tr := reg.Trace(); len(tr) != 1 || tr[0] != (Event{Site: "s", Visit: 3, Kind: KindError}) {
+		t.Fatalf("trace = %+v", reg.Trace())
+	}
+}
+
+// TestEveryAndMax pins the periodic trigger and the fire cap: every=3
+// with max=2 fires on visits 3 and 6 only.
+func TestEveryAndMax(t *testing.T) {
+	reg := NewRegistry(1)
+	site := reg.Arm("s", Schedule{Kind: KindError, Every: 3, Max: 2})
+	var fired []int64
+	for i := 1; i <= 20; i++ {
+		if f, ok := site.Hit(); ok {
+			fired = append(fired, f.Visit)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 3 || fired[1] != 6 {
+		t.Fatalf("fired at visits %v, want [3 6]", fired)
+	}
+}
+
+// TestProbabilityDeterminism pins the tentpole determinism contract:
+// same seed + same schedule ⇒ identical injection trace; a different
+// seed produces a different trace.
+func TestProbabilityDeterminism(t *testing.T) {
+	run := func(seed int64) []Event {
+		reg := NewRegistry(seed)
+		a := reg.Arm("site/a", Schedule{Kind: KindError, P: 0.2})
+		b := reg.Arm("site/b", Schedule{Kind: KindCrash, P: 0.1})
+		for i := 0; i < 500; i++ {
+			a.Hit()
+			b.Hit()
+		}
+		return reg.Trace()
+	}
+	t1, t2 := run(42), run(42)
+	if len(t1) == 0 {
+		t.Fatal("p=0.2 over 500 visits never fired; probability path broken")
+	}
+	if len(t1) != len(t2) {
+		t.Fatalf("same seed, different trace lengths: %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("same seed, traces diverge at %d: %+v vs %+v", i, t1[i], t2[i])
+		}
+	}
+	t3 := run(43)
+	same := len(t1) == len(t3)
+	if same {
+		for i := range t1 {
+			if t1[i] != t3[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 500-visit traces")
+	}
+}
+
+// TestProbabilityRate sanity-checks the probability draw: p=0.5 over
+// many visits fires roughly half the time.
+func TestProbabilityRate(t *testing.T) {
+	reg := NewRegistry(7)
+	site := reg.Arm("s", Schedule{Kind: KindError, P: 0.5})
+	fires := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if _, ok := site.Hit(); ok {
+			fires++
+		}
+	}
+	if fires < 4500 || fires > 5500 {
+		t.Fatalf("p=0.5 fired %d/%d times", fires, n)
+	}
+}
+
+// TestNilSafety pins the disabled-build contract: nil registries and
+// nil sites accept every call and never fire.
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	site := reg.Site("anything")
+	if site != nil {
+		t.Fatal("nil registry returned non-nil site")
+	}
+	if _, ok := site.Hit(); ok {
+		t.Fatal("nil site fired")
+	}
+	if err := site.Err(); err != nil {
+		t.Fatalf("nil site Err = %v", err)
+	}
+	if got := site.Intn(10); got != 0 {
+		t.Fatalf("nil site Intn = %d", got)
+	}
+	if got := site.Name(); got != "" {
+		t.Fatalf("nil site Name = %q", got)
+	}
+	reg.Disarm("anything")
+	if reg.Sites() != nil || reg.Trace() != nil {
+		t.Fatal("nil registry listed sites or trace")
+	}
+}
+
+// TestDisarmedCostsNothing pins that visits to armed-then-disarmed and
+// never-armed sites neither count nor allocate.
+func TestDisarmedCostsNothing(t *testing.T) {
+	reg := NewRegistry(1)
+	site := reg.Site("s")
+	if avg := testing.AllocsPerRun(100, func() {
+		if _, ok := site.Hit(); ok {
+			t.Fatal("disarmed site fired")
+		}
+		if err := site.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("disarmed site allocates %v per visit, want 0", avg)
+	}
+	site.mu.Lock()
+	visits := site.visits
+	site.mu.Unlock()
+	if visits != 0 {
+		t.Fatalf("disarmed site counted %d visits, want 0", visits)
+	}
+}
+
+// TestArmDisarmLifecycle pins that disarming freezes the visit counter
+// and re-arming resumes it (so TriggerAt counts armed visits only).
+func TestArmDisarmLifecycle(t *testing.T) {
+	reg := NewRegistry(1)
+	site := reg.Arm("s", Schedule{Kind: KindError, TriggerAt: 2})
+	site.Hit() // visit 1
+	reg.Disarm("s")
+	for i := 0; i < 5; i++ {
+		if _, ok := site.Hit(); ok {
+			t.Fatal("disarmed site fired")
+		}
+	}
+	reg.Arm("s", Schedule{Kind: KindError, TriggerAt: 2})
+	f, ok := site.Hit() // visit 2 — fires
+	if !ok || f.Visit != 2 {
+		t.Fatalf("re-armed site: fired=%v fault=%+v, want fire at visit 2", ok, f)
+	}
+}
+
+// TestErrKinds pins Site.Err semantics: error and crash kinds surface
+// as errors wrapping ErrInjected, stall sleeps and returns nil.
+func TestErrKinds(t *testing.T) {
+	reg := NewRegistry(1)
+	e := reg.Arm("e", Schedule{Kind: KindError, TriggerAt: 1})
+	if err := e.Err(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("KindError Err = %v, want ErrInjected chain", err)
+	}
+	c := reg.Arm("c", Schedule{Kind: KindCrash, TriggerAt: 1})
+	if err := c.Err(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("KindCrash Err = %v, want ErrInjected chain", err)
+	}
+	s := reg.Arm("st", Schedule{Kind: KindStall, TriggerAt: 1, Delay: 10 * time.Millisecond})
+	start := time.Now()
+	if err := s.Err(); err != nil {
+		t.Fatalf("KindStall Err = %v, want nil", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("KindStall slept %v, want >= 10ms", d)
+	}
+}
+
+// TestPanicUnwraps pins that a recovered injected crash still matches
+// ErrInjected through error wrapping.
+func TestPanicUnwraps(t *testing.T) {
+	p := &Panic{Fault: Fault{Site: "s", Visit: 3, Kind: KindCrash}}
+	var err error = p
+	if !errors.Is(err, ErrInjected) {
+		t.Fatal("Panic does not unwrap to ErrInjected")
+	}
+	if p.Error() == "" {
+		t.Fatal("Panic has empty error text")
+	}
+}
+
+// TestIntnRange pins deterministic victim selection: values stay in
+// range and the same seed reproduces the same sequence.
+func TestIntnRange(t *testing.T) {
+	draw := func(seed int64) []int {
+		site := NewRegistry(seed).Site("s")
+		out := make([]int, 50)
+		for i := range out {
+			out[i] = site.Intn(8)
+			if out[i] < 0 || out[i] >= 8 {
+				t.Fatalf("Intn(8) = %d out of range", out[i])
+			}
+		}
+		return out
+	}
+	a, b := draw(9), draw(9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, Intn sequences diverge at %d", i)
+		}
+	}
+	if site := NewRegistry(1).Site("s"); site.Intn(0) != 0 || site.Intn(-3) != 0 {
+		t.Fatal("Intn with n<=0 should return 0")
+	}
+}
+
+// TestSitesSorted pins the declared-site listing.
+func TestSitesSorted(t *testing.T) {
+	reg := NewRegistry(1)
+	reg.Site("z")
+	reg.Site("a")
+	reg.Arm("m", Schedule{Kind: KindError, TriggerAt: 1})
+	got := reg.Sites()
+	if len(got) != 3 || got[0] != "a" || got[1] != "m" || got[2] != "z" {
+		t.Fatalf("Sites() = %v", got)
+	}
+}
+
+// TestParseSpec pins the CLI spec grammar.
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		name string
+		want Schedule
+	}{
+		{"engine/round:crash:at=12", "engine/round", Schedule{Kind: KindCrash, TriggerAt: 12}},
+		{"resolver/repair:error:every=50,max=3", "resolver/repair", Schedule{Kind: KindError, Every: 50, Max: 3}},
+		{"serve/snapshot:error:p=0.1", "serve/snapshot", Schedule{Kind: KindError, P: 0.1}},
+		{"resolver/repair:stall:every=100,delay=50ms", "resolver/repair", Schedule{Kind: KindStall, Every: 100, Delay: 50 * time.Millisecond}},
+	}
+	for _, c := range cases {
+		name, sched, err := ParseSpec(c.spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", c.spec, err)
+		}
+		if name != c.name || sched != c.want {
+			t.Fatalf("ParseSpec(%q) = %q %+v, want %q %+v", c.spec, name, sched, c.name, c.want)
+		}
+	}
+}
+
+// TestParseSpecRejects pins the malformed-spec diagnostics.
+func TestParseSpecRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"noseparator",
+		":error:at=1",
+		"s:frob:at=1",
+		"s:error",
+		"s:error:",
+		"s:error:at",
+		"s:error:at=x",
+		"s:error:unknown=1",
+		"s:error:max=3",
+		"s:error:at=-1",
+		"s:error:p=1.5",
+		"s:stall:every=1,delay=-2s",
+	}
+	for _, spec := range bad {
+		if _, _, err := ParseSpec(spec); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted a malformed spec", spec)
+		}
+	}
+}
+
+// TestKindString pins the kind names ParseSpec accepts.
+func TestKindString(t *testing.T) {
+	if KindError.String() != "error" || KindCrash.String() != "crash" || KindStall.String() != "stall" {
+		t.Fatal("Kind.String drifted from ParseSpec names")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind has empty String")
+	}
+}

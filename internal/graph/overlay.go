@@ -494,6 +494,38 @@ func (o *BipartiteOverlay) AddEdge(c, s int) error {
 	return nil
 }
 
+// AddEdgeAt inserts server s as customer c's port at position at,
+// shifting later ports right by one — the exact inverse of RemoveEdge
+// for the customer's port order, which is the protocol surface. (The
+// server's incidence list is maintenance-ordered, so s's side is a
+// plain append.) This is the rollback primitive of the resolver's
+// delta journal; use AddEdge for ordinary growth.
+func (o *BipartiteOverlay) AddEdgeAt(c, s, at int) error {
+	if !o.CustomerLive(c) {
+		return fmt.Errorf("graph: overlay customer %d is not live", c)
+	}
+	if !o.ServerLive(s) {
+		return fmt.Errorf("graph: overlay server %d is not live", s)
+	}
+	adj := o.cust.seg(c)
+	if at < 0 || at > len(adj) {
+		return fmt.Errorf("graph: overlay customer %d has %d ports, cannot insert at %d", c, len(adj), at)
+	}
+	for _, t := range adj {
+		if int(t) == s {
+			return fmt.Errorf("graph: overlay edge {%d,%d} already present", c, s)
+		}
+	}
+	o.cust.push(c, int32(s))
+	seg := o.cust.seg(c) // push may have relocated the segment
+	copy(seg[at+1:], seg[at:len(seg)-1])
+	seg[at] = int32(s)
+	o.serv.push(s, int32(c))
+	o.edges++
+	o.maybeCompact()
+	return nil
+}
+
 // RemoveEdge deletes the edge between customer c and server s, shifting
 // c's later ports left by one.
 func (o *BipartiteOverlay) RemoveEdge(c, s int) error {

@@ -385,3 +385,102 @@ func TestResetShrink(t *testing.T) {
 		t.Fatalf("ResetShrink(0,0) kept buffers (cap %d, deg %d)", cap(b.us), cap(b.deg))
 	}
 }
+
+// TestAddEdgeAtInverse pins the rollback contract AddEdgeAt exists for:
+// RemoveEdge followed by AddEdgeAt at the removed port restores the
+// customer's port order bit-exactly, at every port position, under
+// enough churn to cross arena relocations.
+func TestAddEdgeAtInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	o := NewBipartiteOverlay(nil)
+	o.FragThreshold = 0.3
+	var servers []int
+	for s := 0; s < 8; s++ {
+		servers = append(servers, o.AddServer())
+	}
+	var customers []int
+	for c := 0; c < 16; c++ {
+		deg := 1 + rng.Intn(5)
+		perm := rng.Perm(len(servers))
+		adj := make([]int32, deg)
+		for i := range adj {
+			adj[i] = int32(servers[perm[i]])
+		}
+		id, err := o.AddCustomer(adj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		customers = append(customers, id)
+	}
+	for step := 0; step < 500; step++ {
+		c := customers[rng.Intn(len(customers))]
+		before := append([]int32(nil), o.Adj(c)...)
+		at := rng.Intn(len(before))
+		s := int(before[at])
+		if err := o.RemoveEdge(c, s); err != nil {
+			t.Fatalf("step %d: remove {%d,%d}: %v", step, c, s, err)
+		}
+		if err := o.AddEdgeAt(c, s, at); err != nil {
+			t.Fatalf("step %d: restore {%d,%d}@%d: %v", step, c, s, at, err)
+		}
+		after := o.Adj(c)
+		if len(after) != len(before) {
+			t.Fatalf("step %d: degree %d, want %d", step, len(after), len(before))
+		}
+		for p := range before {
+			if after[p] != before[p] {
+				t.Fatalf("step %d: port %d = %d, want %d (restored at %d)", step, p, after[p], before[p], at)
+			}
+		}
+		// Interleave unrelated churn so segments relocate between checks.
+		if step%7 == 0 {
+			victim := customers[rng.Intn(len(customers))]
+			adj := append([]int32(nil), o.Adj(victim)...)
+			if err := o.RemoveCustomer(victim); err != nil {
+				t.Fatal(err)
+			}
+			id, err := o.AddCustomer(adj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id != victim {
+				t.Fatalf("step %d: recycled id %d, want %d", step, id, victim)
+			}
+		}
+	}
+}
+
+// TestAddEdgeAtRejects pins AddEdgeAt's validation: dead endpoints,
+// out-of-range positions, and parallel edges all error without mutating.
+func TestAddEdgeAtRejects(t *testing.T) {
+	o := NewBipartiteOverlay(nil)
+	s0, s1 := o.AddServer(), o.AddServer()
+	c, err := o.AddCustomer([]int32{int32(s0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddEdgeAt(c+1, s1, 0); err == nil {
+		t.Fatal("accepted dead customer")
+	}
+	if err := o.AddEdgeAt(c, s1+1, 0); err == nil {
+		t.Fatal("accepted dead server")
+	}
+	if err := o.AddEdgeAt(c, s1, 2); err == nil {
+		t.Fatal("accepted out-of-range position")
+	}
+	if err := o.AddEdgeAt(c, s1, -1); err == nil {
+		t.Fatal("accepted negative position")
+	}
+	if err := o.AddEdgeAt(c, s0, 0); err == nil {
+		t.Fatal("accepted parallel edge")
+	}
+	if got := o.Adj(c); len(got) != 1 || int(got[0]) != s0 {
+		t.Fatalf("rejected inserts mutated adjacency: %v", got)
+	}
+	if err := o.AddEdgeAt(c, s1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Adj(c); len(got) != 2 || int(got[0]) != s1 || int(got[1]) != s0 {
+		t.Fatalf("front insert got %v, want [s1 s0]", got)
+	}
+}

@@ -3,7 +3,9 @@ package local
 import (
 	"fmt"
 	"runtime"
+	"time"
 
+	"tokendrop/internal/fault"
 	"tokendrop/internal/graph"
 	"tokendrop/internal/reuse"
 )
@@ -38,11 +40,18 @@ type scrubEntry struct {
 // roundWork is the per-dispatch message from the coordinator to a worker:
 // either one engine round (the round number and the two buffer roles) or,
 // when kernel is non-nil, one ParallelFor slice [lo, hi).
+//
+// injectShard, when non-zero, schedules an injected fault on worker
+// injectShard-1 this round: KindCrash panics it (recovered at the
+// goroutine boundary, see fault.go), KindStall sleeps it for
+// inject.Delay before the step.
 type roundWork struct {
-	round      int
-	recv, send []Word
-	kernel     Kernel
-	lo, hi     int
+	round       int
+	recv, send  []Word
+	kernel      Kernel
+	lo, hi      int
+	injectShard int
+	inject      fault.Fault
 }
 
 // Kernel is the caller-supplied body of a Session.ParallelFor: it
@@ -91,6 +100,13 @@ type Session struct {
 	// during the current ParallelFor dispatch; the coordinator re-panics
 	// with the first one (by shard order) after the barrier.
 	kernelPanics []any
+
+	// roundPanics[sh] records a panic recovered at worker sh's goroutine
+	// boundary during a round (injected crash or organic program bug);
+	// the crashed worker still reports done and respawns, and Run turns
+	// the record into a *WorkerCrashError after the barrier. Writes are
+	// ordered before the coordinator's reads by the done send.
+	roundPanics []any
 }
 
 // NewSession starts a session with the given worker (shard) count; zero
@@ -108,6 +124,7 @@ func NewSession(shards int) *Session {
 		awakeLists:   make([][]int32, shards),
 		scrubs:       make([][]scrubEntry, shards),
 		kernelPanics: make([]any, shards),
+		roundPanics:  make([]any, shards),
 	}
 	for sh := 0; sh < shards; sh++ {
 		s.start[sh] = make(chan roundWork)
@@ -135,11 +152,33 @@ func (s *Session) Close() {
 // vertices, steps the program over its awake list, and compacts the list,
 // once per received roundWork. All state it touches is either owned by
 // the shard or ordered by the start/done channel pair.
+//
+// The pool self-heals: a panic anywhere on the round path (injected
+// KindCrash or an organic program bug) is recovered here at the
+// goroutine boundary, recorded in roundPanics[sh], the barrier is
+// completed with an awake count of 0, and a fresh worker respawns on
+// the same channel before this goroutine exits — so the session
+// survives the crash and Run surfaces it as a *WorkerCrashError.
+// (Kernel panics never reach this recover; runKernel has its own.)
 func (s *Session) worker(sh int) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.roundPanics[sh] = r
+			go s.worker(sh)
+			s.done <- 0
+		}
+	}()
 	for w := range s.start[sh] {
 		if w.kernel != nil {
 			s.runKernel(sh, w)
 			continue
+		}
+		if w.injectShard == sh+1 {
+			if w.inject.Kind == fault.KindStall {
+				time.Sleep(w.inject.Delay)
+			} else {
+				panic(&fault.Panic{Fault: w.inject})
+			}
 		}
 		csr := s.csr
 		// Scrub outboxes of recently halted vertices: a vertex that
@@ -316,12 +355,41 @@ func (s *Session) Run(csr *graph.CSR, prog FlatProgram, opt ShardedOptions) (Sha
 			return stats, fmt.Errorf("local: %d vertices still awake after %d rounds", awake, maxRounds)
 		}
 		work := roundWork{round: round, recv: recv, send: send}
+		if f, ok := opt.Fault.Hit(); ok {
+			// Visit n is round n: the site is consulted exactly once per
+			// round, on this coordinating goroutine, so schedules are
+			// deterministic. An injected error aborts here, before any
+			// worker is started — the state is the quiescent state after
+			// round-1 complete rounds. Crash and stall faults are handed
+			// to one seeded-chosen worker via the dispatch.
+			if f.Kind == fault.KindError {
+				return stats, f.Err()
+			}
+			work.injectShard = opt.Fault.Intn(s.shards) + 1
+			work.inject = f
+		}
 		for sh := 0; sh < s.shards; sh++ {
 			s.start[sh] <- work
 		}
 		awake := 0
 		for sh := 0; sh < s.shards; sh++ {
 			awake += <-s.done
+		}
+		var crashed *WorkerCrashError
+		for sh := 0; sh < s.shards; sh++ {
+			if r := s.roundPanics[sh]; r != nil {
+				s.roundPanics[sh] = nil
+				if crashed == nil {
+					crashed = &WorkerCrashError{Shard: sh, Round: round, Value: r}
+				}
+			}
+		}
+		if crashed != nil {
+			// The crashed shard died mid-step, so the program state is
+			// not the quiescent round-barrier state: stats.Rounds stays
+			// at the last complete round and OnRound (the snapshot hook)
+			// does not fire for this round.
+			return stats, crashed
 		}
 		stats.Rounds = round
 		if opt.OnRound != nil {

@@ -3,6 +3,7 @@ package local
 import (
 	"runtime"
 
+	"tokendrop/internal/fault"
 	"tokendrop/internal/graph"
 )
 
@@ -97,6 +98,11 @@ type ShardedOptions struct {
 	// ends the run even though vertices are still awake (used by
 	// throughput benchmarks and simulation-side termination oracles).
 	Stop func(round int) bool
+	// Fault, if non-nil, is the engine's FaultSiteRound failpoint,
+	// visited once per round by the run coordinator (visit n = round n).
+	// See fault.go for what each fault kind does; nil costs one nil
+	// check per round and nothing else.
+	Fault *fault.Site
 }
 
 // ShardedStats summarizes a RunSharded execution.
