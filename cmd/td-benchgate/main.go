@@ -2,9 +2,13 @@
 // freshly measured engine benchmark report (the BENCH_sharded.json
 // format of `td-experiments -shardedjson`) against a committed baseline
 // of the same profile and exits non-zero when the fresh numbers regress
-// — a rounds/s drop beyond the tolerance on any entry, or an
-// allocs/round increase beyond the slack on a sharded (steady-state)
-// entry. Baseline entries the fresh report does not measure (for
+// — a rounds/s drop beyond the tolerance on any entry, an allocs/round
+// increase beyond the slack on a sharded (steady-state) entry, p99
+// latency growth past the tolerance on the serve entry, movement of the
+// arena's token-dropping Pareto points, or any growth of the
+// multi-process transport's deterministic per-round wire cost (the E29
+// entries, compared exactly). Baseline entries the fresh report does
+// not measure (for
 // example scaling-sweep points past the runner's core count) are
 // reported as warnings but do not fail the gate.
 //

@@ -1,13 +1,14 @@
 // Command td-experiments regenerates every experiment table of the
-// reproduction (index E1–E28 in internal/bench): one table per
+// reproduction (index E1–E29 in internal/bench): one table per
 // theorem/figure of "Efficient Load-Balancing through Distributed Token
 // Dropping" (SPAA 2021), plus the ablations, the engine-parity
 // certificates (E22–E24), the shard-scaling sweeps of the bare engine
 // (E25) and the whole phase loops (E26), and the baseline strategy
-// arena's Pareto report (E28).
+// arena's Pareto report (E28), and the multi-process transport wire-cost
+// report (E29).
 //
 // With -shardedjson FILE it additionally measures the machine-readable
-// engine benchmark report (rounds/s and allocs/round for E22–E28; see
+// engine benchmark report (rounds/s and allocs/round for E22–E29; see
 // bench.ShardedBench) and writes it to FILE — the BENCH_sharded.json
 // format the repository records committed snapshots of (full profile,
 // plus the quick-profile baseline the CI bench-regression gate diffs
@@ -33,7 +34,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "base seed for all workloads")
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E4a,E7); empty = all")
 	shards := cliutil.ShardsFlag()
-	shardedJSON := flag.String("shardedjson", "", "write the machine-readable engine benchmark report (E22–E28) to this file")
+	shardedJSON := flag.String("shardedjson", "", "write the machine-readable engine benchmark report (E22–E29) to this file")
 	benchRepeat := flag.Int("benchrepeat", 5, "measurements per -shardedjson report entry (best run recorded)")
 	version := cliutil.VersionFlag()
 	flag.Parse()

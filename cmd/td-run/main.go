@@ -18,10 +18,25 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"os/exec"
 
 	"tokendrop"
 	"tokendrop/internal/cliutil"
+	"tokendrop/internal/fault"
+	"tokendrop/internal/mp"
 )
+
+// failFlags collects repeated -fail specs.
+type failFlags []string
+
+// String renders the collected specs for flag's usage output.
+func (f *failFlags) String() string { return fmt.Sprint([]string(*f)) }
+
+// Set appends one spec per flag occurrence.
+func (f *failFlags) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
 
 func main() {
 	var (
@@ -31,8 +46,12 @@ func main() {
 		deg       = flag.Int("deg", 3, "downward degree per vertex (max degree for powerlaw)")
 		tokens    = flag.Float64("tokens", 0.6, "token density (layered)")
 		solver    = flag.String("solver", "proposal", "proposal | threelevel | sequential | parallel")
-		engine    = flag.String("engine", "local", "local (goroutine-per-node simulator) | sharded (flat CSR engine)")
+		engine    = flag.String("engine", "local", "local (goroutine-per-node simulator) | sharded (flat CSR engine) | mp (multi-process sharded engine)")
 		shards    = cliutil.ShardsFlag()
+		procs     = flag.Int("procs", 2, "with -engine mp: worker-process count")
+		sppFlag   = flag.Int("shards-per-proc", 1, "with -engine mp: engine shards per worker process")
+		autores   = flag.Int("autoresume", 0, "with -engine mp: worker-loss recovery budget (respawn + validated fast-forward)")
+		mpWorker  = flag.Bool("mp-worker", false, "internal: run as a multi-process worker over stdin/stdout (spawned by -engine mp)")
 		alpha     = flag.Float64("alpha", 2.0, "power-law degree exponent (powerlaw)")
 		seed      = flag.Int64("seed", 1, "workload and tie-break seed")
 		random    = flag.Bool("random-ties", false, "randomized tie-breaking")
@@ -46,8 +65,20 @@ func main() {
 		snapEvery = flag.Int("snapshot-every", 32, "with -record: snapshot every k completed rounds")
 		version   = cliutil.VersionFlag()
 	)
+	var fail failFlags
+	flag.Var(&fail, "fail", "arm a failpoint, SITE:KIND:key=val,... (repeatable); e.g. mp/worker:crash:at=8")
 	flag.Parse()
 	cliutil.HandleVersionFlag(version)
+
+	if *mpWorker {
+		// Spawned by an -engine mp coordinator: speak the transport
+		// protocol over stdin/stdout and exit. Errors went to the
+		// coordinator as a FrameError; stderr is for humans.
+		if err := mp.WorkerMain(os.Stdin, os.Stdout); err != nil {
+			log.Fatalf("mp worker: %v", err)
+		}
+		return
+	}
 
 	if *replay != "" {
 		tie := tokendrop.TieFirstPort
@@ -146,11 +177,14 @@ func main() {
 	fmt.Printf("instance: n=%d m=%d height=%d Δ=%d tokens=%d\n",
 		inst.N(), inst.Graph().M(), inst.Height(), inst.MaxDegree(), inst.NumTokens())
 
-	if *engine != "local" && *engine != "sharded" {
-		log.Fatalf("unknown engine %q (want local or sharded)", *engine)
+	if *engine != "local" && *engine != "sharded" && *engine != "mp" {
+		log.Fatalf("unknown engine %q (want local, sharded, or mp)", *engine)
 	}
-	if *engine == "sharded" && *solver != "proposal" && *solver != "threelevel" {
-		log.Fatalf("solver %q is centralized; -engine sharded applies only to proposal | threelevel", *solver)
+	if (*engine == "sharded" || *engine == "mp") && *solver != "proposal" && *solver != "threelevel" {
+		log.Fatalf("solver %q is centralized; -engine %s applies only to proposal | threelevel", *solver, *engine)
+	}
+	if *engine == "mp" && *record != "" {
+		log.Fatal("-record requires -engine sharded (the recorder captures in-process snapshots)")
 	}
 	tie := tokendrop.TieFirstPort
 	if *random {
@@ -161,7 +195,56 @@ func main() {
 	var sol *tokendrop.GameSolution
 	var stats tokendrop.GameStats
 	var err error
-	if *engine == "sharded" && (*solver == "proposal" || *solver == "threelevel") {
+	if *engine == "mp" {
+		// Multi-process sharded engine: this process coordinates; each
+		// worker is a re-execution of this binary in -mp-worker mode,
+		// speaking the framed transport protocol over its pipes. The
+		// result is bit-identical to -engine sharded (and, under
+		// first-port ties, to -engine local).
+		if flat == nil {
+			flat = tokendrop.NewFlatGame(inst)
+		}
+		var reg *fault.Registry
+		if len(fail) > 0 {
+			reg = fault.NewRegistry(*seed)
+			for _, spec := range fail {
+				site, sched, perr := fault.ParseSpec(spec)
+				if perr != nil {
+					log.Fatalf("-fail %q: %v", spec, perr)
+				}
+				reg.Arm(site, sched)
+			}
+		}
+		exe, eerr := os.Executable()
+		if eerr != nil {
+			log.Fatal(eerr)
+		}
+		mopt := mp.Options{
+			Procs:         *procs,
+			ShardsPerProc: *sppFlag,
+			Solver:        *solver,
+			Tie:           tie,
+			Seed:          *seed,
+			MaxRounds:     1 << 20,
+			AutoResume:    *autores,
+			Fault:         reg,
+			Command:       func(int) *exec.Cmd { return exec.Command(exe, "-mp-worker") },
+		}
+		if *autores > 0 {
+			mopt.SnapshotEvery = *snapEvery
+		}
+		res, mstats, merr := mp.Solve(flat, mopt)
+		if merr != nil {
+			log.Fatal(merr)
+		}
+		sol = res.Solution(inst)
+		stats = res.Stats
+		fmt.Printf("mp: procs=%d shards/proc=%d frames/round=%d bytes/round=%d restarts=%d\n",
+			*procs, *sppFlag,
+			mstats.WireFrames/int64(mstats.RoundsExecuted),
+			mstats.WireBytes/int64(mstats.RoundsExecuted),
+			mstats.Restarts)
+	} else if *engine == "sharded" && (*solver == "proposal" || *solver == "threelevel") {
 		if flat == nil {
 			flat = tokendrop.NewFlatGame(inst)
 		}

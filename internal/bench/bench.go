@@ -1,6 +1,6 @@
 // Package bench is the experiment harness: it regenerates, for every
 // theorem and figure of the paper, the table that certifies the claim on
-// this implementation (experiment index E1–E28; see All). The
+// this implementation (experiment index E1–E29; see All). The
 // cmd/td-experiments binary prints all tables; bench_test.go at the module
 // root exposes one testing.B benchmark per experiment.
 package bench

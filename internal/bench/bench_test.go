@@ -69,6 +69,14 @@ func TestShardedBenchQuick(t *testing.T) {
 	byExp := map[string][]ShardedBenchEntry{}
 	for _, e := range rep.Entries {
 		byExp[e.Experiment] = append(byExp[e.Experiment], e)
+		if e.Experiment == "E29" {
+			// The wire-cost entries are static, not timed: no rounds, but
+			// the deterministic wire fields must be populated.
+			if e.WireFramesPerRound <= 0 || e.WireBytesPerRound <= 0 {
+				t.Fatalf("E29 entry %+v has no wire cost", e)
+			}
+			continue
+		}
 		if e.Rounds <= 0 || e.Seconds < 0 {
 			t.Fatalf("entry %+v has no rounds", e)
 		}
@@ -96,6 +104,18 @@ func TestShardedBenchQuick(t *testing.T) {
 	}
 	if e := serve[0]; e.P50Micros <= 0 || e.P99Micros < e.P50Micros {
 		t.Fatalf("E27 latency percentiles malformed: %+v", e)
+	}
+	wire := byExp["E29"]
+	if len(wire) != 6 { // 3 layers × 2 process counts
+		t.Fatalf("E29: want 6 wire-cost entries, got %+v", wire)
+	}
+	for _, e := range wire {
+		if e.Engine != "mp" || e.Shards < 2 {
+			t.Fatalf("E29 entry %+v not keyed as engine mp with a process count", e)
+		}
+		if e.WireFramesPerRound != 2*e.Shards {
+			t.Fatalf("E29 entry %+v: star routing sends 2 frames per process per round", e)
+		}
 	}
 }
 
@@ -128,7 +148,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 		"E1", "E2", "E3", "E4a", "E4b", "E5", "E6", "E7", "E8a", "E8b", "E9",
 		"E10a", "E10b", "E11", "E12", "E13", "E14",
 		"E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22",
-		"E23", "E24", "E25",
+		"E23", "E24", "E25", "E26", "E28", "E29",
 	} {
 		if !seen[id] {
 			t.Fatalf("experiment %s missing", id)

@@ -223,7 +223,8 @@ func E14SequentialGreedy(p Profile) *Table {
 // layers, E25 sweeps the sharded engine's worker count, E26 sweeps it
 // across whole phase-loop solves (parallel central steps included), and
 // E28 races the assignment strategies across the arena's workload
-// families (internal/arena).
+// families (internal/arena), and E29 records the multi-process
+// transport's deterministic per-round wire cost (internal/mp).
 func All(p Profile) []*Table {
 	var out []*Table
 	out = append(out, E1StableOrientationExamples(p))
@@ -254,5 +255,6 @@ func All(p Profile) []*Table {
 	out = append(out, E25ShardScaling(p))
 	out = append(out, E26CentralStepScaling(p))
 	out = append(out, E28ArenaPareto(p))
+	out = append(out, E29WireCost(p))
 	return out
 }

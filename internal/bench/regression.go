@@ -14,7 +14,7 @@ import (
 // baselines live at the repository root: BENCH_sharded.json (full
 // profile, documentation) and BENCH_sharded_quick.json (quick profile,
 // the CI gate's baseline — regenerate it with
-// `td-experiments -quick -only E25,E26 -shards 2 -shardedjson BENCH_sharded_quick.json`,
+// `td-experiments -quick -only E25,E26,E29 -shards 2 -shardedjson BENCH_sharded_quick.json`,
 // the exact CI measurement command, whenever a PR intentionally shifts
 // performance).
 
@@ -110,6 +110,24 @@ func CompareShardedReports(base, fresh *ShardedBenchReport, opt RegressionOption
 			violations = append(violations, fmt.Sprintf(
 				"%s: p99 delta latency grew %.0f%% (baseline %.1fµs, fresh %.1fµs; tolerance %.0f%%)",
 				k, 100*(f.P99Micros/b.P99Micros-1), b.P99Micros, f.P99Micros, 100*latTol))
+		}
+		// The multi-process transport's wire cost (E29) is deterministic —
+		// a pure function of graph and shard map — so growth is gated
+		// exactly: more frames or more bytes per round means the transport
+		// or the partitioner now ships more, which is precisely the
+		// message-volume regression the entries exist to catch. A shrink
+		// is an improvement that still deserves a re-baseline, so it
+		// surfaces as a warning rather than a violation.
+		if b.WireBytesPerRound > 0 {
+			if f.WireBytesPerRound > b.WireBytesPerRound || f.WireFramesPerRound > b.WireFramesPerRound {
+				violations = append(violations, fmt.Sprintf(
+					"%s: wire cost grew from %d frames/%d bytes per round to %d frames/%d bytes — the transport ships more",
+					k, b.WireFramesPerRound, b.WireBytesPerRound, f.WireFramesPerRound, f.WireBytesPerRound))
+			} else if f.WireBytesPerRound < b.WireBytesPerRound || f.WireFramesPerRound < b.WireFramesPerRound {
+				warnings = append(warnings, fmt.Sprintf(
+					"%s: wire cost shrank from %d frames/%d bytes per round to %d frames/%d bytes (regenerate the baseline)",
+					k, b.WireFramesPerRound, b.WireBytesPerRound, f.WireFramesPerRound, f.WireBytesPerRound))
+			}
 		}
 		// The arena's token-dropping rows are gated on the deterministic
 		// Pareto axes: with the same seed and workload, max load and

@@ -131,6 +131,40 @@ func TestCompareShardedReportsArenaEntries(t *testing.T) {
 	}
 }
 
+// TestCompareShardedReportsWireEntries pins the E29 gate: the wire-cost
+// entries are deterministic, so any growth in frames or bytes per round
+// is a violation, and a shrink warns that the baseline is stale.
+func TestCompareShardedReportsWireEntries(t *testing.T) {
+	mk := func(layer string, procs, frames int, bytes int64) ShardedBenchEntry {
+		return ShardedBenchEntry{
+			Experiment: "E29", Layer: layer, Engine: "mp", Shards: procs,
+			WireFramesPerRound: frames, WireBytesPerRound: bytes,
+		}
+	}
+	base := gateReport(mk("game", 2, 4, 1012), mk("game", 4, 8, 2200))
+	fresh := gateReport(mk("game", 2, 4, 1012), mk("game", 4, 8, 2200))
+	if v, w := CompareShardedReports(base, fresh, RegressionOptions{}); len(v) != 0 || len(w) != 0 {
+		t.Fatalf("identical wire entries flagged: violations %v warnings %v", v, w)
+	}
+	fresh.Entries[0].WireBytesPerRound = 1040
+	v, _ := CompareShardedReports(base, fresh, RegressionOptions{})
+	if len(v) != 1 || !strings.Contains(v[0], "wire cost grew") {
+		t.Fatalf("byte growth not flagged: %v", v)
+	}
+	fresh.Entries[0].WireBytesPerRound = 1012
+	fresh.Entries[1].WireFramesPerRound = 10
+	v, _ = CompareShardedReports(base, fresh, RegressionOptions{})
+	if len(v) != 1 || !strings.Contains(v[0], "wire cost grew") {
+		t.Fatalf("frame growth not flagged: %v", v)
+	}
+	fresh.Entries[1].WireFramesPerRound = 8
+	fresh.Entries[1].WireBytesPerRound = 2000
+	v, w := CompareShardedReports(base, fresh, RegressionOptions{})
+	if len(v) != 0 || len(w) != 1 || !strings.Contains(w[0], "wire cost shrank") {
+		t.Fatalf("shrink should warn, not fail: violations %v warnings %v", v, w)
+	}
+}
+
 func TestCompareShardedReportsProfileAndKeys(t *testing.T) {
 	base := gateReport(gateEntry("E22", "game", "sharded", 2, 1000, 0))
 	fresh := gateReport(gateEntry("E22", "game", "sharded", 2, 1000, 0))
@@ -165,7 +199,7 @@ func TestShardedBenchJSONRoundTrip(t *testing.T) {
 	if len(rep.Entries) == 0 || !rep.Quick {
 		t.Fatalf("report did not round-trip: %+v", rep)
 	}
-	for _, want := range []string{"E22", "E23", "E24", "E25", "E26", "E27", "E28"} {
+	for _, want := range []string{"E22", "E23", "E24", "E25", "E26", "E27", "E28", "E29"} {
 		found := false
 		for _, e := range rep.Entries {
 			if e.Experiment == want {

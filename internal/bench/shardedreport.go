@@ -17,13 +17,15 @@ import (
 )
 
 // This file produces BENCH_sharded.json, the machine-readable companion
-// of the engine experiments E22–E28: rounds/s and allocs/round for the
+// of the engine experiments E22–E29: rounds/s and allocs/round for the
 // seed and sharded runtimes of every paper layer, the shard-scaling
 // sweeps of the bare engine (E25) and of the whole phase loops (E26),
 // the serve-mode steady-state churn of the incremental Resolver
-// (E27: deltas/s plus p50/p99 per-delta latency), and the strategy
+// (E27: deltas/s plus p50/p99 per-delta latency), the strategy
 // arena's Pareto entries (E28: max load, rounds, messages, wall-clock
-// per strategy×workload; see internal/arena). CI regenerates it on
+// per strategy×workload; see internal/arena), and the multi-process
+// transport's deterministic wire cost (E29; see wirecost.go). CI
+// regenerates it on
 // the quick profile each run, diffs it against the committed quick
 // baseline with the bench-regression gate (CompareShardedReports,
 // cmd/td-benchgate), and the repo records a full-profile snapshot, so
@@ -58,6 +60,13 @@ type ShardedBenchEntry struct {
 	MaxLoad    int   `json:"max_load,omitempty"`
 	MinMaxLoad int   `json:"min_max_load,omitempty"`
 	Messages   int64 `json:"messages,omitempty"`
+	// WireFramesPerRound and WireBytesPerRound are the multi-process
+	// transport's per-round wire cost, populated on the E29 entries
+	// only. They are a pure function of the graph and shard map
+	// (local.MPWireCost) — exactly reproducible, so the regression gate
+	// compares them for equality rather than within a tolerance.
+	WireFramesPerRound int   `json:"wire_frames_per_round,omitempty"`
+	WireBytesPerRound  int64 `json:"wire_bytes_per_round,omitempty"`
 }
 
 // ShardedBenchReport is the full report.
@@ -471,6 +480,15 @@ func ShardedBench(p Profile) (*ShardedBenchReport, error) {
 		return nil, fmt.Errorf("bench: %w", err)
 	}
 	rep.Entries = append(rep.Entries, arenaEntries...)
+
+	// E29 — the multi-process transport's deterministic wire cost per
+	// layer and process count (see wirecost.go). Not timed: the numbers
+	// are exact, and the gate compares them for equality.
+	wireEntries, err := E29BenchEntries(p)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	rep.Entries = append(rep.Entries, wireEntries...)
 	return rep, nil
 }
 

@@ -1,0 +1,155 @@
+package local
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"tokendrop/internal/graph"
+)
+
+// ProcTransport is the worker-process side of the multi-process engine:
+// the session owns one process's shard group of a global layout, and
+// every round barrier becomes one framed exchange with the coordinator
+// (internal/mp) over the process's pipe — a FrameMsgs carrying this
+// process's boundary-crossing buffer words upstream, answered by a
+// FrameDeliv carrying the words other processes wrote into this
+// process's inbox regions plus the global awake count. The slot routing
+// is precomputed once per run (ExchangePlan), so the per-round frames
+// are dense word blocks with no index traffic.
+//
+// The transport is strict about the conversation: a round echo that
+// does not match, a payload of the wrong size, or any unexpected frame
+// type aborts the run with a structured error rather than risking a
+// silently divergent solve.
+type ProcTransport struct {
+	conn          *FrameConn
+	proc          int
+	procs         int
+	shardsPerProc int
+	plan          *ExchangePlan
+	payload       []byte // reused frame-payload build buffer
+}
+
+// NewProcTransport wraps an established, handshaken coordinator
+// connection: this process is worker proc of procs, owning
+// shardsPerProc consecutive global shards. The exchange plan is built
+// in BeginRun, once the run's graph and shard map are known.
+func NewProcTransport(conn *FrameConn, proc, procs, shardsPerProc int) *ProcTransport {
+	return &ProcTransport{conn: conn, proc: proc, procs: procs, shardsPerProc: shardsPerProc}
+}
+
+// Layout owns global shards [proc·spp, (proc+1)·spp) of procs·spp.
+func (t *ProcTransport) Layout(sessionShards int) (total, lo, hi int) {
+	return t.procs * t.shardsPerProc, t.proc * t.shardsPerProc, (t.proc + 1) * t.shardsPerProc
+}
+
+// BeginRun folds the global shard bounds into per-process bounds and
+// precomputes the slot routing of every round.
+func (t *ProcTransport) BeginRun(csr *graph.CSR, bounds []int) error {
+	pb, err := ProcBoundsFromShards(bounds, t.procs, t.shardsPerProc)
+	if err != nil {
+		return err
+	}
+	t.plan = NewExchangePlan(csr, pb)
+	return nil
+}
+
+// Plan exposes the run's exchange plan (nil before BeginRun); the
+// worker main uses it for frame accounting assertions and tests.
+func (t *ProcTransport) Plan() *ExchangePlan { return t.plan }
+
+// Conn exposes the underlying connection (for byte accounting).
+func (t *ProcTransport) Conn() *FrameConn { return t.conn }
+
+// Exchange sends this round's boundary-crossing words upstream and
+// scatters the coordinator's routed answer into buf, returning the
+// global awake count. On return every slot this session reads next
+// round is correct, exactly as if all processes shared the buffer.
+func (t *ProcTransport) Exchange(round int, buf []Word, ownAwake int) (int, error) {
+	// Pack: u32 round, u32 own awake count, then the outgoing block for
+	// every other process in ascending process order.
+	p := append(t.payload[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(p[0:4], uint32(round))
+	binary.BigEndian.PutUint32(p[4:8], uint32(ownAwake))
+	for q := 0; q < t.procs; q++ {
+		if q == t.proc {
+			continue
+		}
+		for _, slot := range t.plan.Block(t.proc, q) {
+			p = append(p, byte(buf[slot]))
+		}
+	}
+	t.payload = p
+	if err := t.conn.Write(FrameMsgs, p); err != nil {
+		return 0, err
+	}
+	if err := t.conn.Flush(); err != nil {
+		return 0, err
+	}
+
+	ft, body, err := t.conn.Read()
+	if err != nil {
+		return 0, err
+	}
+	switch ft {
+	case FrameDeliv:
+	case FrameError:
+		return 0, fmt.Errorf("local: coordinator aborted at round %d: %s", round, DecodeErrorFrame(body))
+	default:
+		return 0, &WireError{Op: "round exchange",
+			Detail: fmt.Sprintf("expected a deliv frame at round %d, got %s", round, ft)}
+	}
+	if want := 8 + t.plan.DownWords(t.proc); len(body) != want {
+		return 0, &WireError{Op: "deliv payload",
+			Detail: fmt.Sprintf("%d bytes at round %d, want %d", len(body), round, want)}
+	}
+	if echo := int(binary.BigEndian.Uint32(body[0:4])); echo != round {
+		return 0, &WireError{Op: "deliv payload",
+			Detail: fmt.Sprintf("round echo %d, want %d — streams out of sync", echo, round)}
+	}
+	globalAwake := int(binary.BigEndian.Uint32(body[4:8]))
+	// Scatter: the words every other process wrote into this process's
+	// inbox regions, ascending source process order — the same order the
+	// coordinator packed them.
+	off := 8
+	for q := 0; q < t.procs; q++ {
+		if q == t.proc {
+			continue
+		}
+		for _, slot := range t.plan.Block(q, t.proc) {
+			buf[slot] = Word(body[off])
+			off++
+		}
+	}
+	return globalAwake, nil
+}
+
+var _ Transport = (*ProcTransport)(nil)
+
+// ErrorFrame is the JSON payload of a FrameError: a human-readable
+// reason the sending side gave up, so the peer can surface it instead
+// of a bare broken pipe.
+type ErrorFrame struct {
+	Msg string `json:"msg"`
+}
+
+// EncodeErrorFrame builds a FrameError payload.
+func EncodeErrorFrame(msg string) []byte {
+	b, err := json.Marshal(ErrorFrame{Msg: msg})
+	if err != nil {
+		// A string always marshals; this is unreachable.
+		return []byte(`{"msg":"unknown error"}`)
+	}
+	return b
+}
+
+// DecodeErrorFrame extracts the reason from a FrameError payload,
+// tolerating garbage (the peer was failing when it wrote it).
+func DecodeErrorFrame(b []byte) string {
+	var e ErrorFrame
+	if err := json.Unmarshal(b, &e); err != nil || e.Msg == "" {
+		return fmt.Sprintf("unparseable error frame (%d bytes)", len(b))
+	}
+	return e.Msg
+}

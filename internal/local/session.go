@@ -83,6 +83,14 @@ type Session struct {
 	done   chan int
 	closed bool
 
+	// transport reconciles the message buffer at every round barrier and
+	// decides which slice of the global shard layout this session owns;
+	// shardBase is the first owned global shard of the current Run. The
+	// default MemTransport owns everything and exchanges nothing — the
+	// historical single-process engine, bit- and allocation-identical.
+	transport Transport
+	shardBase int
+
 	// Per-run state, written by Run before the first round is issued and
 	// read by the workers afterwards (the channel send orders the
 	// accesses).
@@ -111,13 +119,25 @@ type Session struct {
 
 // NewSession starts a session with the given worker (shard) count; zero
 // or negative means runtime.GOMAXPROCS(0). The workers are parked until
-// the first Run and survive until Close.
+// the first Run and survive until Close. The session owns every shard
+// and runs entirely in-process (MemTransport); use NewSessionTransport
+// to own one slice of a multi-process layout.
 func NewSession(shards int) *Session {
+	return NewSessionTransport(shards, MemTransport{})
+}
+
+// NewSessionTransport starts a session whose round communication runs
+// through tr: the transport decides which slice of the global shard
+// layout the session steps and reconciles the message buffer at every
+// round barrier. shards is the session's local worker count — the size
+// of the owned slice; zero or negative means runtime.GOMAXPROCS(0).
+func NewSessionTransport(shards int, tr Transport) *Session {
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
 	s := &Session{
 		shards:       shards,
+		transport:    tr,
 		start:        make([]chan roundWork, shards),
 		done:         make(chan int, shards),
 		bounds:       make([]int, shards+1),
@@ -203,7 +223,7 @@ func (s *Session) worker(sh int) {
 		}
 		s.scrubs[sh] = scrub
 
-		s.prog.StepShard(w.round, sh, s.awakeLists[sh], w.recv, w.send, s.halted)
+		s.prog.StepShard(w.round, s.shardBase+sh, s.awakeLists[sh], w.recv, w.send, s.halted)
 
 		// Compact the awake list; newly halted vertices enter the scrub
 		// ring.
@@ -292,6 +312,14 @@ func shardBoundsInto(bounds []int, csr *graph.CSR, shards int) []int {
 // says so. The session's worker count applies; opt.Shards is ignored. All
 // engine state is rebuilt in place from the previous run — a warmed
 // session (same or smaller graph) allocates nothing.
+//
+// Under a remote transport the session steps only its owned global
+// shards: prog is initialized over the full global shard map (so vertex
+// state exists everywhere, at its initial values), but only owned
+// vertices are ever awake here, and the transport reconciles the
+// boundary-crossing buffer slots each round. stats then describe the
+// global run (Rounds, Shards) with locally countable fields (Halted)
+// restricted to the owned range.
 func (s *Session) Run(csr *graph.CSR, prog FlatProgram, opt ShardedOptions) (ShardedStats, error) {
 	if s.closed {
 		return ShardedStats{}, fmt.Errorf("local: Run on a closed session")
@@ -302,13 +330,25 @@ func (s *Session) Run(csr *graph.CSR, prog FlatProgram, opt ShardedOptions) (Sha
 		maxRounds = 1 << 20
 	}
 	var stats ShardedStats
+	total, shardLo, shardHi := s.transport.Layout(s.shards)
+	if shardHi-shardLo != s.shards || shardLo < 0 || shardHi > total {
+		return stats, fmt.Errorf("local: transport layout [%d,%d) of %d does not fit %d session shards",
+			shardLo, shardHi, total, s.shards)
+	}
+	s.shardBase = shardLo
 	if n == 0 {
-		prog.InitShards([]int{0})
+		prog.InitShards(make([]int, total+1))
 		return stats, nil
 	}
-	stats.Shards = s.shards
-	s.bounds = shardBoundsInto(s.bounds, csr, s.shards)
+	stats.Shards = total
+	if cap(s.bounds) < total+1 {
+		s.bounds = make([]int, total+1)
+	}
+	s.bounds = shardBoundsInto(s.bounds[:total+1], csr, total)
 	prog.InitShards(s.bounds)
+	if err := s.transport.BeginRun(csr, s.bounds); err != nil {
+		return stats, err
+	}
 
 	arcs := csr.NumArcs()
 	s.bufA = reuse.Grown(s.bufA, arcs)
@@ -332,8 +372,12 @@ func (s *Session) Run(csr *graph.CSR, prog FlatProgram, opt ShardedOptions) (Sha
 	for sh := 0; sh < s.shards; sh++ {
 		// Three-index reslice: each worker compacts (shrinks) its own
 		// list in place, so the segments can never collide even though
-		// they share one backing array.
-		s.awakeLists[sh] = s.awake[s.bounds[sh]:s.bounds[sh+1]:s.bounds[sh+1]]
+		// they share one backing array. Worker sh owns global shard
+		// shardBase+sh; under a remote transport the foreign segments
+		// are simply never placed on any awake list, so those vertices
+		// are never stepped and their state stays at its initial values.
+		g := shardLo + sh
+		s.awakeLists[sh] = s.awake[s.bounds[g]:s.bounds[g+1]:s.bounds[g+1]]
 		s.scrubs[sh] = s.scrubs[sh][:0]
 	}
 	s.csr, s.prog = csr, prog
@@ -388,9 +432,20 @@ func (s *Session) Run(csr *graph.CSR, prog FlatProgram, opt ShardedOptions) (Sha
 			// The crashed shard died mid-step, so the program state is
 			// not the quiescent round-barrier state: stats.Rounds stays
 			// at the last complete round and OnRound (the snapshot hook)
-			// does not fire for this round.
+			// does not fire for this round — and nothing goes on the
+			// wire, so a remote peer sees a clean cut, not a torn round.
 			return stats, crashed
 		}
+		// Round barrier: reconcile the freshly written send buffer across
+		// the transport and learn the global awake count. MemTransport is
+		// a no-op returning awake unchanged; ProcTransport pushes this
+		// session's boundary-crossing slots out and scatters the incoming
+		// ones before any of them is read next round.
+		globalAwake, err := s.transport.Exchange(round, send, awake)
+		if err != nil {
+			return stats, err
+		}
+		awake = globalAwake
 		stats.Rounds = round
 		if opt.OnRound != nil {
 			opt.OnRound(round, awake)

@@ -1,0 +1,125 @@
+// Package mp runs the sharded engine across OS processes: a coordinator
+// spawns one worker process per shard group, ships every worker the same
+// flat game instance, and routes the boundary-crossing message-buffer
+// words between them once per round (local.ProcTransport on the worker
+// side). The design is SPMD: every worker builds the identical instance
+// and program, steps only its own contiguous shard range, and the
+// double-buffered receiver-indexed buffer layout — already a wire format
+// — carries the rounds. Results are bit-identical to the in-memory
+// engine under both tie rules, which the differential tests assert, and
+// a worker process lost mid-run is recovered through the same
+// AutoResume snapshot story as an in-process worker crash: kill the
+// fleet, respawn it, and fast-forward through the retained quiescent
+// snapshot with validation.
+package mp
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"tokendrop/internal/core"
+	"tokendrop/internal/graph"
+	"tokendrop/internal/local"
+)
+
+// This file is the instance codec: the one bulk transfer of a run. The
+// coordinator encodes its FlatInstance once and streams the same bytes
+// to every worker (FrameInstance), so all processes construct the
+// identical CSR — same arc order, same port numbering, same tie-break
+// behaviour — by construction rather than by convention. The handshake
+// carries the payload's SHA-256; each worker recomputes it over what it
+// actually received, so a torn or mismatched transfer fails loudly
+// before a single round runs.
+//
+// Layout (big-endian): u32 n, u32 arcs, then Row (n+1), Col, EID, Rev
+// (arcs each) as i32, level (n) as i32, and the token bitmap
+// ((n+7)/8 bytes, LSB-first). Everything a FlatInstance is made of.
+
+// instanceWireSize returns the encoded size of fi.
+func instanceWireSize(fi *core.FlatInstance) int {
+	n, arcs := fi.N(), fi.CSR().NumArcs()
+	return 8 + 4*(n+1) + 3*4*arcs + 4*n + (n+7)/8
+}
+
+// EncodeInstance serializes fi for the FrameInstance transfer.
+func EncodeInstance(fi *core.FlatInstance) []byte {
+	csr := fi.CSR()
+	n, arcs := fi.N(), csr.NumArcs()
+	b := make([]byte, 0, instanceWireSize(fi))
+	var u [4]byte
+	put := func(x int32) {
+		binary.BigEndian.PutUint32(u[:], uint32(x))
+		b = append(b, u[:]...)
+	}
+	put(int32(n))
+	put(int32(arcs))
+	for _, x := range csr.Row {
+		put(x)
+	}
+	for _, x := range csr.Col {
+		put(x)
+	}
+	for _, x := range csr.EID {
+		put(x)
+	}
+	for _, x := range csr.Rev {
+		put(x)
+	}
+	for v := 0; v < n; v++ {
+		put(int32(fi.Level(v)))
+	}
+	bitmap := make([]bool, n)
+	for v := 0; v < n; v++ {
+		bitmap[v] = fi.Token(v)
+	}
+	return append(b, local.PackBools(nil, bitmap)...)
+}
+
+// DecodeInstance reconstructs the FlatInstance from an EncodeInstance
+// payload, validating the CSR and the game (adjacent levels, no
+// negative level) exactly as local construction would.
+func DecodeInstance(b []byte) (*core.FlatInstance, error) {
+	bad := func(what string) (*core.FlatInstance, error) {
+		return nil, &local.WireError{Op: "instance payload", Detail: what}
+	}
+	if len(b) < 8 {
+		return bad(fmt.Sprintf("%d bytes, want at least the n/arcs header", len(b)))
+	}
+	n := int(int32(binary.BigEndian.Uint32(b[0:4])))
+	arcs := int(int32(binary.BigEndian.Uint32(b[4:8])))
+	if n < 0 || arcs < 0 || arcs%2 != 0 {
+		return bad(fmt.Sprintf("implausible dimensions n=%d arcs=%d", n, arcs))
+	}
+	want := 8 + 4*(n+1) + 3*4*arcs + 4*n + (n+7)/8
+	if len(b) != want {
+		return bad(fmt.Sprintf("%d bytes for n=%d arcs=%d, want %d", len(b), n, arcs, want))
+	}
+	off := 8
+	ints := func(count int) []int32 {
+		xs := make([]int32, count)
+		for i := range xs {
+			xs[i] = int32(binary.BigEndian.Uint32(b[off : off+4]))
+			off += 4
+		}
+		return xs
+	}
+	csr := &graph.CSR{Row: ints(n + 1), Col: ints(arcs), EID: ints(arcs), Rev: ints(arcs)}
+	level := ints(n)
+	token, err := local.UnpackBools(nil, b[off:], n)
+	if err != nil {
+		return nil, err
+	}
+	if err := csr.Validate(); err != nil {
+		return nil, fmt.Errorf("mp: received instance: %w", err)
+	}
+	return core.NewFlatInstanceCSR(csr, level, token)
+}
+
+// InstanceHash is the handshake's graph binding: the hex SHA-256 of the
+// encoded instance payload.
+func InstanceHash(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
